@@ -1,0 +1,93 @@
+"""A2 — greedy vs balanced allocation under skewed arrivals.
+
+The balanced algorithm's motivation (paper §III.b): reserve each cluster
+a share of the stream budget so a cluster whose requests arrive late is
+not starved by earlier ones.  We run two Montage instances over disjoint
+datasets, the second starting mid-staging of the first, treating each
+workflow as one cluster (``cluster_scope="workflow"``):
+
+* under **greedy**, the first workflow's transfers have consumed the
+  whole host-pair budget, so the late workflow's first transfers are
+  allocated a single stream each;
+* under **balanced**, half the budget was reserved for the second
+  cluster, so its first transfers receive their full request.
+
+Staging times are reported as context; the allocation behaviour is the
+asserted contract (time outcomes depend on churn, which lets greedy
+recover quickly on this workload).
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_concurrent_workflows
+from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+DEFAULT_STREAMS = 10
+TOTAL_BUDGET = 40
+
+
+def run_pair(policy: str, seed: int):
+    cfg = ExperimentConfig(
+        extra_file_mb=100,
+        default_streams=DEFAULT_STREAMS,
+        policy=policy,
+        threshold=TOTAL_BUDGET,
+        cluster_factor=2 if policy == "balanced" else None,
+        cluster_threshold=TOTAL_BUDGET // 2 if policy == "balanced" else None,
+        cluster_scope="workflow",
+        n_images=30,
+        seed=seed,
+    )
+    workflows = [
+        augmented_montage(100 * MB, MontageConfig(n_images=30, name="mA", lfn_prefix="a_")),
+        augmented_montage(100 * MB, MontageConfig(n_images=30, name="mB", lfn_prefix="b_")),
+    ]
+    return run_concurrent_workflows(cfg, workflows, stagger=60.0)
+
+
+def first_wave_grants(metrics, n=6):
+    """Stream grants of the late workflow's first WAN transfers."""
+    return [g for g in metrics.stream_grants if g > 0][:n]
+
+
+def test_balanced_reserves_late_cluster_share(benchmark, archive, replicates):
+    def compare():
+        rows = []
+        for seed in range(replicates):
+            greedy = run_pair("greedy", seed)
+            balanced = run_pair("balanced", seed)
+            rows.append(
+                {
+                    "greedy_first_grants": first_wave_grants(greedy[1]),
+                    "balanced_first_grants": first_wave_grants(balanced[1]),
+                    "greedy_wf2_staging": greedy[1].staging_time,
+                    "balanced_wf2_staging": balanced[1].staging_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    report_lines = [
+        "A2 — late workflow's first transfer allocations (streams) and",
+        f"staging time; two concurrent instances, budget {TOTAL_BUDGET}, "
+        f"request {DEFAULT_STREAMS} streams/transfer:",
+    ]
+    for i, r in enumerate(rows):
+        report_lines.append(
+            f"  rep {i}: greedy first grants {r['greedy_first_grants']} "
+            f"(staging {r['greedy_wf2_staging']:.0f}s) | "
+            f"balanced first grants {r['balanced_first_grants']} "
+            f"(staging {r['balanced_wf2_staging']:.0f}s)"
+        )
+    report = "\n".join(report_lines)
+    archive("ablation_balanced", {"rows": rows}, report)
+
+    for r in rows:
+        # Greedy: budget exhausted by wf1 -> wf2's arrivals get starved
+        # allocations (single streams dominate its first wave).
+        assert np.mean(r["greedy_first_grants"]) < DEFAULT_STREAMS / 2
+        # Balanced: reserved share -> wf2's first transfers get their full
+        # requested streams.
+        assert r["balanced_first_grants"][0] == DEFAULT_STREAMS
+        assert np.mean(r["balanced_first_grants"]) > np.mean(r["greedy_first_grants"])

@@ -1,0 +1,67 @@
+"""A8 — cleanup and the workflow data footprint.
+
+The paper runs with cleanup enabled because storage at computational
+sites is finite ("the workflow management system also needs to remove
+data that are no longer needed").  This ablation quantifies the scratch
+footprint with and without cleanup on the augmented Montage workload, and
+shows how long a capacity-constrained scratch volume would have been
+over-committed in each mode.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, TestbedParams
+from repro.experiments.runner import run_replicates
+
+GB = 1e9
+
+
+def test_cleanup_footprint(benchmark, archive, replicates):
+    capacity = 12 * GB  # a deliberately tight scratch volume
+
+    def measure():
+        rows = {}
+        for cleanup in (True, False):
+            cfg = ExperimentConfig(
+                extra_file_mb=100,
+                default_streams=4,
+                policy="greedy",
+                threshold=50,
+                cleanup=cleanup,
+                seed=31,
+                testbed=replace(TestbedParams(), scratch_capacity=capacity),
+            )
+            metrics = run_replicates(cfg, replicates)
+            rows["cleanup" if cleanup else "no-cleanup"] = {
+                "peak_gb": float(np.mean([m.peak_footprint for m in metrics])) / GB,
+                "final_gb": float(np.mean([m.final_footprint for m in metrics])) / GB,
+                "over_capacity_s": float(
+                    np.mean([m.over_capacity_time for m in metrics])
+                ),
+                "makespan": float(np.mean([m.makespan for m in metrics])),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_lines = [
+        "A8 — scratch footprint, augmented Montage (100 MB extras), "
+        f"capacity {capacity / GB:.0f} GB:",
+        f"{'mode':12s} {'peak GB':>9s} {'final GB':>9s} {'over-cap s':>11s} {'makespan':>10s}",
+    ]
+    for mode, r in rows.items():
+        report_lines.append(
+            f"{mode:12s} {r['peak_gb']:9.2f} {r['final_gb']:9.2f} "
+            f"{r['over_capacity_s']:11.1f} {r['makespan']:10.1f}"
+        )
+    report = "\n".join(report_lines)
+    archive("ablation_footprint", rows, report)
+
+    assert rows["cleanup"]["peak_gb"] < rows["no-cleanup"]["peak_gb"]
+    assert rows["cleanup"]["final_gb"] < rows["no-cleanup"]["final_gb"] * 0.5
+    # The tight volume is over-committed for less time with cleanup on.
+    assert (
+        rows["cleanup"]["over_capacity_s"]
+        <= rows["no-cleanup"]["over_capacity_s"]
+    )

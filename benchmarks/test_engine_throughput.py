@@ -1,0 +1,67 @@
+"""A7 — rule-engine / policy-service decision throughput.
+
+The paper's future work worries about "the scalability of the centralized
+policy service when planning multiple complex workflows".  These benches
+measure the service's decision latency as policy memory grows, and the
+raw production-rule engine's firing rate.
+"""
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.rules import Fact, Pattern, Rule, Session
+
+
+def _spec(i):
+    return {
+        "lfn": f"f{i}",
+        "src_url": f"gsiftp://src/d/f{i}",
+        "dst_url": f"gsiftp://dst/s/f{i}",
+        "nbytes": 1.0,
+    }
+
+
+def _preloaded_service(staged_files: int) -> PolicyService:
+    service = PolicyService(PolicyConfig(policy="greedy", max_streams=1000))
+    for i in range(staged_files):
+        advice = service.submit_transfers("warmup", f"j{i}", [_spec(i)])
+        service.complete_transfers(done=[advice[0].tid])
+    return service
+
+
+@pytest.mark.parametrize("staged", [0, 200, 1000])
+def test_transfer_decision_latency(benchmark, staged):
+    """One submit+complete round trip against a growing policy memory."""
+    service = _preloaded_service(staged)
+    counter = [staged]
+
+    def round_trip():
+        i = counter[0] = counter[0] + 1
+        advice = service.submit_transfers("bench", f"job{i}", [_spec(i + 10_000)])
+        service.complete_transfers(done=[advice[0].tid])
+
+    benchmark(round_trip)
+
+
+def test_rule_engine_firing_rate(benchmark):
+    """Raw engine throughput: fire one simple rule over 500 facts."""
+
+    class Token(Fact):
+        def __init__(self, n):
+            self.n = n
+            self.seen = False
+
+    rule = Rule(
+        "mark",
+        when=[Pattern(Token, "t", where=lambda t, b: not t.seen)],
+        then=lambda ctx: ctx.update(ctx.t, seen=True),
+    )
+
+    def run():
+        session = Session([rule])
+        for i in range(500):
+            session.insert(Token(i))
+        fired = session.fire_all()
+        assert fired == 500
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,40 @@
+"""Fig. 6 — 10 MB extra files: thresholds 50/100/200 vs no policy.
+
+Paper shape: with small (10 MB) additional files there is not much
+difference as the maximum streams increase; the policy performs slightly
+better (at most ~6%) than default Pegasus at lower default streams, and
+the 50-stream threshold is the best of the three.
+"""
+
+from benchmarks.figcommon import (
+    figure_report,
+    payload,
+    run_threshold_figure,
+    series_by_threshold,
+)
+
+
+def test_fig6(benchmark, archive, replicates, stream_sweep):
+    series, nop = benchmark.pedantic(
+        run_threshold_figure, args=(10, replicates, stream_sweep),
+        rounds=1, iterations=1,
+    )
+    archive("fig6_10mb", payload(series, nop), figure_report(6, 10, series, nop))
+
+    by_thr = series_by_threshold(series)
+    nop_mean = nop.at(4)[0]
+
+    # Small spread among thresholds (paper: "not much difference").
+    for streams in stream_sweep:
+        means = [by_thr[t].at(streams)[0] for t in (50, 100, 200)]
+        assert max(means) / min(means) < 1.35
+
+    # Threshold 50 is the best (or tied-best) of the three on average.
+    def series_mean(s):
+        return sum(s.means()) / len(s.means())
+
+    best = min(by_thr.values(), key=series_mean)
+    assert series_mean(by_thr[50]) <= series_mean(best) * 1.05
+
+    # Policy at low default streams is comparable to no policy (within ~10%).
+    assert by_thr[50].at(4)[0] <= nop_mean * 1.10

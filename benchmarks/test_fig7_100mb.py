@@ -1,0 +1,38 @@
+"""Fig. 7 — 100 MB extra files: thresholds 50/100/200 vs no policy.
+
+Paper shape: a clear separation among thresholds; the best performance is
+50 max streams, beating default Pegasus (~6.7% at 8 streams in the paper)
+while a threshold of 200 is markedly worse (+28.8% vs 50 at 8 streams):
+the greedy algorithm can over-allocate streams between the source and
+destination.
+"""
+
+from benchmarks.figcommon import (
+    figure_report,
+    payload,
+    run_threshold_figure,
+    series_by_threshold,
+)
+
+
+def test_fig7(benchmark, archive, replicates, stream_sweep):
+    series, nop = benchmark.pedantic(
+        run_threshold_figure, args=(100, replicates, stream_sweep),
+        rounds=1, iterations=1,
+    )
+    archive("fig7_100mb", payload(series, nop), figure_report(7, 100, series, nop))
+
+    by_thr = series_by_threshold(series)
+
+    # Ordering at 8 streams: 50 < 100 < 200.
+    t50, t100, t200 = (by_thr[t].at(8)[0] for t in (50, 100, 200))
+    assert t50 < t100 < t200
+
+    # 200 markedly worse than 50 (paper: +28.8% at 8 streams).
+    assert t200 / t50 > 1.15
+
+    # 50 at least matches the no-policy point.  The paper's 6.7% margin
+    # shows up as only ~0-3% in our model (no-policy's 80 streams sit just
+    # past the knee) — see EXPERIMENTS.md "residual divergences" — so the
+    # assertion tolerates replicate noise rather than demanding a strict win.
+    assert t50 < nop.at(4)[0] * 1.03

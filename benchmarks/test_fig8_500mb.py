@@ -1,0 +1,40 @@
+"""Fig. 8 — 500 MB extra files: thresholds 50/100/200 vs no policy.
+
+Paper shape: threshold 50 performs best with 100 also good; both beat
+default Pegasus (50@8 was 14% faster in the paper).  A threshold of 200
+performs acceptably at low default streams (its allocation is then only
+80 total streams, same as no policy) but poorly at larger ones (160-203
+streams overwhelm the path).
+"""
+
+from benchmarks.figcommon import (
+    figure_report,
+    payload,
+    run_threshold_figure,
+    series_by_threshold,
+)
+
+
+def test_fig8(benchmark, archive, replicates, stream_sweep):
+    series, nop = benchmark.pedantic(
+        run_threshold_figure, args=(500, replicates, stream_sweep),
+        rounds=1, iterations=1,
+    )
+    archive("fig8_500mb", payload(series, nop), figure_report(8, 500, series, nop))
+
+    by_thr = series_by_threshold(series)
+
+    # 50 at least matches no policy (paper: 14% faster; our margin is
+    # 0-4% — see EXPERIMENTS.md "residual divergences" — so tolerate
+    # replicate noise rather than demanding a strict win).
+    assert by_thr[50].at(8)[0] < nop.at(4)[0] * 1.03
+
+    # 200 at 4 default streams allocates 80 total (same as no policy) and
+    # performs comparably; at 8+ it degrades clearly.
+    t200_4 = by_thr[200].at(4)[0]
+    t200_8 = by_thr[200].at(8)[0]
+    assert t200_4 <= nop.at(4)[0] * 1.10
+    assert t200_8 > by_thr[50].at(8)[0] * 1.15
+
+    # 50 is the best threshold at 8 streams.
+    assert by_thr[50].at(8)[0] == min(by_thr[t].at(8)[0] for t in (50, 100, 200))

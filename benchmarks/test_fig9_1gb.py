@@ -1,0 +1,42 @@
+"""Fig. 9 — 1 GB extra files: thresholds 50/100/200 vs no policy.
+
+Paper shape: no clear advantage to using any of the greedy threshold
+values over default Pegasus — these large, long-running transfers use all
+available resources between source and destination regardless of policy.
+
+In our reproduction the "policy vs no policy" part of that claim holds
+(threshold 50 sits within a few percent of default Pegasus, inside the
+run-to-run noise); the residual divergence — threshold 200 still pays its
+congestion penalty at 1 GB in our steady-state model — is discussed in
+EXPERIMENTS.md.
+"""
+
+from benchmarks.figcommon import (
+    figure_report,
+    payload,
+    run_threshold_figure,
+    series_by_threshold,
+)
+
+
+def test_fig9(benchmark, archive, replicates, stream_sweep):
+    series, nop = benchmark.pedantic(
+        run_threshold_figure, args=(1000, replicates, stream_sweep),
+        rounds=1, iterations=1,
+    )
+    archive("fig9_1gb", payload(series, nop), figure_report(9, 1000, series, nop))
+
+    by_thr = series_by_threshold(series)
+    nop_mean = nop.at(4)[0]
+
+    # No clear advantage of the policy over default Pegasus at 1 GB:
+    # threshold 50 is within ~8% of the no-policy point in either direction.
+    t50 = by_thr[50].at(4)[0]
+    assert abs(t50 - nop_mean) / nop_mean < 0.08
+
+    # Residual divergence (documented in EXPERIMENTS.md): our congestion
+    # model is steady-state, so threshold 200 keeps paying its penalty at
+    # 1 GB instead of washing out as in the paper's Fig. 9.  Bound it so a
+    # regression toward catastrophic divergence is still caught.
+    for streams in stream_sweep:
+        assert by_thr[200].at(streams)[0] / by_thr[50].at(streams)[0] < 1.65

@@ -1,0 +1,49 @@
+"""A13 — RESTful frontend throughput (real HTTP on localhost).
+
+The paper deploys the service behind Tomcat's REST interface; the
+deployment question is how many advice round trips per second the
+frontend sustains.  These benches measure a full submit->complete cycle
+over real HTTP (serialization + socket + rule evaluation) and the status
+endpoint.
+"""
+
+import itertools
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.client import HTTPPolicyClient
+from repro.policy.rest import PolicyRestServer
+
+
+@pytest.fixture(scope="module")
+def live_client():
+    service = PolicyService(PolicyConfig(policy="greedy", max_streams=10_000))
+    with PolicyRestServer(service) as server:
+        yield HTTPPolicyClient(server.url)
+
+
+def test_http_advice_round_trip(benchmark, live_client):
+    counter = itertools.count()
+
+    def round_trip():
+        i = next(counter)
+        advice = live_client.submit_transfers(
+            "bench-wf",
+            f"job{i}",
+            [
+                {
+                    "lfn": f"f{i}",
+                    "src_url": f"gsiftp://src/d/f{i}",
+                    "dst_url": f"gsiftp://dst/s/f{i}",
+                    "nbytes": 1000,
+                }
+            ],
+        )
+        live_client.complete_transfers(done=[advice[0].tid])
+
+    benchmark(round_trip)
+
+
+def test_http_status_endpoint(benchmark, live_client):
+    benchmark(live_client.status)

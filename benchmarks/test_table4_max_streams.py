@@ -1,0 +1,111 @@
+"""Table IV — maximum streams for simultaneous transfers.
+
+Regenerates the paper's Table IV analytically (the greedy allocator with
+20 concurrent staging jobs) and cross-checks it against (a) the rule
+engine's operational allocations and (b) the peak streams observed on the
+simulated WAN during a real workflow run.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_cell
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.allocation import (
+    TABLE4_DEFAULTS,
+    TABLE4_THRESHOLDS,
+    format_table4,
+    greedy_allocation_trace,
+    max_streams_table,
+)
+
+#: The paper's Table IV, verbatim.
+PAPER_TABLE4 = {
+    50: {4: 57, 6: 61, 8: 63, 10: 65, 12: 65},
+    100: {4: 80, 6: 103, 8: 107, 10: 110, 12: 111},
+    200: {4: 80, 6: 120, 8: 160, 10: 200, 12: 203},
+}
+
+
+def test_table4_analytic(benchmark, archive):
+    table = benchmark(max_streams_table)
+    report = "Table IV — maximum streams for simultaneous transfers\n"
+    report += format_table4(table)
+    archive("table4_analytic", table_to_json(table), report)
+    assert table["no_policy"] == 80
+    for threshold, row in PAPER_TABLE4.items():
+        for default, expected in row.items():
+            assert table["greedy"][threshold][default] == expected
+
+
+def test_table4_rule_engine_agreement(benchmark):
+    """The Drools-like rule packs produce the same allocations."""
+
+    def engine_table():
+        out = {}
+        for threshold in TABLE4_THRESHOLDS:
+            row = {}
+            for default in TABLE4_DEFAULTS:
+                service = PolicyService(
+                    PolicyConfig(
+                        policy="greedy", default_streams=default, max_streams=threshold
+                    )
+                )
+                grants = [
+                    service.submit_transfers(
+                        "wf",
+                        f"j{i}",
+                        [
+                            {
+                                "lfn": f"f{i}",
+                                "src_url": f"gsiftp://src/d/f{i}",
+                                "dst_url": f"gsiftp://dst/s/f{i}",
+                                "nbytes": 1.0,
+                            }
+                        ],
+                    )[0].streams
+                    for i in range(20)
+                ]
+                row[default] = sum(grants)
+            out[threshold] = row
+        return out
+
+    table = benchmark.pedantic(engine_table, rounds=1, iterations=1)
+    for threshold, row in PAPER_TABLE4.items():
+        assert table[threshold] == row
+
+
+def test_table4_observed_on_simulated_wan(benchmark, archive):
+    """Peak WAN streams in a live run never exceed the analytic maximum
+    and reach it while the staging queue is saturated."""
+
+    def observe():
+        peaks = {}
+        for threshold in (50, 200):
+            cfg = ExperimentConfig(
+                extra_file_mb=100,
+                default_streams=8,
+                policy="greedy",
+                threshold=threshold,
+                seed=0,
+            )
+            peaks[threshold] = run_cell(cfg).peak_streams.get("wan", 0)
+        return peaks
+
+    peaks = benchmark.pedantic(observe, rounds=1, iterations=1)
+    report = "Peak WAN streams observed in simulation (default streams = 8):\n"
+    for threshold, peak in peaks.items():
+        analytic = sum(greedy_allocation_trace(20, 8, threshold))
+        report += f"  greedy threshold {threshold}: observed {peak}, analytic max {analytic}\n"
+        assert peak <= analytic
+        assert peak >= 0.9 * analytic  # saturated queue reaches the bound
+    archive("table4_observed", {str(k): v for k, v in peaks.items()}, report)
+
+
+def table_to_json(table: dict) -> dict:
+    return {
+        "no_policy": table["no_policy"],
+        "greedy": {
+            str(t): {str(d): v for d, v in row.items()}
+            for t, row in table["greedy"].items()
+        },
+    }

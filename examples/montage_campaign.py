@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The paper's headline experiment in miniature.
+
+Runs the augmented Montage workflow (one extra 100 MB file per data
+staging job, as in Fig. 7) on the simulated ISI/FutureGrid testbed under:
+
+* default Pegasus (no policy, 4 streams per transfer),
+* the greedy allocation policy with thresholds 50, 100, and 200.
+
+Prints the comparison the paper reports: execution time per configuration
+and the peak number of simultaneous WAN streams (Table IV's quantity).
+
+Run:  python examples/montage_campaign.py          (~1 minute)
+      python examples/montage_campaign.py --quick  (smaller workflow)
+"""
+
+import sys
+
+from repro import ExperimentConfig, run_cell
+
+
+def main(quick: bool = False) -> None:
+    n_images = 30 if quick else 89
+    replicate_seeds = (1, 2) if quick else (1, 2, 3)
+    extra_mb = 100
+
+    configs = [("no policy (default Pegasus)", None, 50, 4)]
+    configs += [
+        (f"greedy, threshold {threshold}", "greedy", threshold, 8)
+        for threshold in (50, 100, 200)
+    ]
+
+    print(f"Augmented Montage: {n_images} staging jobs, one extra "
+          f"{extra_mb} MB file each, staged over the simulated WAN\n")
+    print(f"{'configuration':32s} {'time (s)':>12s} {'peak WAN streams':>18s}")
+    print("-" * 66)
+
+    results = {}
+    for label, policy, threshold, streams in configs:
+        makespans, peaks = [], []
+        for seed in replicate_seeds:
+            metrics = run_cell(
+                ExperimentConfig(
+                    extra_file_mb=extra_mb,
+                    default_streams=streams,
+                    policy=policy,
+                    threshold=threshold,
+                    n_images=n_images,
+                    seed=seed,
+                )
+            )
+            makespans.append(metrics.makespan)
+            peaks.append(metrics.peak_streams.get("wan", 0))
+        mean = sum(makespans) / len(makespans)
+        results[label] = mean
+        print(f"{label:32s} {mean:12.1f} {max(peaks):18d}")
+
+    best = min(results, key=results.get)
+    print(f"\nBest configuration: {best}")
+    t50 = results["greedy, threshold 50"]
+    t200 = results["greedy, threshold 200"]
+    print(f"threshold 200 is {100 * (t200 / t50 - 1):.1f}% slower than 50 "
+          f"(the paper measured +28.8% at 8 streams) — over-allocating\n"
+          f"streams past the congestion knee hurts; capping them helps.")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

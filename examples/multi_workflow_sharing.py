@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Two concurrent workflows safely sharing staged files.
+
+The Policy Service's cross-workflow features (paper §II.B):
+
+* duplicate transfer requests from a second workflow are *skipped* when
+  the file is already staged, or turned into *waits* when another
+  workflow's transfer is still in flight;
+* staged files are reference-counted, so cleanup by one workflow cannot
+  delete data the other still needs.
+
+We launch two identical Montage instances 30 s apart against one shared
+Policy Service, then repeat with isolated policy state for contrast.
+
+Run:  python examples/multi_workflow_sharing.py
+"""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_concurrent_workflows
+from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+
+def launch(shared: bool):
+    cfg = ExperimentConfig(
+        extra_file_mb=50,
+        default_streams=4,
+        policy="greedy",
+        threshold=50,
+        n_images=30,
+        seed=7,
+    )
+    workflows = [
+        augmented_montage(50 * MB, MontageConfig(n_images=30, name="survey-tile-7"))
+        for _ in range(2)
+    ]
+    return run_concurrent_workflows(cfg, workflows, stagger=30.0, share_policy=shared)
+
+
+def describe(label, results):
+    total_bytes = sum(m.bytes_staged for m in results)
+    print(f"\n== {label}")
+    for i, m in enumerate(results, 1):
+        print(
+            f"   workflow {i}: makespan {m.makespan:7.1f} s, "
+            f"transfers executed {m.transfers_executed:3d}, "
+            f"skipped {m.transfers_skipped:3d}, waited {m.transfers_waited:3d}"
+        )
+    print(f"   total bytes staged over the WAN+LAN: {total_bytes / 1e9:.2f} GB")
+    return total_bytes
+
+
+def main() -> None:
+    print("Two Montage instances over the SAME input dataset, 30 s apart.")
+    shared = describe("shared Policy Service (the paper's deployment)", launch(True))
+    separate = describe("isolated policy state (no sharing possible)", launch(False))
+    saved = 1 - shared / separate
+    print(f"\nThe shared service avoided restaging: {saved:.0%} of bytes saved.")
+    print("Workflow 2's stage-ins became skips (already staged) and waits")
+    print("(first workflow's transfer still in flight) instead of transfers.")
+
+
+if __name__ == "__main__":
+    main()

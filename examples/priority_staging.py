@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Structure-based staging priorities (paper §III.c).
+
+Computes the four priority algorithms the paper describes — BFS, DFS,
+direct-dependent-based (fan-out), dependent-based (descendant count) — on
+a small workflow, shows how each orders the jobs, then runs the augmented
+Montage workload with dependent-based priorities driving the order in
+which the Policy Service tells the transfer tool to stage data.
+
+Run:  python examples/priority_staging.py
+"""
+
+from repro import ExperimentConfig, run_cell
+from repro.workflow import File, Job, Workflow
+from repro.workflow.priorities import PRIORITY_ALGORITHMS
+
+
+def build_analysis_pipeline() -> Workflow:
+    """A small pipeline with asymmetric fan-out (priorities differ)."""
+    wf = Workflow("analysis")
+    raw = File("raw.dat", 100)
+    calib = File("calib.dat", 10)
+    frames = [File(f"frame_{i}.dat", 50) for i in range(3)]
+    stats = File("stats.dat", 5)
+    report = File("report.pdf", 1)
+    wf.add_job(Job("ingest", "split", inputs=(raw,), outputs=tuple(frames)))
+    wf.add_job(Job("calibrate", "process", inputs=(calib,), outputs=(stats,)))
+    for i, frame in enumerate(frames):
+        wf.add_job(Job(f"analyze_{i}", "process", inputs=(frame, stats)))
+    wf.add_job(Job("publish", "join", inputs=(stats,), outputs=(report,)))
+    wf.validate()
+    return wf
+
+
+def main() -> None:
+    wf = build_analysis_pipeline()
+    print(f"Workflow {wf.name!r}: {len(wf)} jobs, roots {wf.roots()}\n")
+    print(f"{'job':12s}" + "".join(f"{name:>20s}" for name in PRIORITY_ALGORITHMS))
+    for job_id in wf.topological_order():
+        row = f"{job_id:12s}"
+        for algorithm in PRIORITY_ALGORITHMS.values():
+            row += f"{algorithm(wf)[job_id]:>20d}"
+        print(row)
+    print("\n'calibrate' feeds every analyze job: dependent-based ranks it")
+    print("high, so its input data would be staged first.\n")
+
+    print("Running augmented Montage with dependent-based staging priorities")
+    print("(tight staging throttle of 5 so release order matters)...")
+    for algorithm in (None, "dependent"):
+        metrics = run_cell(
+            ExperimentConfig(
+                extra_file_mb=100,
+                default_streams=4,
+                policy="greedy",
+                threshold=50,
+                priority_algorithm=algorithm,
+                order_by="priority" if algorithm else "urls",
+                job_limit=5,
+                n_images=30,
+                seed=11,
+            )
+        )
+        label = algorithm or "unprioritized"
+        print(f"   {label:16s}: makespan {metrics.makespan:7.1f} s "
+              f"(staging {metrics.staging_time:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

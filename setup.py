@@ -1,0 +1,6 @@
+"""Setuptools shim: lets `pip install -e . --no-use-pep517` work offline
+(the sandbox has no `wheel` package, so the PEP 660 editable path fails)."""
+
+from setuptools import setup
+
+setup()

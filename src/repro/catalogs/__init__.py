@@ -1,0 +1,26 @@
+"""Pegasus-style catalogs.
+
+Pegasus plans abstract workflows against three catalogs; we implement the
+same trio:
+
+* :class:`ReplicaCatalog` — where logical files physically live (LFN ->
+  replica URLs).  The Policy Service also consults it to avoid restaging
+  files another workflow already staged.
+* :class:`SiteCatalog` — execution sites: compute slots, storage host,
+  scratch directory, and which hosts serve data.
+* :class:`TransformationCatalog` — executables and their runtime models
+  (per-site mean/std-dev runtimes sampled deterministically per job).
+"""
+
+from repro.catalogs.replica import Replica, ReplicaCatalog
+from repro.catalogs.site import SiteCatalog, SiteEntry
+from repro.catalogs.transformation import RuntimeModel, TransformationCatalog
+
+__all__ = [
+    "Replica",
+    "ReplicaCatalog",
+    "RuntimeModel",
+    "SiteCatalog",
+    "SiteEntry",
+    "TransformationCatalog",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro table4                      print Table IV (max simultaneous streams)
+    repro run [...]                   run one experiment cell, print metrics
+    repro figure {5,6,7,8,9} [...]    regenerate one of the paper's figures
+    repro campaign [...]              run a steady staging campaign
+    repro serve [...]                 start the RESTful Policy Service
+
+(`python -m repro ...` works identically.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Policy-driven data staging for scientific workflows "
+            "(SC 2012 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table4", help="print Table IV (maximum simultaneous streams)")
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    run.add_argument("--extra-mb", type=float, default=100.0,
+                     help="extra staged file size per staging job (MB)")
+    run.add_argument("--streams", type=int, default=4,
+                     help="default parallel streams per transfer")
+    run.add_argument("--policy", choices=["greedy", "balanced", "fifo", "none"],
+                     default="greedy")
+    run.add_argument("--threshold", type=int, default=50,
+                     help="max streams between a host pair")
+    run.add_argument("--adaptive", action="store_true",
+                     help="adapt the threshold from observed throughput")
+    run.add_argument("--images", type=int, default=89,
+                     help="Montage input images (= staging jobs)")
+    run.add_argument("--max-staging-gb", type=float, default=None,
+                     help="storage-constrained staging budget (GB)")
+    run.add_argument("--output-site", default=None,
+                     help="stage final outputs to this site (e.g. archive)")
+    run.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate one of Figs. 5-9")
+    figure.add_argument("number", type=int, choices=[5, 6, 7, 8, 9])
+    figure.add_argument("--replicates", type=int, default=3)
+    figure.add_argument("--quick", action="store_true",
+                        help="reduced sweep (endpoints only)")
+
+    campaign = sub.add_parser("campaign", help="run a steady staging campaign")
+    campaign.add_argument("--transfers", type=int, default=200)
+    campaign.add_argument("--mb", type=float, default=200.0)
+    campaign.add_argument("--workers", type=int, default=20)
+    campaign.add_argument("--streams", type=int, default=8)
+    campaign.add_argument("--policy", choices=["greedy", "none"], default="greedy")
+    campaign.add_argument("--threshold", type=int, default=50)
+    campaign.add_argument("--adaptive", action="store_true")
+    campaign.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="start the RESTful Policy Service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port")
+    serve.add_argument("--policy", choices=["greedy", "balanced", "fifo"],
+                       default="greedy")
+    serve.add_argument("--threshold", type=int, default=50)
+    serve.add_argument("--default-streams", type=int, default=4)
+    serve.add_argument("--cluster-count", type=int, default=None)
+    serve.add_argument("--access-control", action="store_true",
+                       help="enable host denials and staging quotas")
+
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_table4(out) -> int:
+    from repro.policy.allocation import format_table4, max_streams_table
+
+    print("Table IV — maximum streams for simultaneous transfers", file=out)
+    print(format_table4(max_streams_table()), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    from repro.experiments import ExperimentConfig, run_cell
+
+    policy = None if args.policy == "none" else args.policy
+    cfg = ExperimentConfig(
+        extra_file_mb=args.extra_mb,
+        default_streams=args.streams,
+        policy=policy,
+        threshold=args.threshold,
+        adaptive=args.adaptive,
+        cluster_factor=2 if policy == "balanced" else None,
+        n_images=args.images,
+        max_staging_bytes=args.max_staging_gb * 1e9 if args.max_staging_gb else None,
+        output_site=args.output_site,
+        seed=args.seed,
+    )
+    metrics = run_cell(cfg)
+    print(f"workflow      : {metrics.workflow_id}", file=out)
+    print(f"success       : {metrics.success}", file=out)
+    print(f"makespan      : {metrics.makespan:.1f} s", file=out)
+    print(f"staging time  : {metrics.staging_time:.1f} s", file=out)
+    print(f"bytes staged  : {metrics.bytes_staged / 1e9:.2f} GB", file=out)
+    print(f"peak WAN load : {metrics.peak_streams.get('wan', 0)} streams", file=out)
+    print(f"peak footprint: {metrics.peak_footprint / 1e9:.2f} GB", file=out)
+    if policy:
+        print(f"policy calls  : {metrics.policy_calls} "
+              f"({metrics.policy_overhead:.1f} s total latency)", file=out)
+    return 0 if metrics.success else 1
+
+
+def _cmd_figure(args, out) -> int:
+    from repro.experiments.figures import (
+        DEFAULT_STREAM_SWEEP,
+        FIG5_SIZES_MB,
+        FIG_SIZE_MB,
+        fig5_series,
+        fig_threshold_series,
+        no_policy_point,
+    )
+    from repro.metrics import format_series_table
+
+    defaults = (4, 8, 12) if args.quick else DEFAULT_STREAM_SWEEP
+    if args.number == 5:
+        sizes = (0, 100, 1000) if args.quick else FIG5_SIZES_MB
+        series = fig5_series(sizes_mb=sizes, defaults=defaults,
+                             replicates=args.replicates)
+        print(format_series_table(
+            "Fig. 5 — execution time (s), greedy threshold 50",
+            "streams", series), file=out)
+        return 0
+    size = FIG_SIZE_MB[args.number]
+    series = fig_threshold_series(size, defaults=defaults,
+                                  replicates=args.replicates)
+    nop = no_policy_point(size, replicates=args.replicates)
+    print(format_series_table(
+        f"Fig. {args.number} — execution time (s), {size} MB extra files",
+        "streams", series), file=out)
+    mean, std = nop.at(4)
+    print(f"\nno policy (default Pegasus, 4 streams): {mean:.1f} ± {std:.1f} s",
+          file=out)
+    return 0
+
+
+def _cmd_campaign(args, out) -> int:
+    from repro.experiments.campaign import CampaignConfig, run_staging_campaign
+
+    cfg = CampaignConfig(
+        n_transfers=args.transfers,
+        transfer_mb=args.mb,
+        workers=args.workers,
+        default_streams=args.streams,
+        policy=None if args.policy == "none" else args.policy,
+        threshold=args.threshold,
+        adaptive=args.adaptive,
+        seed=args.seed,
+    )
+    result = run_staging_campaign(cfg)
+    print(f"transfers    : {result.transfers_done}", file=out)
+    print(f"duration     : {result.duration:.1f} s", file=out)
+    print(f"throughput   : {result.aggregate_throughput / 1e6:.1f} MB/s", file=out)
+    print(f"peak streams : {result.peak_streams}", file=out)
+    if result.final_threshold is not None:
+        trajectory = [h[1] for h in result.threshold_history]
+        print(f"adaptive     : final threshold {result.final_threshold}, "
+              f"trajectory {trajectory}", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.policy import PolicyConfig, PolicyService
+    from repro.policy.rest import PolicyRestServer
+
+    config = PolicyConfig(
+        policy=args.policy,
+        default_streams=args.default_streams,
+        max_streams=args.threshold,
+        cluster_count=args.cluster_count,
+        access_control=args.access_control,
+    )
+    server = PolicyRestServer(PolicyService(config), host=args.host, port=args.port)
+    server.start()
+    print(f"Policy Service ({args.policy}) listening on {server.url}", file=out)
+    print("Ctrl-C to stop.", file=out)
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table4": lambda: _cmd_table4(out),
+        "run": lambda: _cmd_run(args, out),
+        "figure": lambda: _cmd_figure(args, out),
+        "campaign": lambda: _cmd_campaign(args, out),
+        "serve": lambda: _cmd_serve(args, out),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

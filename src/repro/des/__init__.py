@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, SimPy-flavoured kernel used as the execution
+substrate for the simulated distributed testbed (network, hosts, cluster
+scheduler, workflow engine).  Processes are plain Python generators that
+yield :class:`~repro.des.core.Event` objects; the :class:`Environment`
+advances virtual time deterministically.
+
+The kernel is deliberately deterministic: events scheduled for the same
+timestamp fire in schedule order (FIFO tie-breaking), so simulations are
+reproducible bit-for-bit for a fixed seed.
+
+Public API
+----------
+``Environment``
+    The simulation clock and event loop.
+``Event``, ``Timeout``, ``Process``, ``AllOf``, ``AnyOf``, ``Interrupt``
+    Event primitives usable from process generators.
+``Resource``, ``PriorityResource``, ``Store``, ``Container``
+    Queued capacity primitives built on events.
+``RngRegistry``
+    Named deterministic random substreams per simulation component.
+"""
+
+from repro.des.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.des.resources import Container, PriorityResource, Resource, Store
+from repro.des.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

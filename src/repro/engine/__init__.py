@@ -1,0 +1,30 @@
+"""Workflow execution engine (DAGMan/Condor stand-in + Pegasus tools).
+
+* :mod:`repro.engine.scheduler` — cluster compute slots;
+* :mod:`repro.engine.transfer_tool` — the Pegasus Transfer Tool (PTT):
+  executes a staging job's transfer list, consulting the Policy Service
+  for advice when configured (the paper's integration point);
+* :mod:`repro.engine.cleanup_tool` — the cleanup process, likewise
+  integrated with the Policy Service;
+* :mod:`repro.engine.dagman` — dependency-driven job release with
+  per-category throttles (the paper's "local job limit of 20" for data
+  staging jobs) and per-job retries (5 in the paper's runs).
+"""
+
+from repro.engine.cleanup_tool import CleanupTool
+from repro.engine.dagman import DAGMan, DAGManResult, JobRecord, WorkflowFailed
+from repro.engine.scheduler import ClusterScheduler
+from repro.engine.storage import StorageTracker
+from repro.engine.transfer_tool import PegasusTransferTool, StagingRecord
+
+__all__ = [
+    "CleanupTool",
+    "ClusterScheduler",
+    "DAGMan",
+    "DAGManResult",
+    "JobRecord",
+    "PegasusTransferTool",
+    "StagingRecord",
+    "StorageTracker",
+    "WorkflowFailed",
+]

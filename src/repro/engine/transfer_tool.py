@@ -1,0 +1,238 @@
+"""The Pegasus Transfer Tool (PTT).
+
+The PTT executes the transfer list of a data staging job.  With a policy
+client configured (the paper's integration), it first submits the list to
+the Policy Service, then acts on the returned advice:
+
+* ``transfer`` items are executed **group by group in the advised order**;
+  transfers sharing a group (same source/destination host pair) reuse one
+  client session, paying the control-channel setup only once;
+* ``skip`` items (duplicates / already-staged files) are not transferred;
+* ``wait`` items poll the service until the file another workflow is
+  staging becomes ``staged`` (done) or ``unknown`` (the other transfer
+  failed — the item is resubmitted for fresh advice);
+* after each transfer the PTT reports completion so the service frees the
+  transfer's streams; on a failure it reports the failed id *and* the
+  not-yet-started ids of the same advice batch, then raises so the
+  workflow engine can retry the job (Pegasus' retries-on-failure).
+
+Without a policy client the PTT behaves like default Pegasus: it performs
+the transfers serially in list order with its configured default streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalogs.replica import ReplicaCatalog
+from repro.engine.storage import StorageTracker
+from repro.net.gridftp import GridFTPClient, TransferError, parse_url
+from repro.planner.executable import ExecutableJob
+from repro.policy.client import InProcessPolicyClient
+from repro.policy.model import TransferAdvice
+
+__all__ = ["PegasusTransferTool", "StagingRecord"]
+
+
+@dataclass
+class StagingRecord:
+    """Outcome of one staging job (for metrics)."""
+
+    job_id: str
+    t_start: float
+    t_end: float = 0.0
+    executed: int = 0
+    skipped: int = 0
+    waited: int = 0
+    bytes_moved: float = 0.0
+    streams_used: list[int] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class PegasusTransferTool:
+    """Executes staging jobs' transfers, optionally under policy advice.
+
+    Parameters
+    ----------
+    gridftp:
+        The transfer client bound to the simulated fabric.
+    policy:
+        ``InProcessPolicyClient`` or None (default-Pegasus behaviour).
+    default_streams:
+        Parallel streams requested per transfer (the experiments' x-axis).
+    poll_interval:
+        Seconds between staging-state polls while waiting on another
+        workflow's in-flight transfer.
+    replicas / host_site:
+        When provided, successful transfers are registered in the replica
+        catalog at the destination host's site.
+    """
+
+    def __init__(
+        self,
+        gridftp: GridFTPClient,
+        policy: Optional[InProcessPolicyClient] = None,
+        default_streams: int = 4,
+        poll_interval: float = 5.0,
+        max_wait: float = 24 * 3600.0,
+        replicas: Optional[ReplicaCatalog] = None,
+        host_site: Optional[dict[str, str]] = None,
+        cluster_scope: str = "job",
+        storage: Optional[StorageTracker] = None,
+    ):
+        if default_streams < 1:
+            raise ValueError("default_streams must be >= 1")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if cluster_scope not in ("job", "workflow"):
+            raise ValueError(f"cluster_scope must be 'job' or 'workflow', got {cluster_scope!r}")
+        self.gridftp = gridftp
+        self.env = gridftp.env
+        self.policy = policy
+        self.default_streams = default_streams
+        self.poll_interval = poll_interval
+        self.max_wait = max_wait
+        self.replicas = replicas
+        self.host_site = host_site or {}
+        #: Balanced-policy cluster identity: the staging job ("job", the
+        #: Pegasus clustered-job semantics) or the whole workflow
+        #: ("workflow", per-workflow bandwidth reservation).
+        self.cluster_scope = cluster_scope
+        #: optional scratch-space accounting for transfer destinations
+        self.storage = storage
+        self.records: list[StagingRecord] = []
+
+    # ------------------------------------------------------------------ public
+    def execute(self, workflow_id: str, job: ExecutableJob):
+        """Process generator: run all transfers of a staging job."""
+        record = StagingRecord(job_id=job.id, t_start=self.env.now)
+        try:
+            if self.policy is None:
+                yield from self._execute_default(job, record)
+            else:
+                yield from self._execute_with_policy(workflow_id, job, record)
+        finally:
+            record.t_end = self.env.now
+            self.records.append(record)
+        return record
+
+    # ----------------------------------------------------------------- default
+    def _execute_default(self, job: ExecutableJob, record: StagingRecord):
+        """Default Pegasus: serial transfers, list order, default streams."""
+        for spec in job.transfers:
+            rec = yield from self.gridftp.transfer(
+                spec.src_url, spec.dst_url, spec.nbytes, self.default_streams
+            )
+            record.executed += 1
+            record.bytes_moved += rec.nbytes
+            record.streams_used.append(self.default_streams)
+            self._register(spec.lfn, spec.dst_url, spec.nbytes)
+
+    # ------------------------------------------------------------- with policy
+    def _execute_with_policy(self, workflow_id: str, job: ExecutableJob, record: StagingRecord):
+        cluster = job.id if self.cluster_scope == "job" else workflow_id
+        pending = [
+            {
+                "lfn": t.lfn,
+                "src_url": t.src_url,
+                "dst_url": t.dst_url,
+                "nbytes": t.nbytes,
+                "streams": self.default_streams,
+                "priority": job.priority,
+                "cluster": cluster,
+            }
+            for t in job.transfers
+        ]
+        deadline = self.env.now + self.max_wait
+        while pending:
+            advice = yield from self.policy.submit_transfers(
+                workflow_id, job.id, pending
+            )
+            denied = [a for a in advice if a.action == "deny"]
+            if denied:
+                # A denial means the data will never arrive: fail the job.
+                raise TransferError(
+                    f"transfer of {denied[0].lfn!r} denied by policy: "
+                    f"{denied[0].reason}",
+                    denied[0].src_url,
+                    denied[0].dst_url,
+                )
+            to_execute = [a for a in advice if a.action == "transfer"]
+            waits = [a for a in advice if a.action == "wait"]
+            record.skipped += sum(1 for a in advice if a.action == "skip")
+
+            yield from self._run_approved(to_execute, record)
+
+            pending = []
+            for item in waits:
+                record.waited += 1
+                outcome = yield from self._await_staged(item, deadline)
+                if outcome == "resubmit":
+                    pending.append(
+                        {
+                            "lfn": item.lfn,
+                            "src_url": item.src_url,
+                            "dst_url": item.dst_url,
+                            "nbytes": item.nbytes,
+                            "streams": self.default_streams,
+                            "priority": job.priority,
+                            "cluster": cluster,
+                        }
+                    )
+
+    def _run_approved(self, items: list[TransferAdvice], record: StagingRecord):
+        """Execute approved transfers group by group, sessions reused."""
+        # Preserve the service's ordering; group boundaries reset sessions.
+        current_group: Optional[int] = None
+        for idx, item in enumerate(items):
+            session_established = item.group_id == current_group
+            current_group = item.group_id
+            try:
+                rec = yield from self.gridftp.transfer(
+                    item.src_url,
+                    item.dst_url,
+                    item.nbytes,
+                    item.streams,
+                    session_established=session_established,
+                )
+            except TransferError:
+                # Tell the service about the failure and the abandoned rest
+                # of the batch, then let the engine retry the whole job.
+                abandoned = [other.tid for other in items[idx:]]
+                yield from self.policy.complete_transfers(failed=abandoned)
+                raise
+            record.executed += 1
+            record.bytes_moved += rec.nbytes
+            record.streams_used.append(item.streams)
+            self._register(item.lfn, item.dst_url, item.nbytes)
+            yield from self.policy.complete_transfers(done=[item.tid])
+
+    def _await_staged(self, item: TransferAdvice, deadline: float):
+        """Poll until the in-flight duplicate lands; 'done' or 'resubmit'."""
+        while True:
+            state = yield from self.policy.staging_state(item.lfn, item.dst_url)
+            if state == "staged":
+                return "done"
+            if state == "unknown":
+                return "resubmit"  # the other workflow's transfer failed
+            if self.env.now >= deadline:
+                raise TransferError(
+                    f"timed out waiting for {item.lfn!r} to be staged by "
+                    f"transfer {item.wait_for}",
+                    item.src_url,
+                    item.dst_url,
+                )
+            yield self.env.timeout(self.poll_interval)
+
+    # ------------------------------------------------------------------ helpers
+    def _register(self, lfn: str, dst_url: str, nbytes: float = 0.0) -> None:
+        host, _ = parse_url(dst_url)
+        site = self.host_site.get(host, host)
+        if self.replicas is not None:
+            self.replicas.register(lfn, site, dst_url)
+        if self.storage is not None and site == self.storage.site:
+            self.storage.add(lfn, nbytes)

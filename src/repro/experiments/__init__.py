@@ -1,0 +1,24 @@
+"""The paper's evaluation harness.
+
+* :mod:`repro.experiments.environment` — the simulated testbed standing in
+  for the paper's: the ISI Obelix cluster (9 nodes x 6 cores, NFS over a
+  1 Gbit LAN), a local web server holding Montage input images, and a
+  FutureGrid-like VM reached over a WAN whose per-stream throughput
+  matches the paper's quoted ~28 Mbit/s for a default 4-stream transfer;
+* :mod:`repro.experiments.runner` — runs one experiment cell (one
+  combination of policy, threshold, default streams, and extra-file size)
+  and returns :class:`~repro.metrics.collectors.RunMetrics`;
+* :mod:`repro.experiments.figures` — series builders regenerating
+  Table IV and Figs. 5-9.
+"""
+
+from repro.experiments.environment import TestbedParams, build_testbed
+from repro.experiments.runner import ExperimentConfig, run_cell, run_replicates
+
+__all__ = [
+    "ExperimentConfig",
+    "TestbedParams",
+    "build_testbed",
+    "run_cell",
+    "run_replicates",
+]

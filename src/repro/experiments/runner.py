@@ -1,0 +1,330 @@
+"""Run experiment cells: workflows under one policy configuration.
+
+A *cell* is a point on one of the paper's figures: (extra-file size,
+default streams per transfer, policy on/off, greedy threshold).  The
+runner wires the testbed, plans the augmented Montage workflow with the
+paper's Pegasus options (no clustering, cleanup on, job limit 20, five
+retries), executes it, and reports :class:`RunMetrics`.
+
+:class:`WorkflowExecution` is the reusable unit: several executions can
+share one testbed and one policy service, which is how the multi-workflow
+experiments (cross-workflow de-duplication, shared staged files, cleanup
+protection) are run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.engine import CleanupTool, ClusterScheduler, DAGMan, PegasusTransferTool, StorageTracker
+from repro.experiments.environment import Testbed, TestbedParams, build_testbed
+from repro.metrics.collectors import RunMetrics
+from repro.planner import JobKind, Planner, PlanOptions
+from repro.policy import InProcessPolicyClient, PolicyConfig, PolicyService
+from repro.workflow.dag import Workflow
+from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+__all__ = [
+    "ExperimentConfig",
+    "WorkflowExecution",
+    "run_cell",
+    "run_replicates",
+    "run_workflow",
+    "run_concurrent_workflows",
+    "run_ensemble",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell (defaults = the paper's Pegasus configuration)."""
+
+    extra_file_mb: float = 100.0
+    default_streams: int = 4
+    policy: Optional[str] = "greedy"      # None = default Pegasus (no policy)
+    threshold: int = 50
+    cluster_factor: Optional[int] = None  # paper: no clustering
+    cluster_threshold: Optional[int] = None
+    priority_algorithm: Optional[str] = None
+    order_by: str = "urls"
+    job_limit: int = 20                   # paper: local job limit of 20
+    retries: int = 5                      # paper: five retries per job
+    cleanup: bool = True                  # paper: cleanup enabled
+    cluster_scope: str = "job"            # balanced cluster identity
+    adaptive: bool = False                # runtime threshold adaptation
+    remote_inputs: bool = False           # place ALL inputs on the remote VM
+    max_staging_bytes: Optional[float] = None  # storage-constrained staging
+    output_site: Optional[str] = None     # stage final outputs to this site
+    n_images: int = 89                    # paper: 89 data staging jobs
+    seed: int = 0
+    testbed: TestbedParams = field(default_factory=TestbedParams)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)
+
+
+def build_policy_client(
+    cfg: ExperimentConfig, bed: Testbed
+) -> Optional[InProcessPolicyClient]:
+    """The in-simulation policy client for a cell (None when policy off)."""
+    if cfg.policy is None:
+        return None
+    service = PolicyService(
+        PolicyConfig(
+            policy=cfg.policy,
+            default_streams=cfg.default_streams,
+            max_streams=cfg.threshold,
+            cluster_count=cfg.cluster_factor if cfg.policy == "balanced" else None,
+            cluster_threshold=cfg.cluster_threshold,
+            order_by=cfg.order_by,
+            adaptive=cfg.adaptive,
+        ),
+        clock=lambda: bed.env.now,
+    )
+    return InProcessPolicyClient(service, bed.env, latency=cfg.testbed.policy_latency)
+
+
+class WorkflowExecution:
+    """One planned workflow wired to a testbed, ready to execute.
+
+    Several executions may share a testbed (same fabric/clock) and a
+    policy client (same policy memory) — the multi-workflow setting of
+    the paper.
+    """
+
+    def __init__(
+        self,
+        cfg: ExperimentConfig,
+        workflow: Workflow,
+        bed: Testbed,
+        policy: Optional[InProcessPolicyClient] = None,
+    ):
+        self.cfg = cfg
+        self.bed = bed
+        self.policy = policy
+        bed.register_workflow_inputs(workflow, remote_all=cfg.remote_inputs)
+
+        planner = Planner(bed.sites, bed.transformations, bed.replicas)
+        self.plan = planner.plan(
+            workflow,
+            "isi",
+            PlanOptions(
+                cleanup=cfg.cleanup,
+                cluster_factor=cfg.cluster_factor,
+                priority_algorithm=cfg.priority_algorithm,
+                max_staging_bytes=cfg.max_staging_bytes,
+                output_site=cfg.output_site,
+            ),
+        )
+        if policy is not None and cfg.priority_algorithm is not None:
+            priorities = {
+                job.id: job.priority for job in self.plan.jobs.values() if job.priority
+            }
+            policy.service.register_priorities(self.plan.workflow_id, priorities)
+
+        self.scheduler = ClusterScheduler(
+            bed.env, bed.sites.get("isi").slots, submit_overhead=cfg.testbed.submit_overhead
+        )
+        self.storage = StorageTracker(
+            bed.env, site="isi", capacity=cfg.testbed.scratch_capacity
+        )
+        self.ptt = PegasusTransferTool(
+            bed.gridftp,
+            policy=policy,
+            default_streams=cfg.default_streams,
+            replicas=bed.replicas,
+            host_site=bed.host_site,
+            cluster_scope=cfg.cluster_scope,
+            storage=self.storage,
+        )
+        self.cleaner = CleanupTool(
+            bed.env,
+            policy=policy,
+            replicas=bed.replicas,
+            host_site=bed.host_site,
+            storage=self.storage,
+        )
+        # Keyed by workflow *name* (not the globally-counted plan id) so a
+        # given seed reproduces identical runtimes across process lifetimes.
+        compute_rng = bed.rng.stream(f"compute:{self.plan.name}")
+
+        def run_compute(workflow_id: str, job):
+            runtime = bed.transformations.get(job.transform).sample(compute_rng)
+            yield from self.scheduler.run_job(runtime, priority=job.priority)
+            for lfn, nbytes in job.output_files:
+                self.storage.add(lfn, nbytes)
+
+        def run_staging(workflow_id: str, job):
+            yield from self.ptt.execute(workflow_id, job)
+
+        def run_cleanup(workflow_id: str, job):
+            yield from self.cleaner.execute(workflow_id, job)
+
+        self.dagman = DAGMan(
+            bed.env,
+            self.plan,
+            runners={
+                JobKind.COMPUTE: run_compute,
+                JobKind.STAGE_IN: run_staging,
+                JobKind.STAGE_OUT: run_staging,
+                JobKind.CLEANUP: run_cleanup,
+            },
+            throttles={JobKind.STAGE_IN: cfg.job_limit},
+            retries=cfg.retries,
+        )
+        self.result = None
+
+    def start(self, delay: float = 0.0):
+        """Launch the run as a DES process; returns the process event."""
+        def driver():
+            if delay > 0:
+                yield self.bed.env.timeout(delay)
+            self.result = yield self.bed.env.process(
+                self.dagman.run(), name=f"dagman-{self.plan.workflow_id}"
+            )
+            if self.policy is not None:
+                self.policy.service.unregister_workflow(self.plan.workflow_id)
+            return self.result
+
+        return self.bed.env.process(driver(), name=f"exec-{self.plan.workflow_id}")
+
+    def metrics(self) -> RunMetrics:
+        """Collect metrics (after the run's process completed)."""
+        if self.result is None:
+            raise RuntimeError("execution has not finished")
+        result, ptt, policy = self.result, self.ptt, self.policy
+        self.storage.finish()
+        stage_records = list(ptt.records)
+        staging_time = (
+            max(r.t_end for r in stage_records) - min(r.t_start for r in stage_records)
+            if stage_records
+            else 0.0
+        )
+        compute_records = result.by_kind(JobKind.COMPUTE)
+        return RunMetrics(
+            workflow_id=self.plan.workflow_id,
+            success=result.success,
+            makespan=result.makespan,
+            staging_time=staging_time,
+            compute_time=sum(r.duration for r in compute_records),
+            bytes_staged=sum(r.bytes_moved for r in stage_records),
+            transfers_executed=sum(r.executed for r in stage_records),
+            transfers_skipped=sum(r.skipped for r in stage_records),
+            transfers_waited=sum(r.waited for r in stage_records),
+            peak_streams=dict(self.bed.fabric.peak_streams),
+            stream_grants=[
+                s
+                for r in sorted(stage_records, key=lambda r: r.t_start)
+                for s in r.streams_used
+            ],
+            policy_calls=policy.calls if policy else 0,
+            policy_overhead=policy.time_in_calls if policy else 0.0,
+            policy_stats=dict(policy.service.stats) if policy else {},
+            job_durations={
+                kind.value: [r.duration for r in result.by_kind(kind)]
+                for kind in JobKind
+            },
+            peak_footprint=self.storage.peak,
+            final_footprint=self.storage.used,
+            over_capacity_time=self.storage.over_capacity_time,
+        )
+
+
+def run_workflow(
+    cfg: ExperimentConfig,
+    workflow: Workflow,
+    bed: Optional[Testbed] = None,
+    policy_client: Optional[InProcessPolicyClient] = None,
+) -> RunMetrics:
+    """Plan + execute one workflow; fresh testbed/policy unless provided."""
+    bed = bed or build_testbed(cfg.testbed, seed=cfg.seed)
+    policy = policy_client if policy_client is not None else build_policy_client(cfg, bed)
+    execution = WorkflowExecution(cfg, workflow, bed, policy)
+    process = execution.start()
+    bed.env.run(until=process)
+    return execution.metrics()
+
+
+def run_concurrent_workflows(
+    cfg: ExperimentConfig,
+    workflows: Sequence[Workflow],
+    stagger: float = 0.0,
+    share_policy: bool = True,
+) -> list[RunMetrics]:
+    """Run several workflows concurrently on one testbed.
+
+    With ``share_policy`` they all consult one Policy Service instance —
+    the setting in which cross-workflow de-duplication and cleanup
+    protection matter.  ``stagger`` delays each workflow's start by its
+    index times that many seconds.
+    """
+    bed = build_testbed(cfg.testbed, seed=cfg.seed)
+    shared = build_policy_client(cfg, bed) if share_policy else None
+    executions = []
+    processes = []
+    for idx, workflow in enumerate(workflows):
+        policy = shared if share_policy else build_policy_client(cfg, bed)
+        execution = WorkflowExecution(cfg, workflow, bed, policy)
+        executions.append(execution)
+        processes.append(execution.start(delay=idx * stagger))
+    done = bed.env.all_of(processes)
+    bed.env.run(until=done)
+    return [execution.metrics() for execution in executions]
+
+
+def run_cell(cfg: ExperimentConfig) -> RunMetrics:
+    """Run the paper's augmented Montage workload for one cell."""
+    workflow = augmented_montage(
+        cfg.extra_file_mb * MB,
+        MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
+    )
+    return run_workflow(cfg, workflow)
+
+
+def run_replicates(cfg: ExperimentConfig, replicates: int = 3) -> list[RunMetrics]:
+    """Run a cell several times with distinct seeds (paper: >= 5 runs)."""
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    return [run_cell(cfg.with_seed(cfg.seed * 1000 + i)) for i in range(replicates)]
+
+
+def run_ensemble(
+    cfg: ExperimentConfig,
+    workflows: Sequence[Workflow],
+    max_concurrent: int = 2,
+    share_policy: bool = True,
+) -> list[RunMetrics]:
+    """Run a queue of workflows with bounded concurrency on one testbed.
+
+    The ensemble manager admits the next queued workflow as soon as a
+    running one finishes (FIFO), all against one fabric and — with
+    ``share_policy`` — one Policy Service, the multi-workflow deployment
+    the paper's future work targets.
+    """
+    if max_concurrent < 1:
+        raise ValueError("max_concurrent must be >= 1")
+    from repro.des import Resource
+
+    bed = build_testbed(cfg.testbed, seed=cfg.seed)
+    shared = build_policy_client(cfg, bed) if share_policy else None
+    slots = Resource(bed.env, capacity=max_concurrent)
+    executions: list[WorkflowExecution] = []
+    for workflow in workflows:
+        policy = shared if share_policy else build_policy_client(cfg, bed)
+        executions.append(WorkflowExecution(cfg, workflow, bed, policy))
+
+    def admit(execution: WorkflowExecution):
+        request = slots.request()
+        yield request
+        try:
+            yield execution.start()
+        finally:
+            slots.release(request)
+
+    processes = [
+        bed.env.process(admit(execution), name=f"admit-{i}")
+        for i, execution in enumerate(executions)
+    ]
+    bed.env.run(until=bed.env.all_of(processes))
+    return [execution.metrics() for execution in executions]

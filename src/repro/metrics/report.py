@@ -1,0 +1,66 @@
+"""Plain-text reporting: tables and ASCII plots for experiment series.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers render them readably in a terminal (no plotting
+dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.collectors import Series
+
+__all__ = ["format_series_table", "ascii_series_plot"]
+
+
+def format_series_table(title: str, x_label: str, series_list: Sequence[Series]) -> str:
+    """A table with one row per x and mean±std columns per series."""
+    if not series_list:
+        raise ValueError("need at least one series")
+    xs = series_list[0].xs
+    for s in series_list:
+        if s.xs != xs:
+            raise ValueError(f"series {s.label!r} has mismatched x values")
+    header = [x_label] + [s.label for s in series_list]
+    widths = [max(len(h), 12) for h in header]
+    lines = [title, ""]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for i, x in enumerate(xs):
+        cells = [str(x).ljust(widths[0])]
+        for s, w in zip(series_list, widths[1:]):
+            mean, std = s.at(x)
+            cells.append(f"{mean:10.1f} ±{std:6.1f}".ljust(w))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_series_plot(
+    title: str, series_list: Sequence[Series], width: int = 60, height: int = 16
+) -> str:
+    """Rough terminal scatter/line plot of series means vs x index."""
+    if not series_list:
+        raise ValueError("need at least one series")
+    marks = "ox+*#@%&"
+    all_means = [m for s in series_list for m in s.means()]
+    lo, hi = min(all_means), max(all_means)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = max(len(s.xs) for s in series_list)
+    for si, s in enumerate(series_list):
+        for xi, mean in enumerate(s.means()):
+            col = int(xi / max(n - 1, 1) * (width - 1))
+            row = height - 1 - int((mean - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marks[si % len(marks)]
+    lines = [title]
+    lines.append(f"{hi:10.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.1f} +" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} = {s.label}" for i, s in enumerate(series_list)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Per-stream throughput model (the "TCP physics" of the simulation).
+
+Three effects, each with an explicit rationale and a calibration target in
+the paper's results (see DESIGN.md §5):
+
+1. **Window cap** — one stream reaches at most ``stream_rate_cap`` on a
+   link (TCP window / RTT product).  Aggregate rate grows roughly linearly
+   with total streams until the pipe fills.  Consequence: once ~a dozen
+   streams are active on the paper's WAN, adding *default streams per
+   transfer* changes little (the flat curves of Fig. 5).
+
+2. **Congestion knee** — past ``knee`` total concurrent streams, loss,
+   retransmission, and endpoint pressure (GridFTP server VM, NFS at the
+   destination) reduce aggregate efficiency linearly down to a floor.
+   Consequence: greedy thresholds of 100/200 (allocating 103–203 streams)
+   underperform a threshold of 50 (57–65 streams) for mid-size files
+   (Figs. 7–8).
+
+3. **Setup & ramp** — each transfer pays a control-channel setup, a
+   per-stream connection establishment, and a slow-start ramp whose
+   length grows with the number of streams already active.  These
+   per-transfer costs dominate for small files and vanish relative to the
+   ``bytes/capacity`` floor for 1 GB files (Fig. 9's "no clear advantage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Link
+
+__all__ = ["StreamModel"]
+
+
+@dataclass
+class StreamModel:
+    """Tunable constants for transfer setup/ramp behaviour.
+
+    Parameters
+    ----------
+    session_setup:
+        Seconds to establish a transfer session (control channel, auth).
+    stream_setup:
+        Additional seconds per parallel stream opened.
+    ramp_time:
+        Base slow-start ramp duration for an uncontended route.  The
+        effective ramp grows with contention:
+        ``ramp_time * (1 + total_streams / ramp_ref)``; during the ramp
+        the transfer moves no data (a pure latency approximation that
+        keeps the fluid model piecewise linear).
+    ramp_ref:
+        Stream count at which contention doubles the ramp.
+    """
+
+    session_setup: float = 1.0
+    stream_setup: float = 0.15
+    ramp_time: float = 1.0
+    ramp_ref: float = 50.0
+
+    def __post_init__(self) -> None:
+        if min(self.session_setup, self.stream_setup, self.ramp_time) < 0:
+            raise ValueError("setup/ramp times must be non-negative")
+        if self.ramp_ref <= 0:
+            raise ValueError("ramp_ref must be positive")
+
+    def setup_delay(
+        self,
+        streams: int,
+        total_streams_on_route: int,
+        session_established: bool = False,
+    ) -> float:
+        """Latency before a transfer's data starts to move.
+
+        ``total_streams_on_route`` counts streams already active on the
+        route (excluding this transfer's own).  ``session_established``
+        skips the control-channel setup — the efficiency the paper gains
+        by grouping transfers with the same source and destination into a
+        single transfer-client session.
+        """
+        if streams < 1:
+            raise ValueError("a transfer uses at least one stream")
+        ramp = self.ramp_time * (1.0 + total_streams_on_route / self.ramp_ref)
+        session = 0.0 if session_established else self.session_setup
+        return session + self.stream_setup * streams + ramp
+
+
+def congestion_factor(link: Link, total_streams: int) -> float:
+    """Efficiency multiplier on ``link`` when ``total_streams`` are active.
+
+    1.0 up to the knee; a rational decline past it, clamped at the floor:
+
+    ``f = max(floor, 1 / (1 + slope * (S - knee) / knee))``  for S > knee.
+
+    The rational form is concave: the first streams past the knee hurt
+    most (loss synchronization sets in), while far past the knee each
+    additional stream adds little — matching the paper's observation that
+    a threshold of 200 is markedly worse than 50 yet not catastrophic.
+    """
+    if total_streams < 0:
+        raise ValueError("total_streams must be >= 0")
+    if link.knee is None or total_streams <= link.knee:
+        return 1.0
+    excess = (total_streams - link.knee) / link.knee
+    return max(link.congestion_floor, 1.0 / (1.0 + link.congestion_slope * excess))
+
+
+def effective_capacity(link: Link, total_streams: int) -> float:
+    """Aggregate bytes/second the link delivers at this contention level."""
+    return link.capacity * congestion_factor(link, total_streams)

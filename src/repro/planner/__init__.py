@@ -1,0 +1,41 @@
+"""Pegasus-like planner: abstract workflow -> executable workflow.
+
+The planner maps compute jobs onto an execution site and inserts the
+auxiliary jobs Pegasus adds during its planning phase:
+
+* **stage-in** jobs that move external input files to the site's scratch
+  (one stage-in job per compute job with remote inputs, matching the
+  paper's "no clustering" configuration);
+* **stage-out** jobs that move workflow outputs to an output site;
+* **cleanup** jobs that delete files no longer needed by the remaining
+  execution (enabled in the paper's runs);
+* optional **horizontal clustering** of data staging jobs by level with a
+  clustering factor (paper Fig. 2).
+
+The executable workflow is a plain DAG of :class:`ExecutableJob` with
+explicit edges and per-job categories used by the DAGMan-like engine for
+throttling (the paper's "local job limit of 20" applies to data staging).
+"""
+
+from repro.planner.clustering import cluster_staging_jobs
+from repro.planner.executable import (
+    ExecutableJob,
+    ExecutableWorkflow,
+    JobKind,
+    PlanningError,
+    TransferSpec,
+)
+from repro.planner.planner import Planner, PlanOptions
+from repro.planner.storage_aware import constrain_staging_footprint
+
+__all__ = [
+    "ExecutableJob",
+    "ExecutableWorkflow",
+    "JobKind",
+    "PlanOptions",
+    "Planner",
+    "PlanningError",
+    "TransferSpec",
+    "cluster_staging_jobs",
+    "constrain_staging_footprint",
+]

@@ -1,0 +1,145 @@
+"""Runtime-adaptive stream thresholds.
+
+The paper's service gives advice "based on its knowledge of ongoing
+transfers, recent data transfer performance, and the current allocation of
+resources", and its future work proposes learning the best threshold.
+:class:`AdaptiveThresholdController` implements the runtime half of that:
+a per-host-pair duplex hill climber that compares the aggregate throughput
+achieved over successive *byte quotas* and moves the pair's threshold in
+whichever direction improved it — no prior knowledge of the path's
+congestion knee required.
+
+Byte-quota epochs (close an epoch after ``epoch_bytes`` of completed
+transfers, not after fixed wall time) make the throughput signal robust to
+the bursty, wave-like completion pattern of throttled staging: every
+measurement spans a substantial amount of data.
+
+Movement is AIMD-flavoured: decreases are multiplicative (escape an
+over-allocated regime quickly — the dangerous side, where congestion
+collapses throughput), increases are additive (probe for spare capacity
+gently).
+
+The controller plugs into :class:`~repro.policy.service.PolicyService`
+(enable with ``PolicyConfig(adaptive=True)``): every completion report
+feeds it, and its decisions update the ``HostPairFact.threshold`` that the
+greedy rules enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["AdaptiveThresholdController", "AdaptiveSettings"]
+
+
+@dataclass(frozen=True)
+class AdaptiveSettings:
+    """Tuning constants of the adaptive controller.
+
+    ``epoch_bytes``: completed-transfer bytes per decision epoch.
+    ``min_epoch``: minimum seconds per epoch (guards tiny-interval noise).
+    ``step_up``: additive threshold increase when probing upward.
+    ``down_factor``: multiplicative decrease fraction when moving down.
+    ``tolerance``: relative throughput drop treated as a real regression.
+    ``min_threshold`` / ``max_threshold``: search bounds.
+    """
+
+    epoch_bytes: float = 2e9
+    min_epoch: float = 20.0
+    step_up: int = 10
+    down_factor: float = 0.15
+    tolerance: float = 0.05
+    min_threshold: int = 10
+    max_threshold: int = 300
+
+    def __post_init__(self) -> None:
+        if self.epoch_bytes <= 0:
+            raise ValueError("epoch_bytes must be positive")
+        if self.min_epoch < 0:
+            raise ValueError("min_epoch must be >= 0")
+        if self.step_up < 1:
+            raise ValueError("step_up must be >= 1")
+        if not 0 < self.down_factor < 1:
+            raise ValueError("down_factor must be in (0, 1)")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        if not 1 <= self.min_threshold <= self.max_threshold:
+            raise ValueError("need 1 <= min_threshold <= max_threshold")
+
+
+@dataclass
+class _PairState:
+    threshold: int
+    epoch_start: float
+    epoch_bytes: float = 0.0
+    prev_rate: Optional[float] = None
+    direction: int = -1  # first move probes downward (the safe side)
+    history: list[tuple[float, int, float]] = field(default_factory=list)
+
+
+class AdaptiveThresholdController:
+    """Duplex threshold search from observed aggregate throughput."""
+
+    def __init__(self, initial_threshold: int, settings: Optional[AdaptiveSettings] = None):
+        if initial_threshold < 1:
+            raise ValueError("initial_threshold must be >= 1")
+        self.initial_threshold = initial_threshold
+        self.settings = settings if settings is not None else AdaptiveSettings()
+        if not isinstance(self.settings, AdaptiveSettings):
+            raise TypeError("settings must be an AdaptiveSettings instance")
+        self._pairs: dict[tuple[str, str], _PairState] = {}
+        self.adjustments = 0
+
+    def threshold_for(self, src_host: str, dst_host: str, now: float) -> int:
+        """Current threshold for a pair (creates tracking state lazily)."""
+        return self._state((src_host, dst_host), now).threshold
+
+    def observe(self, src_host: str, dst_host: str, nbytes: float, now: float) -> Optional[int]:
+        """Feed one completed transfer; returns the new threshold when the
+        epoch's byte quota closed and the controller moved, else None."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        cfg = self.settings
+        state = self._state((src_host, dst_host), now)
+        state.epoch_bytes += nbytes
+        elapsed = now - state.epoch_start
+        if state.epoch_bytes < cfg.epoch_bytes or elapsed < cfg.min_epoch or elapsed <= 0:
+            return None
+
+        rate = state.epoch_bytes / elapsed
+        if state.prev_rate is not None:
+            if rate < state.prev_rate * (1.0 - cfg.tolerance):
+                state.direction = -state.direction  # last move hurt: reverse
+            elif rate <= state.prev_rate * (1.0 + cfg.tolerance) and state.direction > 0:
+                # Plateau while probing upward: more streams bought nothing,
+                # so prefer the cheaper side (fewer resources, same rate).
+                state.direction = -1
+        if state.direction < 0:
+            decrease = max(cfg.step_up, int(cfg.down_factor * state.threshold))
+            new_threshold = max(cfg.min_threshold, state.threshold - decrease)
+        else:
+            new_threshold = min(cfg.max_threshold, state.threshold + cfg.step_up)
+
+        decided: Optional[int] = None
+        if new_threshold != state.threshold:
+            state.threshold = new_threshold
+            decided = new_threshold
+            self.adjustments += 1
+        state.prev_rate = rate
+        state.epoch_start = now
+        state.epoch_bytes = 0.0
+        state.history.append((now, state.threshold, rate))
+        return decided
+
+    def history(self, src_host: str, dst_host: str) -> list[tuple[float, int, float]]:
+        """(time, threshold, epoch throughput) decision trace for a pair."""
+        state = self._pairs.get((src_host, dst_host))
+        return list(state.history) if state else []
+
+    def _state(self, key: tuple[str, str], now: float) -> _PairState:
+        state = self._pairs.get(key)
+        if state is None:
+            state = _PairState(threshold=self.initial_threshold, epoch_start=now)
+            self._pairs[key] = state
+        return state

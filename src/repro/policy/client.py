@@ -1,0 +1,167 @@
+"""Policy Service clients.
+
+Two clients with matching vocabularies:
+
+* :class:`HTTPPolicyClient` — a blocking client for the real REST frontend
+  (:mod:`repro.policy.rest`), used by deployments and the REST tests.
+* :class:`InProcessPolicyClient` — the client used *inside simulations*:
+  it calls the service directly but charges a configurable service-call
+  latency on the simulation clock (the paper notes that consulting an
+  external service "incurs overheads for the service calls").  Its methods
+  are DES process generators, invoked with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Iterable, Optional
+
+from repro.des.core import Environment
+from repro.policy.model import CleanupAdvice, TransferAdvice
+from repro.policy.service import PolicyService
+
+__all__ = ["HTTPPolicyClient", "InProcessPolicyClient"]
+
+
+class HTTPPolicyClient:
+    """Blocking JSON/HTTP client for :class:`PolicyRestServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, path: str, payload: dict) -> dict:
+        data = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    def _get(self, path: str) -> dict:
+        with urllib.request.urlopen(
+            f"{self.base_url}{path}", timeout=self.timeout
+        ) as response:
+            return json.loads(response.read())
+
+    # -- API ----------------------------------------------------------------
+    def submit_transfers(self, workflow: str, job: str, transfers: list[dict]) -> list[TransferAdvice]:
+        doc = self._post(
+            "/policy/transfers",
+            {"workflow": workflow, "job": job, "transfers": transfers},
+        )
+        return [TransferAdvice.from_dict(a) for a in doc["advice"]]
+
+    def complete_transfers(self, done: Iterable[int] = (), failed: Iterable[int] = ()) -> dict:
+        return self._post(
+            "/policy/transfers/complete", {"done": list(done), "failed": list(failed)}
+        )
+
+    def submit_cleanups(self, workflow: str, job: str, files: list[tuple[str, str]]) -> list[CleanupAdvice]:
+        doc = self._post(
+            "/policy/cleanups",
+            {
+                "workflow": workflow,
+                "job": job,
+                "files": [{"lfn": lfn, "url": url} for lfn, url in files],
+            },
+        )
+        return [CleanupAdvice.from_dict(a) for a in doc["advice"]]
+
+    def complete_cleanups(self, ids: Iterable[int]) -> dict:
+        return self._post("/policy/cleanups/complete", {"ids": list(ids)})
+
+    def staging_state(self, lfn: str, url: str) -> str:
+        return self._post("/policy/staging", {"lfn": lfn, "url": url})["state"]
+
+    def transfer_state(self, tid: int) -> str:
+        return self._get(f"/policy/transfers/{tid}")["state"]
+
+    def register_priorities(self, workflow: str, priorities: dict) -> dict:
+        return self._post(
+            "/policy/priorities", {"workflow": workflow, "priorities": priorities}
+        )
+
+    def unregister_workflow(self, workflow: str) -> dict:
+        return self._post("/policy/workflows/unregister", {"workflow": workflow})
+
+    def deny_host(self, host: str, direction: str = "any", reason: str = "") -> dict:
+        return self._post(
+            "/policy/denials", {"host": host, "direction": direction, "reason": reason}
+        )
+
+    def allow_host(self, host: str) -> dict:
+        return self._post("/policy/denials/remove", {"host": host})
+
+    def set_quota(self, workflow: str, max_bytes: float) -> dict:
+        return self._post(
+            "/policy/quotas", {"workflow": workflow, "max_bytes": max_bytes}
+        )
+
+    def status(self) -> dict:
+        return self._get("/policy/status")
+
+
+class InProcessPolicyClient:
+    """Simulation-side client: direct service calls + simulated latency.
+
+    Every method is a generator to be driven with ``yield from`` inside a
+    DES process; each call costs ``latency`` seconds of simulated time
+    (HTTP round trip + rule evaluation, the paper's service-call overhead).
+    """
+
+    def __init__(
+        self,
+        service: PolicyService,
+        env: Environment,
+        latency: float = 0.05,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.service = service
+        self.env = env
+        self.latency = latency
+        self.calls = 0
+        self.time_in_calls = 0.0
+
+    def _charge(self):
+        self.calls += 1
+        self.time_in_calls += self.latency
+        if self.latency > 0:
+            yield self.env.timeout(self.latency)
+
+    def submit_transfers(self, workflow: str, job: str, transfers: list[dict]):
+        yield from self._charge()
+        return self.service.submit_transfers(workflow, job, transfers)
+
+    def complete_transfers(self, done=(), failed=()):
+        yield from self._charge()
+        return self.service.complete_transfers(done=done, failed=failed)
+
+    def submit_cleanups(self, workflow: str, job: str, files):
+        yield from self._charge()
+        return self.service.submit_cleanups(workflow, job, files)
+
+    def complete_cleanups(self, ids):
+        yield from self._charge()
+        return self.service.complete_cleanups(ids)
+
+    def staging_state(self, lfn: str, url: str):
+        yield from self._charge()
+        return self.service.staging_state(lfn, url)
+
+    def transfer_state(self, tid: int):
+        yield from self._charge()
+        return self.service.transfer_state(tid)
+
+    def register_priorities(self, workflow: str, priorities: dict):
+        yield from self._charge()
+        return self.service.register_priorities(workflow, priorities)
+
+    def unregister_workflow(self, workflow: str):
+        yield from self._charge()
+        return self.service.unregister_workflow(workflow)

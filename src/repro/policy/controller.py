@@ -1,0 +1,145 @@
+"""The Policy Controller: request validation and translation.
+
+In the paper's architecture the Policy Controller "manages communication
+between the web interface and the policy engine".  Here it is the layer
+that accepts JSON-able dict payloads (from the REST frontend or any other
+transport), validates them, delegates to :class:`PolicyService`, and
+returns JSON-able dict responses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.policy.service import PolicyService
+
+__all__ = ["PolicyController", "PolicyRequestError"]
+
+
+class PolicyRequestError(ValueError):
+    """A malformed request payload (maps to HTTP 400)."""
+
+
+def _require(payload: dict, key: str, types: tuple = (str,)) -> Any:
+    if not isinstance(payload, dict):
+        raise PolicyRequestError(f"payload must be an object, got {type(payload).__name__}")
+    if key not in payload:
+        raise PolicyRequestError(f"missing required field {key!r}")
+    value = payload[key]
+    if not isinstance(value, types):
+        raise PolicyRequestError(
+            f"field {key!r} must be {'/'.join(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+class PolicyController:
+    """Dict-in / dict-out facade over a :class:`PolicyService`."""
+
+    def __init__(self, service: PolicyService):
+        self.service = service
+
+    # -- transfers ---------------------------------------------------------
+    def submit_transfers(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        job = _require(payload, "job")
+        transfers = _require(payload, "transfers", (list,))
+        specs = []
+        for idx, item in enumerate(transfers):
+            if not isinstance(item, dict):
+                raise PolicyRequestError(f"transfers[{idx}] must be an object")
+            for field in ("lfn", "src_url", "dst_url"):
+                _require(item, field)
+            nbytes = item.get("nbytes", 0)
+            if not isinstance(nbytes, (int, float)) or nbytes < 0:
+                raise PolicyRequestError(f"transfers[{idx}].nbytes must be >= 0")
+            streams = item.get("streams")
+            if streams is not None and (not isinstance(streams, int) or streams < 1):
+                raise PolicyRequestError(f"transfers[{idx}].streams must be int >= 1")
+            specs.append(item)
+        advice = self.service.submit_transfers(workflow, job, specs)
+        return {"workflow": workflow, "job": job, "advice": [a.to_dict() for a in advice]}
+
+    def complete_transfers(self, payload: dict) -> dict:
+        done = payload.get("done", [])
+        failed = payload.get("failed", [])
+        for name, ids in (("done", done), ("failed", failed)):
+            if not isinstance(ids, list) or not all(isinstance(i, int) for i in ids):
+                raise PolicyRequestError(f"field {name!r} must be a list of transfer ids")
+        return self.service.complete_transfers(done=done, failed=failed)
+
+    def transfer_state(self, tid: int) -> dict:
+        if not isinstance(tid, int):
+            raise PolicyRequestError("transfer id must be an integer")
+        return {"tid": tid, "state": self.service.transfer_state(tid)}
+
+    def staging_state(self, payload: dict) -> dict:
+        lfn = _require(payload, "lfn")
+        url = _require(payload, "url")
+        return {"lfn": lfn, "url": url, "state": self.service.staging_state(lfn, url)}
+
+    # -- cleanups ------------------------------------------------------------
+    def submit_cleanups(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        job = _require(payload, "job")
+        files = _require(payload, "files", (list,))
+        pairs = []
+        for idx, item in enumerate(files):
+            if not isinstance(item, dict):
+                raise PolicyRequestError(f"files[{idx}] must be an object")
+            pairs.append((_require(item, "lfn"), _require(item, "url")))
+        advice = self.service.submit_cleanups(workflow, job, pairs)
+        return {"workflow": workflow, "job": job, "advice": [a.to_dict() for a in advice]}
+
+    def complete_cleanups(self, payload: dict) -> dict:
+        ids = _require(payload, "ids", (list,))
+        if not all(isinstance(i, int) for i in ids):
+            raise PolicyRequestError("field 'ids' must be a list of cleanup ids")
+        return self.service.complete_cleanups(ids)
+
+    # -- access control -------------------------------------------------------
+    def deny_host(self, payload: dict) -> dict:
+        host = _require(payload, "host")
+        direction = payload.get("direction", "any")
+        if direction not in ("src", "dst", "any"):
+            raise PolicyRequestError("direction must be src/dst/any")
+        try:
+            self.service.deny_host(host, direction, payload.get("reason", ""))
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+        return {"host": host, "direction": direction, "denied": True}
+
+    def allow_host(self, payload: dict) -> dict:
+        host = _require(payload, "host")
+        return {"host": host, "removed": self.service.allow_host(host)}
+
+    def set_quota(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        max_bytes = _require(payload, "max_bytes", (int, float))
+        if max_bytes < 0:
+            raise PolicyRequestError("max_bytes must be >= 0")
+        try:
+            self.service.set_quota(workflow, float(max_bytes))
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+        return {"workflow": workflow, "max_bytes": max_bytes}
+
+    # -- workflows ----------------------------------------------------------
+    def register_priorities(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        priorities = _require(payload, "priorities", (dict,))
+        for job, value in priorities.items():
+            if not isinstance(value, int):
+                raise PolicyRequestError(f"priority for {job!r} must be an integer")
+        count = self.service.register_priorities(workflow, priorities)
+        return {"workflow": workflow, "registered": count}
+
+    def unregister_workflow(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        self.service.unregister_workflow(workflow)
+        return {"workflow": workflow, "unregistered": True}
+
+    # -- status ---------------------------------------------------------------
+    def status(self) -> dict:
+        return self.service.snapshot()

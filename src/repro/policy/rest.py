@@ -1,0 +1,155 @@
+"""RESTful web interface of the Policy Service.
+
+The paper deploys the service in an Apache Tomcat container behind a
+RESTful interface exchanging XML/JSON.  We serve JSON over HTTP on
+localhost with the Python standard library (no network access needed).
+
+Endpoints
+---------
+==========  ===================================  ===========================
+POST        /policy/transfers                    submit transfer batch
+POST        /policy/transfers/complete           report done/failed ids
+GET         /policy/transfers/<tid>              one transfer's state
+POST        /policy/staging                      staged-state of (lfn, url)
+POST        /policy/cleanups                     submit cleanup batch
+POST        /policy/cleanups/complete            report finished cleanups
+POST        /policy/priorities                   register job priorities
+POST        /policy/workflows/unregister         drop a workflow's interest
+POST        /policy/denials                      ban a host (access control)
+POST        /policy/denials/remove               lift a host ban
+POST        /policy/quotas                       set a workflow's byte quota
+GET         /policy/status                       service snapshot
+==========  ===================================  ===========================
+
+Malformed payloads return 400 with ``{"error": ...}``; unknown paths 404.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.policy.controller import PolicyController, PolicyRequestError
+from repro.policy.service import PolicyService
+
+__all__ = ["PolicyRestServer"]
+
+
+def _make_handler(controller: PolicyController, lock: threading.Lock):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args) -> None:  # silence test output
+            pass
+
+        def _reply(self, code: int, doc: dict) -> None:
+            body = json.dumps(doc).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                doc = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise PolicyRequestError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(doc, dict):
+                raise PolicyRequestError("request body must be a JSON object")
+            return doc
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            try:
+                with lock:
+                    if self.path == "/policy/status":
+                        self._reply(200, controller.status())
+                    elif self.path.startswith("/policy/transfers/"):
+                        tid_text = self.path.rsplit("/", 1)[-1]
+                        if not tid_text.isdigit():
+                            raise PolicyRequestError("transfer id must be an integer")
+                        self._reply(200, controller.transfer_state(int(tid_text)))
+                    else:
+                        self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+            except PolicyRequestError as exc:
+                self._reply(400, {"error": str(exc)})
+
+        def do_POST(self) -> None:  # noqa: N802
+            routes = {
+                "/policy/transfers": controller.submit_transfers,
+                "/policy/transfers/complete": controller.complete_transfers,
+                "/policy/staging": controller.staging_state,
+                "/policy/cleanups": controller.submit_cleanups,
+                "/policy/cleanups/complete": controller.complete_cleanups,
+                "/policy/priorities": controller.register_priorities,
+                "/policy/workflows/unregister": controller.unregister_workflow,
+                "/policy/denials": controller.deny_host,
+                "/policy/denials/remove": controller.allow_host,
+                "/policy/quotas": controller.set_quota,
+            }
+            handler = routes.get(self.path)
+            try:
+                if handler is None:
+                    self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+                    return
+                payload = self._read_json()
+                with lock:
+                    self._reply(200, handler(payload))
+            except PolicyRequestError as exc:
+                self._reply(400, {"error": str(exc)})
+
+    return Handler
+
+
+class PolicyRestServer:
+    """Threaded HTTP frontend around a :class:`PolicyService`.
+
+    Usage::
+
+        server = PolicyRestServer(service)      # port 0 = pick a free port
+        server.start()
+        ... HTTPPolicyClient(server.url) ...
+        server.stop()
+
+    A lock serializes requests into the (single-threaded) rule engine, so
+    concurrent clients are safe.
+    """
+
+    def __init__(self, service: PolicyService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.controller = PolicyController(service)
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self.controller, self._lock)
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PolicyRestServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "PolicyRestServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

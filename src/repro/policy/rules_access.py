@@ -1,0 +1,161 @@
+"""Access-control rules: permit/deny decisions and staging quotas.
+
+The paper positions its service as "a general policy service that can be
+tailored to specific purposes" and cites permit/denial systems
+(MyProxy-style data-movement policies) as related work.  This optional
+rule pack adds that class of policy on top of the Table I rules:
+
+* **host denials** — a VO administrator bans transfers that read from or
+  write to specific hosts;
+* **per-workflow staging quotas** — each workflow may move at most a
+  configured number of bytes through the service; transfers beyond the
+  quota are denied.
+
+Denied transfers are returned to the transfer tool with action
+``"deny"``; unlike a ``skip`` (the file is already there) a denial means
+the data will *not* appear, so the tool fails the staging job.
+"""
+
+from __future__ import annotations
+
+from repro.rules import Fact, Pattern, Rule
+
+from repro.policy.model import TransferFact
+
+__all__ = ["HostDenialFact", "WorkflowQuotaFact", "access_rules"]
+
+#: fires after insertion-ack (90) and before de-duplication (85):
+#: denied transfers never claim resources or streams.
+_ACCESS_SALIENCE = 88
+
+
+class HostDenialFact(Fact):
+    """An administrator ban on a host.
+
+    ``direction``: ``"src"`` (no reads from the host), ``"dst"`` (no
+    writes to it), or ``"any"``.
+    """
+
+    def __init__(self, host: str, direction: str = "any", reason: str = ""):
+        if direction not in ("src", "dst", "any"):
+            raise ValueError(f"direction must be src/dst/any, got {direction!r}")
+        self.host = host
+        self.direction = direction
+        self.reason = reason or f"host {host!r} is denied by policy"
+
+
+class WorkflowQuotaFact(Fact):
+    """A per-workflow byte budget for staging through the service."""
+
+    def __init__(self, workflow: str, max_bytes: float):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.workflow = workflow
+        self.max_bytes = float(max_bytes)
+        self.used_bytes = 0.0
+
+
+def _denied_by_host(denial, bindings) -> bool:
+    t = bindings["t"]
+    if denial.direction in ("src", "any") and t.src_host == denial.host:
+        return True
+    if denial.direction in ("dst", "any") and t.dst_host == denial.host:
+        return True
+    return False
+
+
+def _deny_host(ctx):
+    ctx.update(ctx.t, status="denied", reason=ctx.deny.reason)
+
+
+def _deny_quota(ctx):
+    ctx.update(
+        ctx.t,
+        status="denied",
+        reason=(
+            f"workflow {ctx.t.workflow!r} staging quota exceeded "
+            f"({ctx.quota.used_bytes + ctx.t.nbytes:.0f} > {ctx.quota.max_bytes:.0f} bytes)"
+        ),
+    )
+
+
+def _charge_quota(ctx):
+    ctx.update(ctx.quota, used_bytes=ctx.quota.used_bytes + ctx.t.nbytes)
+    ctx.update(ctx.t, quota_charged=True)
+
+
+def _refund_quota(ctx):
+    ctx.update(
+        ctx.quota,
+        used_bytes=max(0.0, ctx.quota.used_bytes - ctx.t.nbytes),
+    )
+    ctx.update(ctx.t, quota_charged=False)
+
+
+def access_rules() -> list[Rule]:
+    """The access-control rule pack (enable with
+    ``PolicyConfig(access_control=True)``)."""
+    return [
+        Rule(
+            "Refund a failed transfer's quota charge",
+            salience=96,  # before the Table I failure-removal rule (95)
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "failed" and t.quota_charged,
+                ),
+                Pattern(
+                    WorkflowQuotaFact,
+                    "quota",
+                    where=lambda q, b: q.workflow == b["t"].workflow,
+                ),
+            ],
+            then=_refund_quota,
+        ),
+        Rule(
+            "Deny transfers that involve an administratively denied host",
+            salience=_ACCESS_SALIENCE,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(HostDenialFact, "deny", where=_denied_by_host),
+            ],
+            then=_deny_host,
+        ),
+        Rule(
+            "Deny transfers that would exceed their workflow's staging quota",
+            salience=_ACCESS_SALIENCE - 1,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    WorkflowQuotaFact,
+                    "quota",
+                    # A charged transfer's bytes are already inside
+                    # used_bytes — never re-judge it against the budget.
+                    where=lambda q, b: q.workflow == b["t"].workflow
+                    and not b["t"].quota_charged
+                    and q.used_bytes + b["t"].nbytes > q.max_bytes,
+                ),
+            ],
+            then=_deny_quota,
+        ),
+        Rule(
+            "Charge an admitted transfer against its workflow's quota",
+            salience=_ACCESS_SALIENCE - 2,
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new"
+                    and not getattr(t, "quota_charged", False),
+                ),
+                Pattern(
+                    WorkflowQuotaFact,
+                    "quota",
+                    where=lambda q, b: q.workflow == b["t"].workflow
+                    and q.used_bytes + b["t"].nbytes <= q.max_bytes,
+                ),
+            ],
+            then=_charge_quota,
+        ),
+    ]

@@ -1,0 +1,392 @@
+"""Table I — policy rules that apply to all transfers.
+
+Each rule is named after its row in the paper's Table I.  The final row
+("Sort the list of transfers by the source and destination URLs") is an
+ordering concern of the response and is applied by the service when it
+assembles advice (see :meth:`PolicyService.submit_transfers`).
+
+Salience tiers (higher fires first):
+
+====  ====================================================================
+ 95   completion/failure processing (frees streams before new allocation)
+ 90   acknowledge newly inserted transfers
+ 85   de-duplication (within batch, against staged files, against
+      in-flight transfers)
+ 70   resource (staged-file) creation / association
+ 60   host-pair group id generation / assignment
+ 50   default + minimum stream levels
+ 40   (allocation packs: greedy / balanced)
+====  ====================================================================
+"""
+
+from __future__ import annotations
+
+from repro.rules import Absent, Pattern, Rule
+
+from repro.policy.model import (
+    CleanupFact,
+    HostPairFact,
+    StagedFileFact,
+    TransferFact,
+)
+
+__all__ = ["common_rules"]
+
+
+# -- actions ----------------------------------------------------------------
+def _ack_transfer(ctx):
+    ctx.update(ctx.t, status="new")
+
+
+def _skip_batch_duplicate(ctx):
+    ctx.update(ctx.dup, status="skip_duplicate",
+               reason=f"duplicate of transfer {ctx.t.tid} in this request")
+
+
+def _skip_already_staged(ctx):
+    ctx.update(ctx.t, status="skip_staged",
+               reason=f"file already staged at {ctx.r.dst_url}")
+    if ctx.t.workflow not in ctx.r.users:
+        ctx.update(ctx.r, users=ctx.r.users | {ctx.t.workflow})
+
+
+def _wait_for_in_flight(ctx):
+    ctx.update(ctx.t, status="wait", wait_for=ctx.other.tid,
+               reason=f"file being staged by transfer {ctx.other.tid}")
+    if ctx.t.workflow not in ctx.r.users:
+        ctx.update(ctx.r, users=ctx.r.users | {ctx.t.workflow})
+
+
+def _create_resource(ctx):
+    ctx.insert(StagedFileFact(ctx.t.lfn, ctx.t.dst_url, ctx.t.tid, ctx.t.workflow))
+
+
+def _associate_resource(ctx):
+    ctx.update(ctx.r, users=ctx.r.users | {ctx.t.workflow})
+
+
+def _create_host_pair(ctx):
+    next_gid = ctx.globals["group_counter"]
+    ctx.globals["group_counter"] = next_gid + 1
+    ctx.insert(HostPairFact(ctx.t.src_host, ctx.t.dst_host, next_gid))
+
+
+def _assign_group(ctx):
+    ctx.update(ctx.t, group_id=ctx.pair.group_id)
+
+
+def _assign_default_streams(ctx):
+    ctx.update(ctx.t, requested_streams=ctx.globals["config"].default_streams)
+
+
+def _ensure_min_stream(ctx):
+    ctx.update(ctx.t, requested_streams=1)
+
+
+def _release(ctx, t):
+    """Free the streams a finished transfer held ('Record ... against the
+    defined threshold' is undone on completion)."""
+    if t.allocated_streams:
+        for pair in ctx._session.memory.facts_of(HostPairFact):
+            if pair.src_host == t.src_host and pair.dst_host == t.dst_host:
+                ctx.update(pair, allocated=max(0, pair.allocated - t.allocated_streams))
+        from repro.policy.model import ClusterAllocationFact
+
+        for cluster in ctx._session.memory.facts_of(ClusterAllocationFact):
+            if (
+                cluster.src_host == t.src_host
+                and cluster.dst_host == t.dst_host
+                and cluster.cluster == t.cluster
+            ):
+                ctx.update(
+                    cluster, allocated=max(0, cluster.allocated - t.allocated_streams)
+                )
+
+
+def _remove_completed(ctx):
+    t = ctx.t
+    _release(ctx, t)
+    for r in ctx._session.memory.facts_of(StagedFileFact):
+        if r.lfn == t.lfn and r.dst_url == t.dst_url and r.status == "staging":
+            ctx.update(r, status="staged")
+    ctx.retract(t)
+
+
+def _remove_failed(ctx):
+    t = ctx.t
+    _release(ctx, t)
+    for r in ctx._session.memory.facts_of(StagedFileFact):
+        if (
+            r.lfn == t.lfn
+            and r.dst_url == t.dst_url
+            and r.status == "staging"
+            and r.owner_tid == t.tid
+        ):
+            ctx.retract(r)  # the file never arrived; allow restaging
+    ctx.retract(t)
+
+
+# -- cleanup actions -----------------------------------------------------------
+def _ack_cleanup(ctx):
+    ctx.update(ctx.c, status="new")
+
+
+def _skip_duplicate_cleanup(ctx):
+    ctx.update(ctx.c, status="skip_duplicate",
+               reason=f"cleanup {ctx.other.cid} already handling {ctx.c.url}")
+
+
+def _detach_from_resource(ctx):
+    ctx.update(ctx.r, users=ctx.r.users - {ctx.c.workflow})
+    ctx.update(ctx.c, status="detached")
+
+
+def _skip_cleanup_in_use(ctx):
+    ctx.update(ctx.c, status="skip_in_use",
+               reason=f"staged file in use by {sorted(ctx.r.users)}")
+
+
+def _approve_cleanup(ctx):
+    ctx.update(ctx.c, status="approved")
+
+
+def common_rules() -> list[Rule]:
+    """The Table I rule pack (names follow the paper's rows)."""
+    return [
+        # -- completion first: free streams before allocating new ones -----
+        Rule(
+            "Remove a transfer that has completed",
+            salience=95,
+            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "done")],
+            then=_remove_completed,
+        ),
+        Rule(
+            "Remove a transfer that has failed",
+            salience=95,
+            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "failed")],
+            then=_remove_failed,
+        ),
+        # -- insertion acknowledgement --------------------------------------
+        Rule(
+            "Insert new transfers into policy memory",
+            salience=90,
+            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "submitted")],
+            then=_ack_transfer,
+        ),
+        # -- de-duplication ---------------------------------------------------
+        Rule(
+            "Remove duplicate transfers from the transfer list",
+            salience=85,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "dup",
+                    where=lambda d, b: d.status == "new"
+                    and d.tid > b["t"].tid
+                    and d.lfn == b["t"].lfn
+                    and d.dst_url == b["t"].dst_url,
+                ),
+            ],
+            then=_skip_batch_duplicate,
+        ),
+        Rule(
+            "Remove transfers whose file is already staged",
+            salience=84,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    StagedFileFact,
+                    "r",
+                    where=lambda r, b: r.status == "staged"
+                    and r.lfn == b["t"].lfn
+                    and r.dst_url == b["t"].dst_url,
+                ),
+            ],
+            then=_skip_already_staged,
+        ),
+        Rule(
+            "Remove transfers from the transfer list that are already in progress",
+            salience=83,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "other",
+                    where=lambda o, b: o.status == "in_progress"
+                    and o.lfn == b["t"].lfn
+                    and o.dst_url == b["t"].dst_url,
+                ),
+                Pattern(
+                    StagedFileFact,
+                    "r",
+                    where=lambda r, b: r.lfn == b["t"].lfn
+                    and r.dst_url == b["t"].dst_url,
+                ),
+            ],
+            then=_wait_for_in_flight,
+        ),
+        # -- staged-file resources ---------------------------------------------
+        Rule(
+            "Create a resource for a new transfer to track the resulting staged file",
+            salience=70,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Absent(
+                    StagedFileFact,
+                    where=lambda r, b: r.lfn == b["t"].lfn
+                    and r.dst_url == b["t"].dst_url,
+                ),
+            ],
+            then=_create_resource,
+        ),
+        Rule(
+            "Associate a transfer with a resource to track the number of "
+            "workflows using the staged file",
+            salience=65,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    StagedFileFact,
+                    "r",
+                    where=lambda r, b: r.lfn == b["t"].lfn
+                    and r.dst_url == b["t"].dst_url
+                    and b["t"].workflow not in r.users,
+                ),
+            ],
+            then=_associate_resource,
+        ),
+        # -- grouping -------------------------------------------------------------
+        Rule(
+            "Generate a unique group ID for a source and destination host pair",
+            salience=60,
+            when=[
+                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Absent(
+                    HostPairFact,
+                    where=lambda p, b: p.src_host == b["t"].src_host
+                    and p.dst_host == b["t"].dst_host,
+                ),
+            ],
+            then=_create_host_pair,
+        ),
+        Rule(
+            "Assign the group ID to a transfer based on its source and "
+            "destination host pair",
+            salience=55,
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new" and t.group_id is None,
+                ),
+                Pattern(
+                    HostPairFact,
+                    "pair",
+                    where=lambda p, b: p.src_host == b["t"].src_host
+                    and p.dst_host == b["t"].dst_host,
+                ),
+            ],
+            then=_assign_group,
+        ),
+        # -- stream defaults ----------------------------------------------------------
+        Rule(
+            "Assign a default level of parallel streams to a transfer",
+            salience=50,
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new"
+                    and t.requested_streams is None,
+                )
+            ],
+            then=_assign_default_streams,
+        ),
+        Rule(
+            "Ensure each transfer has at least one parallel stream assigned",
+            salience=49,
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new"
+                    and t.requested_streams is not None
+                    and t.requested_streams < 1,
+                )
+            ],
+            then=_ensure_min_stream,
+        ),
+        # -- cleanups ---------------------------------------------------------------
+        Rule(
+            "Insert new cleanups into policy memory",
+            salience=90,
+            when=[Pattern(CleanupFact, "c", where=lambda c, b: c.status == "submitted")],
+            then=_ack_cleanup,
+        ),
+        Rule(
+            "Remove duplicate cleanup requests that are in progress or completed",
+            salience=85,
+            when=[
+                Pattern(CleanupFact, "c", where=lambda c, b: c.status == "new"),
+                Pattern(
+                    CleanupFact,
+                    "other",
+                    where=lambda o, b: o.cid != b["c"].cid
+                    and o.url == b["c"].url
+                    and o.status in ("approved", "in_progress"),
+                ),
+            ],
+            then=_skip_duplicate_cleanup,
+        ),
+        Rule(
+            "Detach a transfer from the resource when it requests to cleanup "
+            "the resource's staged file",
+            salience=80,
+            when=[
+                Pattern(CleanupFact, "c", where=lambda c, b: c.status == "new"),
+                Pattern(
+                    StagedFileFact,
+                    "r",
+                    where=lambda r, b: r.dst_url == b["c"].url
+                    and b["c"].workflow in r.users,
+                ),
+            ],
+            then=_detach_from_resource,
+        ),
+        Rule(
+            "Remove cleanups from the cleanup list that specify resources that "
+            "have other transfers using the staged files",
+            salience=70,
+            when=[
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status in ("new", "detached"),
+                ),
+                Pattern(
+                    StagedFileFact,
+                    "r",
+                    where=lambda r, b: r.dst_url == b["c"].url and len(r.users) > 0,
+                ),
+            ],
+            then=_skip_cleanup_in_use,
+        ),
+        Rule(
+            "Insert new cleanups into policy memory for resources that no "
+            "longer have transfers using their staged files",
+            salience=60,
+            when=[
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status in ("new", "detached"),
+                ),
+                Absent(
+                    StagedFileFact,
+                    where=lambda r, b: r.dst_url == b["c"].url and len(r.users) > 0,
+                ),
+            ],
+            then=_approve_cleanup,
+        ),
+    ]

@@ -1,0 +1,399 @@
+"""The Policy Service: sessions of policy rules over persistent memory.
+
+One :class:`PolicyService` instance corresponds to the paper's deployed
+service: it holds the long-lived **policy memory** (pending transfers,
+staged-file resources, host-pair allocations) and evaluates each incoming
+request batch in a rule session against that memory.  Multiple workflows
+talk to the same service instance — that is how cross-workflow
+de-duplication and safe sharing of staged files happen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.rules import Rule, Session, WorkingMemory
+
+from repro.policy.adaptive import AdaptiveThresholdController
+from repro.policy.model import (
+    CleanupAdvice,
+    CleanupFact,
+    HostPairFact,
+    PolicyConfig,
+    StagedFileFact,
+    TransferAdvice,
+    TransferFact,
+)
+from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact, access_rules
+from repro.policy.rules_balanced import balanced_rules
+from repro.policy.rules_common import common_rules
+from repro.policy.rules_greedy import greedy_rules
+from repro.policy.rules_priority import JobPriorityFact, priority_rules
+
+__all__ = ["PolicyService"]
+
+
+class PolicyService:
+    """The policy engine of paper Fig. 1.
+
+    Parameters
+    ----------
+    config:
+        Policy settings; selects the allocation rule pack
+        (``greedy`` / ``balanced`` / ``fifo``).
+    extra_rules:
+        Additional rules appended to the pack (deployment customization —
+        the paper stresses rules are separated from application logic).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PolicyConfig] = None,
+        extra_rules: Sequence[Rule] = (),
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.config = config or PolicyConfig()
+        #: time source for adaptive epochs — the simulated clock inside a
+        #: simulation, wall time behind the REST frontend
+        self.clock = clock or time.monotonic
+        self.adaptive: Optional[AdaptiveThresholdController] = None
+        if self.config.adaptive:
+            self.adaptive = AdaptiveThresholdController(
+                self.config.max_streams, self.config.adaptive_settings
+            )
+        self.memory = WorkingMemory()
+        self.globals: dict = {"config": self.config, "group_counter": 1}
+        rules = list(common_rules()) + list(priority_rules())
+        if self.config.access_control:
+            rules += access_rules()
+        if self.config.policy == "greedy":
+            rules += greedy_rules()
+        elif self.config.policy == "balanced":
+            rules += balanced_rules()
+        rules += list(extra_rules)
+        self._rules = rules
+        self._tid = itertools.count(1)
+        self._cid = itertools.count(1)
+        self._batch = itertools.count(1)
+        self._done_tids: set[int] = set()
+        self._failed_tids: set[int] = set()
+        self.stats = {
+            "transfer_requests": 0,
+            "transfers_submitted": 0,
+            "transfers_approved": 0,
+            "transfers_skipped": 0,
+            "transfers_waited": 0,
+            "transfers_denied": 0,
+            "cleanup_requests": 0,
+            "cleanups_submitted": 0,
+            "cleanups_approved": 0,
+            "cleanups_skipped": 0,
+            "rule_firings": 0,
+        }
+
+    # ------------------------------------------------------------------ session
+    def _session(self) -> Session:
+        return Session(self._rules, memory=self.memory, globals=self.globals)
+
+    def _fire(self, session: Session) -> None:
+        self.stats["rule_firings"] += session.fire_all()
+
+    # ------------------------------------------------------------------ transfers
+    def submit_transfers(
+        self, workflow: str, job: str, transfers: Iterable[dict]
+    ) -> list[TransferAdvice]:
+        """Evaluate a batch of transfer requests; return per-transfer advice.
+
+        Each request dict needs ``lfn``, ``src_url``, ``dst_url``,
+        ``nbytes``; optional ``streams`` (else the configured default),
+        ``priority`` and ``cluster`` (defaults to the requesting job id,
+        which is the Pegasus cluster identity for clustered staging jobs).
+        """
+        self.stats["transfer_requests"] += 1
+        batch = next(self._batch)
+        session = self._session()
+        specs = list(transfers)
+        if self.config.order_by == "priority":
+            specs.sort(key=lambda s: -int(s.get("priority", 0)))
+        facts: list[TransferFact] = []
+        for spec in specs:
+            fact = TransferFact(
+                tid=next(self._tid),
+                workflow=workflow,
+                job=job,
+                lfn=spec["lfn"],
+                src_url=spec["src_url"],
+                dst_url=spec["dst_url"],
+                nbytes=float(spec.get("nbytes", 0.0)),
+                requested_streams=spec.get("streams"),
+                priority=int(spec.get("priority", 0)),
+                cluster=spec.get("cluster", job),
+                batch=batch,
+            )
+            facts.append(fact)
+            session.insert(fact)
+        self.stats["transfers_submitted"] += len(facts)
+        self._fire(session)
+
+        advice: list[TransferAdvice] = []
+        for fact in facts:
+            if not self.memory.contains(fact):  # pragma: no cover - defensive
+                continue
+            if fact.status == "new":
+                streams = fact.allocated_streams or fact.requested_streams or 1
+                advice.append(
+                    TransferAdvice(
+                        tid=fact.tid,
+                        lfn=fact.lfn,
+                        src_url=fact.src_url,
+                        dst_url=fact.dst_url,
+                        nbytes=fact.nbytes,
+                        action="transfer",
+                        streams=streams,
+                        group_id=fact.group_id or 0,
+                        priority=fact.priority,
+                        reason=fact.reason,
+                    )
+                )
+                self.memory.update(fact, status="in_progress")
+                self.stats["transfers_approved"] += 1
+                if self.adaptive is not None:
+                    # Open the pair's measurement epoch at first submission
+                    # so the first completion has a meaningful elapsed time.
+                    self.adaptive.threshold_for(
+                        fact.src_host, fact.dst_host, self.clock()
+                    )
+            elif fact.status == "wait":
+                advice.append(
+                    TransferAdvice(
+                        tid=fact.tid,
+                        lfn=fact.lfn,
+                        src_url=fact.src_url,
+                        dst_url=fact.dst_url,
+                        nbytes=fact.nbytes,
+                        action="wait",
+                        wait_for=fact.wait_for,
+                        reason=fact.reason,
+                    )
+                )
+                self.memory.retract(fact)
+                self.stats["transfers_waited"] += 1
+            elif fact.status == "denied":
+                advice.append(
+                    TransferAdvice(
+                        tid=fact.tid,
+                        lfn=fact.lfn,
+                        src_url=fact.src_url,
+                        dst_url=fact.dst_url,
+                        nbytes=fact.nbytes,
+                        action="deny",
+                        reason=fact.reason,
+                    )
+                )
+                self.memory.retract(fact)
+                self.stats["transfers_denied"] += 1
+            else:  # skip_duplicate / skip_staged
+                advice.append(
+                    TransferAdvice(
+                        tid=fact.tid,
+                        lfn=fact.lfn,
+                        src_url=fact.src_url,
+                        dst_url=fact.dst_url,
+                        nbytes=fact.nbytes,
+                        action="skip",
+                        reason=fact.reason,
+                    )
+                )
+                self.memory.retract(fact)
+                self.stats["transfers_skipped"] += 1
+
+        return self._order_advice(advice)
+
+    def _order_advice(self, advice: list[TransferAdvice]) -> list[TransferAdvice]:
+        """Order: executable transfers first ("Sort the list of transfers by
+        the source and destination URLs", optionally by priority), then
+        waits, then skips."""
+        rank = {"transfer": 0, "wait": 1, "skip": 2, "deny": 3}
+
+        def key(a: TransferAdvice):
+            if self.config.order_by == "priority":
+                return (rank[a.action], -a.priority, a.src_url, a.dst_url, a.tid)
+            return (rank[a.action], a.src_url, a.dst_url, a.tid)
+
+        return sorted(advice, key=key)
+
+    def complete_transfers(
+        self, done: Iterable[int] = (), failed: Iterable[int] = ()
+    ) -> dict:
+        """Report transfer outcomes; frees streams and updates resources."""
+        done, failed = list(done), list(failed)
+        session = self._session()
+        matched = 0
+        by_tid = {
+            f.tid: f
+            for f in self.memory.facts_of(TransferFact)
+            if f.status == "in_progress"
+        }
+        completed_pairs: list[tuple[str, str, float]] = []
+        for tid in done:
+            if tid in by_tid:
+                fact = by_tid[tid]
+                completed_pairs.append((fact.src_host, fact.dst_host, fact.nbytes))
+                session.update(fact, status="done")
+                self._done_tids.add(tid)
+                matched += 1
+        for tid in failed:
+            if tid in by_tid:
+                session.update(by_tid[tid], status="failed")
+                self._failed_tids.add(tid)
+                matched += 1
+        self._fire(session)
+        if self.adaptive is not None and completed_pairs:
+            self._adapt_thresholds(completed_pairs)
+        return {"acknowledged": matched}
+
+    def _adapt_thresholds(self, completed: list[tuple[str, str, float]]) -> None:
+        """Feed completions to the adaptive controller; apply decisions to
+        the host-pair facts the greedy rules enforce."""
+        now = self.clock()
+        for src_host, dst_host, nbytes in completed:
+            decided = self.adaptive.observe(src_host, dst_host, nbytes, now)
+            if decided is None:
+                continue
+            for pair in self.memory.facts_of(HostPairFact):
+                if pair.src_host == src_host and pair.dst_host == dst_host:
+                    self.memory.update(pair, threshold=decided)
+
+    # ------------------------------------------------------------------ cleanups
+    def submit_cleanups(
+        self, workflow: str, job: str, files: Iterable[tuple[str, str]]
+    ) -> list[CleanupAdvice]:
+        """Evaluate cleanup (deletion) requests for (lfn, url) pairs."""
+        self.stats["cleanup_requests"] += 1
+        batch = next(self._batch)
+        session = self._session()
+        facts = []
+        for lfn, url in files:
+            fact = CleanupFact(
+                cid=next(self._cid), workflow=workflow, job=job, lfn=lfn, url=url,
+                batch=batch,
+            )
+            facts.append(fact)
+            session.insert(fact)
+        self.stats["cleanups_submitted"] += len(facts)
+        self._fire(session)
+
+        advice = []
+        for fact in facts:
+            if fact.status == "approved":
+                advice.append(
+                    CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
+                                  action="delete", reason=fact.reason)
+                )
+                self.memory.update(fact, status="in_progress")
+                self.stats["cleanups_approved"] += 1
+            else:
+                advice.append(
+                    CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
+                                  action="skip", reason=fact.reason)
+                )
+                self.memory.retract(fact)
+                self.stats["cleanups_skipped"] += 1
+        return advice
+
+    def complete_cleanups(self, ids: Iterable[int]) -> dict:
+        """Report finished deletions; drops resource state for those files."""
+        ids = set(ids)
+        matched = 0
+        for fact in list(self.memory.facts_of(CleanupFact)):
+            if fact.cid in ids and fact.status == "in_progress":
+                for resource in list(self.memory.facts_of(StagedFileFact)):
+                    if resource.dst_url == fact.url:
+                        self.memory.retract(resource)
+                self.memory.retract(fact)
+                matched += 1
+        return {"acknowledged": matched}
+
+    # ------------------------------------------------------------------ queries
+    def staging_state(self, lfn: str, dst_url: str) -> str:
+        """``"staged"`` / ``"staging"`` / ``"unknown"`` for a file at a URL."""
+        for r in self.memory.facts_of(StagedFileFact):
+            if r.lfn == lfn and r.dst_url == dst_url:
+                return r.status
+        return "unknown"
+
+    def transfer_state(self, tid: int) -> str:
+        """``"in_progress"`` / ``"done"`` / ``"failed"`` / ``"unknown"``."""
+        for f in self.memory.facts_of(TransferFact):
+            if f.tid == tid:
+                return f.status
+        if tid in self._done_tids:
+            return "done"
+        if tid in self._failed_tids:
+            return "failed"
+        return "unknown"
+
+    # ------------------------------------------------------------------ admin
+    def deny_host(self, host: str, direction: str = "any", reason: str = "") -> None:
+        """Administratively ban transfers involving ``host`` (access pack)."""
+        if not self.config.access_control:
+            raise RuntimeError("access control is not enabled on this service")
+        self.memory.insert(HostDenialFact(host, direction, reason))
+
+    def allow_host(self, host: str) -> int:
+        """Lift all denials of ``host``; returns how many were removed."""
+        removed = 0
+        for fact in list(self.memory.facts_of(HostDenialFact)):
+            if fact.host == host:
+                self.memory.retract(fact)
+                removed += 1
+        return removed
+
+    def set_quota(self, workflow: str, max_bytes: float) -> None:
+        """Set (or replace) a workflow's staging byte quota (access pack)."""
+        if not self.config.access_control:
+            raise RuntimeError("access control is not enabled on this service")
+        for fact in list(self.memory.facts_of(WorkflowQuotaFact)):
+            if fact.workflow == workflow:
+                self.memory.retract(fact)
+        self.memory.insert(WorkflowQuotaFact(workflow, max_bytes))
+
+    # ------------------------------------------------------------------ workflows
+    def register_priorities(self, workflow: str, priorities: dict) -> int:
+        """Register structure-based job priorities for a workflow."""
+        count = 0
+        for job, priority in priorities.items():
+            self.memory.insert(JobPriorityFact(workflow, job, priority))
+            count += 1
+        return count
+
+    def unregister_workflow(self, workflow: str) -> None:
+        """Drop a finished workflow's interest in staged files/priorities."""
+        for r in self.memory.facts_of(StagedFileFact):
+            if workflow in r.users:
+                self.memory.update(r, users=r.users - {workflow})
+        for p in list(self.memory.facts_of(JobPriorityFact)):
+            if p.workflow == workflow:
+                self.memory.retract(p)
+
+    # ------------------------------------------------------------------ status
+    def snapshot(self) -> dict:
+        """Service status: config, memory census, counters, allocations."""
+        pairs = {
+            f"{p.src_host}->{p.dst_host}": {
+                "group_id": p.group_id,
+                "allocated": p.allocated,
+                "threshold": p.threshold,
+            }
+            for p in self.memory.facts_of(HostPairFact)
+        }
+        return {
+            "policy": self.config.policy,
+            "default_streams": self.config.default_streams,
+            "max_streams": self.config.max_streams,
+            "memory": self.memory.snapshot(),
+            "host_pairs": pairs,
+            "stats": dict(self.stats),
+        }

@@ -1,0 +1,299 @@
+"""The rule engine: rules, agenda, activations, sessions.
+
+Semantics (modelled on Drools):
+
+* ``Session.fire_all()`` repeatedly (1) matches all rules against working
+  memory producing *activations*, (2) orders them by (salience desc, fact
+  arrival order, rule-definition order), (3) fires the first un-fired
+  activation, then re-matches.  It stops when no new activation exists.
+* **Refraction**: an activation is identified by (rule, matched fact ids,
+  fact versions).  Once fired it never fires again unless one of its facts
+  is updated (version bump) — exactly like Drools' tuple memory.
+* **no_loop**: a rule marked ``no_loop=True`` will not re-activate when the
+  only change to its matched facts since its last firing was made by the
+  rule itself (prevents trivial self-loops on ``ctx.update``).
+* A ``max_firings`` guard raises :class:`RuleEngineError` instead of
+  spinning forever if a rule set diverges.
+
+Actions receive an :class:`ActivationContext` giving attribute access to the
+bindings plus ``insert`` / ``update`` / ``retract`` / ``halt`` and the
+session ``globals`` dict (configuration values such as stream thresholds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.rules.facts import Fact, WorkingMemory
+from repro.rules.patterns import Collect, ConditionElement
+
+__all__ = ["Rule", "Session", "RuleEngineError", "ActivationContext"]
+
+
+class RuleEngineError(RuntimeError):
+    """Raised for diverging rule sets or malformed rules."""
+
+
+class Rule:
+    """A named production: condition elements + action.
+
+    Parameters
+    ----------
+    name:
+        Unique rule name (used in traces and refraction bookkeeping).
+    when:
+        Ordered condition elements (see :mod:`repro.rules.patterns`).
+    then:
+        ``action(ctx)`` callable run for each activation.
+    salience:
+        Higher fires earlier (Drools convention).  Default 0.
+    no_loop:
+        Suppress re-activation caused solely by this rule's own updates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        when: Sequence[ConditionElement],
+        then: Callable[["ActivationContext"], None],
+        salience: int = 0,
+        no_loop: bool = False,
+    ):
+        if not name:
+            raise ValueError("rules require a name")
+        if not callable(then):
+            raise TypeError(f"rule {name!r}: action must be callable")
+        when = list(when)
+        if not when:
+            raise ValueError(f"rule {name!r}: needs at least one condition element")
+        for element in when:
+            if not isinstance(element, ConditionElement):
+                raise TypeError(
+                    f"rule {name!r}: condition {element!r} is not a ConditionElement"
+                )
+        self.name = name
+        self.when = when
+        self.then = then
+        self.salience = int(salience)
+        self.no_loop = bool(no_loop)
+        #: fact types this rule's conditions reference (for match caching)
+        self.types: tuple[type, ...] = tuple(
+            {element.fact_type for element in when if hasattr(element, "fact_type")}
+        )
+
+    def matches(self, memory: WorkingMemory, seed: Optional[dict] = None) -> list[dict]:
+        """All binding dicts satisfying the full LHS.
+
+        ``seed`` pre-populates the bindings every guard sees; sessions seed
+        ``{"_globals": session.globals}`` so guards can reference
+        configuration (thresholds etc.) just like Drools globals.
+        """
+        frontier: list[dict] = [dict(seed) if seed else {}]
+        for element in self.when:
+            next_frontier: list[dict] = []
+            for bindings in frontier:
+                next_frontier.extend(element.expand(memory, bindings))
+            if not next_frontier:
+                return []
+            frontier = next_frontier
+        return frontier
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Rule({self.name!r}, salience={self.salience})"
+
+
+class ActivationContext:
+    """What a rule action sees when it fires."""
+
+    def __init__(self, session: "Session", rule: Rule, bindings: dict):
+        self._session = session
+        self.rule = rule
+        self.bindings = bindings
+        self.globals = session.globals
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise AttributeError(f"no binding named {name!r} in rule {self.rule.name!r}")
+
+    # -- working-memory operations (attributed to the firing rule) ---------
+    def insert(self, fact: Fact) -> Fact:
+        return self._session.insert(fact, _modifier=self.rule.name)
+
+    def update(self, fact: Fact, **changes: Any) -> Fact:
+        return self._session.update(fact, _modifier=self.rule.name, **changes)
+
+    def retract(self, fact: Fact) -> None:
+        self._session.retract(fact)
+
+    def halt(self) -> None:
+        """Stop ``fire_all`` after this action returns."""
+        self._session._halted = True
+
+
+def _activation_key(memory: WorkingMemory, rule: Rule, bindings: dict):
+    """Stable identity of an activation: rule + sorted matched fact ids."""
+    fids = []
+    versions = []
+    for value in bindings.values():
+        facts: Iterable[Fact]
+        if isinstance(value, Fact):
+            facts = (value,)
+        elif isinstance(value, list):  # Collect binding
+            facts = tuple(f for f in value if isinstance(f, Fact))
+        else:
+            continue
+        for fact in facts:
+            if memory.contains(fact):
+                fids.append(memory.fid_of(fact))
+                versions.append(memory.version_of(fact))
+    order = sorted(range(len(fids)), key=lambda i: fids[i])
+    return (
+        rule.name,
+        tuple(fids[i] for i in order),
+        tuple(versions[i] for i in order),
+    )
+
+
+class Session:
+    """A stateful rule session over a working memory.
+
+    Parameters
+    ----------
+    rules:
+        The rule pack(s) to evaluate.  Definition order breaks salience ties.
+    memory:
+        An existing :class:`WorkingMemory` to share (the Policy Service keeps
+        one long-lived memory across requests); a fresh one by default.
+    globals:
+        Named configuration values visible to actions via ``ctx.globals``.
+    max_firings:
+        Divergence guard per ``fire_all`` call.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        memory: Optional[WorkingMemory] = None,
+        globals: Optional[dict] = None,
+        max_firings: int = 100_000,
+    ):
+        names = [r.name for r in rules]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise RuleEngineError(f"duplicate rule names: {sorted(dupes)}")
+        self.rules = list(rules)
+        self.memory = memory if memory is not None else WorkingMemory()
+        # The dict is shared, not copied: long-lived state (e.g. the policy
+        # service's group-id counter) must survive across sessions, and
+        # actions mutate it via ``ctx.globals``.
+        self.globals = globals if globals is not None else {}
+        self.max_firings = int(max_firings)
+        self._fired: set = set()
+        # rule name -> {fact-id tuple: versions at last firing}
+        self._last_fired_versions: dict[str, dict[tuple, tuple]] = {}
+        # rules grouped by salience (descending), definition order kept
+        tiers: dict[int, list[tuple[int, Rule]]] = {}
+        for order, rule in enumerate(self.rules):
+            tiers.setdefault(rule.salience, []).append((order, rule))
+        self._tiers = [tiers[s] for s in sorted(tiers, reverse=True)]
+        self._match_cache: dict[str, tuple[int, list[dict]]] = {}
+        self._halted = False
+        self.trace: list[str] = []
+        self.trace_enabled = False
+
+    # -- memory passthrough --------------------------------------------------
+    def insert(self, fact: Fact, _modifier: Optional[str] = None) -> Fact:
+        return self.memory.insert(fact, modifier=_modifier)
+
+    def update(self, fact: Fact, _modifier: Optional[str] = None, **changes: Any) -> Fact:
+        return self.memory.update(fact, modifier=_modifier, **changes)
+
+    def retract(self, fact: Fact) -> None:
+        self.memory.retract(fact)
+
+    def insert_all(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.insert(fact)
+
+    # -- firing ----------------------------------------------------------------
+    def _suppressed_by_no_loop(self, rule: Rule, key: tuple) -> bool:
+        if not rule.no_loop:
+            return False
+        prior = self._last_fired_versions.get(rule.name, {}).get(key[1])
+        if prior is None:
+            return False
+        # Re-activation allowed only if some matched fact changed since the
+        # last firing by someone other than this rule.
+        changed_by_other = False
+        for fid, old_v, new_v in zip(key[1], prior, key[2]):
+            if new_v != old_v:
+                fact = next(
+                    (f for f in self.memory if self.memory.fid_of(f) == fid), None
+                )
+                if fact is None:
+                    return False  # fact replaced; treat as fresh
+                if self.memory.modifier_of(fact) != rule.name:
+                    changed_by_other = True
+        return not changed_by_other
+
+    def _rule_matches(self, rule: Rule, seed: dict) -> list[dict]:
+        """Match with type-stamp caching: a rule only re-matches after a
+        fact of one of its referenced types changed."""
+        stamp = self.memory.stamp(rule.types)
+        cached = self._match_cache.get(rule.name)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        matches = rule.matches(self.memory, seed)
+        self._match_cache[rule.name] = (stamp, matches)
+        return matches
+
+    def _next_activation(self):
+        seed = {"_globals": self.globals}
+        # Rules grouped by salience tier, highest first; lower tiers are
+        # only evaluated when every higher tier is quiescent.
+        for tier in self._tiers:
+            best = None
+            for order, rule in tier:
+                for bindings in self._rule_matches(rule, seed):
+                    key = _activation_key(self.memory, rule, bindings)
+                    if key in self._fired:
+                        continue
+                    if self._suppressed_by_no_loop(rule, key):
+                        continue
+                    # Within a salience tier the oldest matched fact set
+                    # fires first (FIFO); definition order breaks ties.
+                    rank = (key[1], order)
+                    if best is None or rank < best[0]:
+                        best = (rank, rule, bindings, key)
+            if best is not None:
+                return best
+        return None
+
+    def fire_all(self) -> int:
+        """Fire activations until quiescence; returns the firing count."""
+        fired = 0
+        self._halted = False
+        while not self._halted:
+            chosen = self._next_activation()
+            if chosen is None:
+                break
+            _rank, rule, bindings, key = chosen
+            self._fired.add(key)
+            self._last_fired_versions.setdefault(rule.name, {})[key[1]] = key[2]
+            if self.trace_enabled:
+                bound = {
+                    k: (v.describe() if isinstance(v, Fact) else f"[{len(v)} facts]")
+                    for k, v in bindings.items()
+                    if isinstance(v, (Fact, list))
+                }
+                self.trace.append(f"FIRE {rule.name} {bound}")
+            rule.then(ActivationContext(self, rule, bindings))
+            fired += 1
+            if fired > self.max_firings:
+                raise RuleEngineError(
+                    f"fire_all exceeded {self.max_firings} firings; "
+                    f"last rule: {rule.name!r} (diverging rule set?)"
+                )
+        return fired

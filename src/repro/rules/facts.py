@@ -1,0 +1,157 @@
+"""Facts and working memory for the rule engine.
+
+Facts are plain mutable objects; the working memory assigns them handles
+(ids) and version numbers.  Rules never see retracted facts, and updates
+bump the version so refraction (fire-once-per-version) works like Drools.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Type, TypeVar
+
+__all__ = ["Fact", "WorkingMemory"]
+
+F = TypeVar("F", bound="Fact")
+
+
+class Fact:
+    """Base class for working-memory facts.
+
+    Subclasses are ordinary classes (dataclasses work well).  Identity is
+    object identity; equality of attribute values does *not* merge facts.
+    """
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in engine traces."""
+        attrs = getattr(self, "__dict__", None)
+        if attrs:
+            inner = ", ".join(f"{k}={v!r}" for k, v in list(attrs.items())[:6])
+        else:
+            inner = ""
+        return f"{type(self).__name__}({inner})"
+
+
+class _Entry:
+    __slots__ = ("fact", "fid", "version", "last_modifier")
+
+    def __init__(self, fact: Fact, fid: int):
+        self.fact = fact
+        self.fid = fid
+        self.version = 0
+        self.last_modifier: Optional[str] = None
+
+
+class WorkingMemory:
+    """Fact store with per-type indexes.
+
+    Lookup by type returns facts of that type *or any subclass* so rules can
+    match on base classes (mirrors Drools' class-based patterns).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, _Entry] = {}   # id(fact) -> entry
+        self._by_type: dict[type, list[Fact]] = {}
+        self._next_fid = 0
+        self._clock = 0
+        self._type_clock: dict[type, int] = {}
+
+    def _touch(self, fact: Fact) -> None:
+        self._clock += 1
+        for klass in type(fact).__mro__:
+            if klass is object:
+                break
+            self._type_clock[klass] = self._clock
+
+    def stamp(self, types: tuple[type, ...]) -> int:
+        """Monotonic change stamp over a set of fact types.
+
+        Unchanged stamp guarantees no fact of those types was inserted,
+        updated, or retracted — used by sessions to cache rule matches.
+        """
+        return max((self._type_clock.get(t, 0) for t in types), default=0)
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, fact: Fact, modifier: Optional[str] = None) -> Fact:
+        """Add a fact; returns it for chaining.  Re-inserting is an error."""
+        if not isinstance(fact, Fact):
+            raise TypeError(f"working memory accepts Fact instances, got {fact!r}")
+        if id(fact) in self._entries:
+            raise ValueError(f"fact already in working memory: {fact.describe()}")
+        entry = _Entry(fact, self._next_fid)
+        self._next_fid += 1
+        entry.last_modifier = modifier
+        self._entries[id(fact)] = entry
+        for klass in type(fact).__mro__:
+            if klass is object:
+                break
+            self._by_type.setdefault(klass, []).append(fact)
+        self._touch(fact)
+        return fact
+
+    def update(self, fact: Fact, modifier: Optional[str] = None, **changes: Any) -> Fact:
+        """Apply attribute changes and bump the fact's version."""
+        entry = self._entries.get(id(fact))
+        if entry is None:
+            raise KeyError(f"fact not in working memory: {fact.describe()}")
+        for key, value in changes.items():
+            if not hasattr(fact, key):
+                raise AttributeError(f"{type(fact).__name__} has no attribute {key!r}")
+            setattr(fact, key, value)
+        entry.version += 1
+        entry.last_modifier = modifier
+        self._touch(fact)
+        return fact
+
+    def retract(self, fact: Fact) -> None:
+        """Remove a fact from memory."""
+        entry = self._entries.pop(id(fact), None)
+        if entry is None:
+            raise KeyError(f"fact not in working memory: {fact.describe()}")
+        for klass in type(fact).__mro__:
+            if klass is object:
+                break
+            bucket = self._by_type.get(klass)
+            if bucket is not None:
+                bucket.remove(fact)
+        self._touch(fact)
+
+    # -- queries ------------------------------------------------------------
+    def contains(self, fact: Fact) -> bool:
+        return id(fact) in self._entries
+
+    def facts_of(self, fact_type: Type[F]) -> list[F]:
+        """All live facts of ``fact_type`` (including subclasses), in
+        insertion order."""
+        return list(self._by_type.get(fact_type, ()))
+
+    def single(self, fact_type: Type[F]) -> Optional[F]:
+        """The unique fact of a type, or None (error if several)."""
+        found = self._by_type.get(fact_type, [])
+        if len(found) > 1:
+            raise ValueError(f"multiple {fact_type.__name__} facts in memory")
+        return found[0] if found else None
+
+    def version_of(self, fact: Fact) -> int:
+        return self._entries[id(fact)].version
+
+    def fid_of(self, fact: Fact) -> int:
+        return self._entries[id(fact)].fid
+
+    def modifier_of(self, fact: Fact) -> Optional[str]:
+        return self._entries[id(fact)].last_modifier
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(entry.fact for entry in self._entries.values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Count of live facts per concrete type name (for diagnostics)."""
+        counts: dict[str, int] = {}
+        for entry in self._entries.values():
+            name = type(entry.fact).__name__
+            counts[name] = counts.get(name, 0) + 1
+        return counts

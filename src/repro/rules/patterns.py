@@ -1,0 +1,191 @@
+"""Condition elements for rules.
+
+A rule's left-hand side is an ordered list of condition elements, evaluated
+left to right with accumulated bindings (a nested-loop join, adequate for
+policy-sized fact bases):
+
+``Pattern(T, binding="x", where=guard)``
+    Matches each live fact of type ``T`` for which ``guard(fact, bindings)``
+    is true, binding it under ``binding``.
+``Absent(T, where=guard)``
+    Matches when *no* live fact of ``T`` satisfies the guard (negation as
+    failure, Drools ``not``).
+``Collect(T, binding="xs", where=guard, min_count=0)``
+    Binds the list of all matching facts (Drools ``collect`` /
+    ``accumulate``); fails when fewer than ``min_count`` match.
+``Exists(T, where=guard)``
+    Succeeds once (no binding) when at least one fact matches (Drools
+    ``exists``).
+``Test(predicate)``
+    A pure guard over the bindings gathered so far (Drools ``eval``).
+
+Guards take ``(fact, bindings)`` — bindings is a dict of previously bound
+names.  ``Test`` predicates take ``(bindings,)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Type
+
+from repro.rules.facts import Fact
+
+__all__ = ["Pattern", "Absent", "Collect", "Exists", "Test"]
+
+Guard = Callable[[Fact, dict], bool]
+
+
+class ConditionElement:
+    """Base class; subclasses implement ``expand(memory, bindings)``."""
+
+    __slots__ = ()
+
+    def expand(self, memory, bindings: dict) -> list[dict]:  # pragma: no cover
+        """Yield extended binding dicts for each way this element matches."""
+        raise NotImplementedError
+
+
+def _check(guard: Optional[Guard], fact: Fact, bindings: dict) -> bool:
+    if guard is None:
+        return True
+    try:
+        return bool(guard(fact, bindings))
+    except AttributeError:
+        # A guard probing attributes absent on a subclass simply fails to
+        # match rather than crashing rule evaluation.
+        return False
+
+
+class Pattern(ConditionElement):
+    """Positive match on one fact of a type."""
+
+    __slots__ = ("fact_type", "binding", "where")
+
+    def __init__(
+        self,
+        fact_type: Type[Fact],
+        binding: Optional[str] = None,
+        where: Optional[Guard] = None,
+    ):
+        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
+            raise TypeError(f"Pattern requires a Fact subclass, got {fact_type!r}")
+        self.fact_type = fact_type
+        self.binding = binding
+        self.where = where
+
+    def expand(self, memory, bindings: dict) -> list[dict]:
+        out = []
+        for fact in memory.facts_of(self.fact_type):
+            if _check(self.where, fact, bindings):
+                if self.binding:
+                    new = dict(bindings)
+                    new[self.binding] = fact
+                    out.append(new)
+                else:
+                    out.append(dict(bindings))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pattern({self.fact_type.__name__}, binding={self.binding!r})"
+
+
+class Absent(ConditionElement):
+    """Negation: succeeds when no fact of the type passes the guard."""
+
+    __slots__ = ("fact_type", "where")
+
+    def __init__(self, fact_type: Type[Fact], where: Optional[Guard] = None):
+        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
+            raise TypeError(f"Absent requires a Fact subclass, got {fact_type!r}")
+        self.fact_type = fact_type
+        self.where = where
+
+    def expand(self, memory, bindings: dict) -> list[dict]:
+        for fact in memory.facts_of(self.fact_type):
+            if _check(self.where, fact, bindings):
+                return []
+        return [dict(bindings)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Absent({self.fact_type.__name__})"
+
+
+class Exists(ConditionElement):
+    """Existential quantifier: succeeds (once, without binding) when at
+    least one fact of the type passes the guard (Drools ``exists``).
+
+    Unlike a :class:`Pattern`, the rule fires a single activation no
+    matter how many facts match — use it for "is there any X?" guards
+    that should not multiply firings.
+    """
+
+    __slots__ = ("fact_type", "where")
+
+    def __init__(self, fact_type: Type[Fact], where: Optional[Guard] = None):
+        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
+            raise TypeError(f"Exists requires a Fact subclass, got {fact_type!r}")
+        self.fact_type = fact_type
+        self.where = where
+
+    def expand(self, memory, bindings: dict) -> list[dict]:
+        for fact in memory.facts_of(self.fact_type):
+            if _check(self.where, fact, bindings):
+                return [dict(bindings)]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Exists({self.fact_type.__name__})"
+
+
+class Collect(ConditionElement):
+    """Bind the list of all matching facts."""
+
+    __slots__ = ("fact_type", "binding", "where", "min_count")
+
+    def __init__(
+        self,
+        fact_type: Type[Fact],
+        binding: str,
+        where: Optional[Guard] = None,
+        min_count: int = 0,
+    ):
+        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
+            raise TypeError(f"Collect requires a Fact subclass, got {fact_type!r}")
+        if not binding:
+            raise ValueError("Collect requires a binding name")
+        self.fact_type = fact_type
+        self.binding = binding
+        self.where = where
+        self.min_count = int(min_count)
+
+    def expand(self, memory, bindings: dict) -> list[dict]:
+        matches = [
+            fact
+            for fact in memory.facts_of(self.fact_type)
+            if _check(self.where, fact, bindings)
+        ]
+        if len(matches) < self.min_count:
+            return []
+        new = dict(bindings)
+        new[self.binding] = matches
+        return [new]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Collect({self.fact_type.__name__} as {self.binding!r})"
+
+
+class Test(ConditionElement):
+    """Pure guard over bindings (no new facts matched)."""
+
+    __test__ = False  # not a pytest test class despite the name
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[dict], Any]):
+        if not callable(predicate):
+            raise TypeError("Test requires a callable")
+        self.predicate = predicate
+
+    def expand(self, memory, bindings: dict) -> list[dict]:
+        return [dict(bindings)] if self.predicate(bindings) else []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Test(...)"

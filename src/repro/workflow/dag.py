@@ -1,0 +1,215 @@
+"""Abstract workflow DAG: files, jobs, and data-flow dependencies.
+
+A :class:`Workflow` is a DAG whose edges are *derived from data flow*: if
+job A outputs a file that job B inputs, A precedes B.  Explicit control
+edges can be added as well.  Validation enforces acyclicity, single
+producers per file, and consistent file sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import networkx as nx
+
+__all__ = ["File", "Job", "Workflow", "WorkflowError"]
+
+
+class WorkflowError(ValueError):
+    """Raised for malformed workflows (cycles, duplicate producers...)."""
+
+
+@dataclass(frozen=True)
+class File:
+    """A logical file: name + size in bytes."""
+
+    lfn: str
+    size: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.lfn:
+            raise WorkflowError("file requires a logical file name")
+        if self.size < 0:
+            raise WorkflowError(f"file {self.lfn!r}: negative size")
+
+
+@dataclass(frozen=True)
+class Job:
+    """An abstract compute job.
+
+    ``transform`` names the executable (resolved through the transformation
+    catalog); ``inputs``/``outputs`` are :class:`File` tuples.
+    """
+
+    id: str
+    transform: str
+    inputs: tuple[File, ...] = ()
+    outputs: tuple[File, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise WorkflowError("job requires an id")
+        if not self.transform:
+            raise WorkflowError(f"job {self.id!r}: requires a transform name")
+        in_names = [f.lfn for f in self.inputs]
+        if len(set(in_names)) != len(in_names):
+            raise WorkflowError(f"job {self.id!r}: duplicate input files")
+        out_names = [f.lfn for f in self.outputs]
+        if len(set(out_names)) != len(out_names):
+            raise WorkflowError(f"job {self.id!r}: duplicate output files")
+        if set(in_names) & set(out_names):
+            raise WorkflowError(f"job {self.id!r}: file both input and output")
+
+
+class Workflow:
+    """A named DAG of jobs with data-flow dependencies."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise WorkflowError("workflow requires a name")
+        self.name = name
+        self.jobs: dict[str, Job] = {}
+        self._producer: dict[str, str] = {}      # lfn -> job id
+        self._consumers: dict[str, list[str]] = {}  # lfn -> job ids
+        self._files: dict[str, File] = {}
+        self._control_edges: set[tuple[str, str]] = set()
+        self._graph_cache: Optional[nx.DiGraph] = None
+
+    # -- construction --------------------------------------------------------
+    def add_job(self, job: Job) -> Job:
+        if job.id in self.jobs:
+            raise WorkflowError(f"duplicate job id {job.id!r}")
+        for f in job.outputs:
+            if f.lfn in self._producer:
+                raise WorkflowError(
+                    f"file {f.lfn!r} produced by both "
+                    f"{self._producer[f.lfn]!r} and {job.id!r}"
+                )
+        for f in (*job.inputs, *job.outputs):
+            known = self._files.get(f.lfn)
+            if known is not None and known.size != f.size:
+                raise WorkflowError(
+                    f"file {f.lfn!r}: inconsistent sizes {known.size} vs {f.size}"
+                )
+            self._files[f.lfn] = f
+        self.jobs[job.id] = job
+        for f in job.outputs:
+            self._producer[f.lfn] = job.id
+        for f in job.inputs:
+            self._consumers.setdefault(f.lfn, []).append(job.id)
+        self._graph_cache = None
+        return job
+
+    def add_control_edge(self, parent_id: str, child_id: str) -> None:
+        """Add an explicit (non-data) ordering constraint."""
+        for jid in (parent_id, child_id):
+            if jid not in self.jobs:
+                raise WorkflowError(f"unknown job {jid!r}")
+        if parent_id == child_id:
+            raise WorkflowError("self edge")
+        self._control_edges.add((parent_id, child_id))
+        self._graph_cache = None
+
+    # -- structure -------------------------------------------------------------
+    def graph(self) -> nx.DiGraph:
+        """The dependency DAG (cached until the workflow changes)."""
+        if self._graph_cache is None:
+            g = nx.DiGraph()
+            g.add_nodes_from(self.jobs)
+            for lfn, producer in self._producer.items():
+                for consumer in self._consumers.get(lfn, ()):
+                    g.add_edge(producer, consumer)
+            g.add_edges_from(self._control_edges)
+            self._graph_cache = g
+        return self._graph_cache
+
+    def validate(self) -> None:
+        """Raise :class:`WorkflowError` unless the workflow is a DAG."""
+        g = self.graph()
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise WorkflowError(f"workflow has a cycle: {cycle}")
+
+    def parents(self, job_id: str) -> list[str]:
+        return sorted(self.graph().predecessors(self._check(job_id)))
+
+    def children(self, job_id: str) -> list[str]:
+        return sorted(self.graph().successors(self._check(job_id)))
+
+    def descendants(self, job_id: str) -> set[str]:
+        return nx.descendants(self.graph(), self._check(job_id))
+
+    def roots(self) -> list[str]:
+        g = self.graph()
+        return sorted(n for n in g if g.in_degree(n) == 0)
+
+    def leaves(self) -> list[str]:
+        g = self.graph()
+        return sorted(n for n in g if g.out_degree(n) == 0)
+
+    def topological_order(self) -> list[str]:
+        self.validate()
+        return list(nx.lexicographical_topological_sort(self.graph()))
+
+    def levels(self) -> dict[str, int]:
+        """Longest-path depth of each job (roots are level 0).
+
+        Pegasus' horizontal clustering groups jobs of the same level.
+        """
+        self.validate()
+        g = self.graph()
+        level: dict[str, int] = {}
+        for node in nx.topological_sort(g):
+            preds = list(g.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        return level
+
+    # -- files ----------------------------------------------------------------
+    def file(self, lfn: str) -> File:
+        try:
+            return self._files[lfn]
+        except KeyError:
+            raise WorkflowError(f"unknown file {lfn!r}") from None
+
+    def producer_of(self, lfn: str) -> Optional[str]:
+        return self._producer.get(lfn)
+
+    def consumers_of(self, lfn: str) -> list[str]:
+        return list(self._consumers.get(lfn, ()))
+
+    def input_files(self) -> list[File]:
+        """Workflow-level inputs: files no job produces (must be staged in)."""
+        return sorted(
+            (f for lfn, f in self._files.items() if lfn not in self._producer),
+            key=lambda f: f.lfn,
+        )
+
+    def output_files(self) -> list[File]:
+        """Workflow-level outputs: produced files nobody consumes."""
+        return sorted(
+            (
+                self._files[lfn]
+                for lfn in self._producer
+                if lfn not in self._consumers
+            ),
+            key=lambda f: f.lfn,
+        )
+
+    def transform_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.transform] = counts.get(job.transform, 0) + 1
+        return counts
+
+    # -- misc --------------------------------------------------------------------
+    def _check(self, job_id: str) -> str:
+        if job_id not in self.jobs:
+            raise WorkflowError(f"unknown job {job_id!r}")
+        return job_id
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Workflow({self.name!r}, jobs={len(self.jobs)})"

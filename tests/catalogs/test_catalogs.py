@@ -1,0 +1,130 @@
+"""Unit tests for the replica, site, and transformation catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.catalogs import (
+    Replica,
+    ReplicaCatalog,
+    RuntimeModel,
+    SiteCatalog,
+    SiteEntry,
+    TransformationCatalog,
+)
+
+
+# ------------------------------------------------------------- replicas
+def test_replica_validation():
+    with pytest.raises(ValueError):
+        Replica("", "site", "url")
+    with pytest.raises(ValueError):
+        Replica("f", "", "url")
+    with pytest.raises(ValueError):
+        Replica("f", "site", "")
+
+
+def test_register_and_lookup():
+    rc = ReplicaCatalog()
+    rc.register("f.dat", "isi", "gsiftp://obelix/scratch/f.dat")
+    rc.register("f.dat", "tacc", "gsiftp://fg-vm/data/f.dat")
+    assert len(rc.lookup("f.dat")) == 2
+    assert [r.site for r in rc.lookup("f.dat", site="isi")] == ["isi"]
+    assert rc.has("f.dat")
+    assert rc.has("f.dat", site="tacc")
+    assert not rc.has("f.dat", site="mars")
+    assert not rc.has("ghost.dat")
+
+
+def test_register_idempotent():
+    rc = ReplicaCatalog()
+    rc.register("f", "s", "u")
+    rc.register("f", "s", "u")
+    assert len(rc) == 1
+
+
+def test_unregister():
+    rc = ReplicaCatalog()
+    rc.register("f", "isi", "u1")
+    rc.register("f", "tacc", "u2")
+    assert rc.unregister("f", site="isi") == 1
+    assert rc.has("f", site="tacc")
+    assert rc.unregister("f") == 1
+    assert not rc.has("f")
+    assert rc.unregister("f") == 0
+
+
+def test_lfns_iteration():
+    rc = ReplicaCatalog()
+    rc.register("a", "s", "u")
+    rc.register("b", "s", "u")
+    assert sorted(rc.lfns()) == ["a", "b"]
+
+
+# ------------------------------------------------------------- sites
+def test_site_entry_validation():
+    with pytest.raises(ValueError):
+        SiteEntry(name="", storage_host="h")
+    with pytest.raises(ValueError):
+        SiteEntry(name="s", storage_host="")
+    with pytest.raises(ValueError):
+        SiteEntry(name="s", storage_host="h", nodes=-1)
+    with pytest.raises(ValueError):
+        SiteEntry(name="s", storage_host="h", cores_per_node=0)
+
+
+def test_site_slots_and_urls():
+    obelix = SiteEntry(name="isi", storage_host="obelix", scratch_dir="/nfs/scratch",
+                       nodes=9, cores_per_node=6)
+    assert obelix.slots == 54
+    assert obelix.url_for("f.fits") == "gsiftp://obelix/nfs/scratch/f.fits"
+
+
+def test_site_catalog():
+    sc = SiteCatalog()
+    sc.add(SiteEntry(name="isi", storage_host="obelix", nodes=9, cores_per_node=6))
+    sc.add(SiteEntry(name="futuregrid", storage_host="fg-vm"))
+    assert "isi" in sc
+    assert sc.get("isi").slots == 54
+    assert sc.get("futuregrid").slots == 0
+    assert len(sc) == 2
+    with pytest.raises(ValueError):
+        sc.add(SiteEntry(name="isi", storage_host="x"))
+    with pytest.raises(KeyError):
+        sc.get("nope")
+
+
+# ------------------------------------------------------- transformations
+def test_runtime_model_validation():
+    with pytest.raises(ValueError):
+        RuntimeModel("", 1.0)
+    with pytest.raises(ValueError):
+        RuntimeModel("t", -1.0)
+    with pytest.raises(ValueError):
+        RuntimeModel("t", 1.0, std=-1)
+
+
+def test_runtime_sampling_deterministic_and_truncated():
+    model = RuntimeModel("t", mean=1.0, std=10.0, min_runtime=0.5)
+    draws1 = [model.sample(np.random.default_rng(3)) for _ in range(1)]
+    draws2 = [model.sample(np.random.default_rng(3)) for _ in range(1)]
+    assert draws1 == draws2
+    rng = np.random.default_rng(0)
+    assert all(model.sample(rng) >= 0.5 for _ in range(200))
+
+
+def test_zero_std_is_constant():
+    model = RuntimeModel("t", mean=4.2)
+    rng = np.random.default_rng(0)
+    assert model.sample(rng) == 4.2
+
+
+def test_transformation_catalog():
+    tc = TransformationCatalog()
+    tc.add("mProjectPP", 6.0, 1.0)
+    assert "mProjectPP" in tc
+    assert tc.get("mProjectPP").mean == 6.0
+    assert len(tc) == 1
+    with pytest.raises(ValueError):
+        tc.add("mProjectPP", 1.0)
+    with pytest.raises(KeyError):
+        tc.get("nope")

@@ -1,0 +1,317 @@
+"""Unit tests for DES resources (Resource, PriorityResource, Store, Container)."""
+
+import pytest
+
+from repro.des import Container, Environment, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    holders = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        holders.append((env.now, i))
+        yield env.timeout(10)
+        res.release(req)
+
+    for i in range(4):
+        env.process(user(i))
+    env.run()
+    # Users 0,1 start at t=0; 2,3 wait until a slot frees at t=10.
+    assert holders == [(0.0, 0), (0.0, 1), (10.0, 2), (10.0, 3)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(i):
+        with (yield res.request()) as _req:  # noqa: F841
+            order.append(i)
+            yield env.timeout(1)
+
+    # Stagger arrival so queue order is deterministic by arrival.
+    def spawner():
+        for i in range(5):
+            env.process(user(i))
+            yield env.timeout(0)
+
+    env.process(spawner())
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with (yield res.request()):
+            yield env.timeout(5)
+
+    env.process(user())
+    env.run()
+    assert res.count == 0
+    assert res.queued == 0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def holder():
+        yield res.request()
+        yield env.timeout(100)
+
+    for _ in range(3):
+        env.process(holder())
+    env.run(until=1)
+    assert res.count == 2
+    assert res.queued == 1
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(50)
+        res.release(req)
+
+    def impatient():
+        req = res.request()
+        yield env.timeout(5)  # still waiting
+        assert not req.triggered
+        req.cancel()
+        got.append("gave-up")
+
+    def patient():
+        yield env.timeout(1)
+        yield res.request()
+        got.append(("served", env.now))
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert "gave-up" in got
+    assert ("served", 50.0) in got
+
+
+def test_resource_resize_grows_grants_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    started = []
+
+    def user(i):
+        yield res.request()
+        started.append((env.now, i))
+        yield env.timeout(100)
+
+    env.process(user(0))
+    env.process(user(1))
+
+    def grow():
+        yield env.timeout(10)
+        res.resize(2)
+
+    env.process(grow())
+    env.run(until=20)
+    assert started == [(0.0, 0), (10.0, 1)]
+
+
+def test_priority_resource_serves_low_priority_value_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def user(tag, prio):
+        yield env.timeout(1)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    env.process(holder())
+    env.process(user("low-urgency", 5))
+    env.process(user("high-urgency", 1))
+    env.process(user("mid-urgency", 3))
+    env.run(until=100)
+    assert order == ["high-urgency", "mid-urgency", "low-urgency"]
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(7.0, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trace = []
+
+    def producer():
+        yield store.put("a")
+        trace.append(("put-a", env.now))
+        yield store.put("b")
+        trace.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        item = yield store.get()
+        trace.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0.0) in trace
+    assert ("put-b", 5.0) in trace
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def run():
+        yield store.put({"kind": "red"})
+        yield store.put({"kind": "blue"})
+        item = yield store.get(filter=lambda it: it["kind"] == "blue")
+        got.append(item["kind"])
+        item = yield store.get()
+        got.append(item["kind"])
+
+    env.process(run())
+    env.run()
+    assert got == ["blue", "red"]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def run():
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(run())
+    env.run()
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------------- Container
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    got = []
+
+    def consumer():
+        yield tank.get(30)
+        got.append(env.now)
+
+    def producer():
+        yield env.timeout(3)
+        yield tank.put(10)
+        yield env.timeout(3)
+        yield tank.put(25)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [6.0]
+    assert tank.level == 5.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=8)
+    trace = []
+
+    def producer():
+        yield tank.put(5)
+        trace.append(env.now)
+
+    def consumer():
+        yield env.timeout(4)
+        yield tank.get(6)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert trace == [4.0]
+    assert tank.level == 7.0
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=9)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.get(-1)

@@ -1,0 +1,25 @@
+"""Shared fixtures for engine tests: a small two-site fabric."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.net import FlowNetwork, GridFTPClient, Link, Network, StreamModel
+
+
+@pytest.fixture
+def fabric_env():
+    env = Environment()
+    net = Network()
+    remote = net.add_site("remote")
+    local = net.add_site("local")
+    src = net.add_host("fg-vm", remote)
+    web = net.add_host("web", local)
+    dst = net.add_host("obelix", local)
+    wan = net.add_link(Link("wan", capacity=100.0))
+    lan = net.add_link(Link("lan", capacity=1000.0))
+    net.add_route(src, dst, [wan])
+    net.add_route(web, dst, [lan])
+    fabric = FlowNetwork(env, net, StreamModel(session_setup=1.0, stream_setup=0.0, ramp_time=0.0))
+    client = GridFTPClient(fabric, rng=np.random.default_rng(0))
+    return env, fabric, client

@@ -1,0 +1,166 @@
+"""Unit tests for the DAGMan-like executor."""
+
+import pytest
+
+from repro.des import Environment
+from repro.engine import DAGMan
+from repro.planner.executable import ExecutableJob, ExecutableWorkflow, JobKind
+
+
+def make_plan(edges, kinds=None):
+    plan = ExecutableWorkflow("w", "w#1")
+    nodes = {n for e in edges for n in e} if edges else set()
+    for node in sorted(nodes):
+        kind = (kinds or {}).get(node, JobKind.COMPUTE)
+        plan.add_job(ExecutableJob(id=node, kind=kind, transform="t"))
+    for parent, child in edges:
+        plan.add_edge(parent, child)
+    return plan
+
+
+def timed_runner(env, durations, trace=None):
+    def runner(workflow_id, job):
+        if trace is not None:
+            trace.append((env.now, job.id, "start"))
+        yield env.timeout(durations.get(job.id, 1.0))
+        if trace is not None:
+            trace.append((env.now, job.id, "end"))
+
+    return runner
+
+
+def run_dagman(env, dagman):
+    p = env.process(dagman.run())
+    return env.run(until=p)
+
+
+def test_dependency_order_respected():
+    env = Environment()
+    trace = []
+    plan = make_plan([("a", "b"), ("b", "c"), ("a", "c")])
+    runner = timed_runner(env, {"a": 5, "b": 3, "c": 1}, trace)
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}))
+    assert result.success
+    starts = {j: t for t, j, e in trace if e == "start"}
+    assert starts["a"] == 0
+    assert starts["b"] == 5
+    assert starts["c"] == 8
+    assert result.makespan == 9
+
+
+def test_parallel_jobs_run_concurrently():
+    env = Environment()
+    plan = ExecutableWorkflow("w", "w#1")
+    for i in range(5):
+        plan.add_job(ExecutableJob(id=f"j{i}", kind=JobKind.COMPUTE, transform="t"))
+    runner = timed_runner(env, {})
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}))
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_throttle_limits_category_concurrency():
+    env = Environment()
+    plan = ExecutableWorkflow("w", "w#1")
+    for i in range(6):
+        plan.add_job(ExecutableJob(id=f"s{i}", kind=JobKind.STAGE_IN))
+    runner = timed_runner(env, {})
+    dagman = DAGMan(
+        env, plan, {JobKind.STAGE_IN: runner}, throttles={JobKind.STAGE_IN: 2}
+    )
+    result = run_dagman(env, dagman)
+    assert result.makespan == pytest.approx(3.0)  # 6 jobs, 2 at a time, 1s each
+
+
+def test_throttle_applies_only_to_its_kind():
+    env = Environment()
+    plan = ExecutableWorkflow("w", "w#1")
+    for i in range(3):
+        plan.add_job(ExecutableJob(id=f"s{i}", kind=JobKind.STAGE_IN))
+        plan.add_job(ExecutableJob(id=f"c{i}", kind=JobKind.COMPUTE, transform="t"))
+    runner = timed_runner(env, {})
+    dagman = DAGMan(
+        env,
+        plan,
+        {JobKind.STAGE_IN: runner, JobKind.COMPUTE: runner},
+        throttles={JobKind.STAGE_IN: 1},
+    )
+    result = run_dagman(env, dagman)
+    assert result.makespan == pytest.approx(3.0)
+    computes = result.by_kind(JobKind.COMPUTE)
+    assert all(r.t_start == 0 for r in computes)  # computes unthrottled
+
+
+def test_priority_breaks_throttle_queue_ties():
+    env = Environment()
+    plan = ExecutableWorkflow("w", "w#1")
+    plan.add_job(ExecutableJob(id="low", kind=JobKind.STAGE_IN, priority=1))
+    plan.add_job(ExecutableJob(id="high", kind=JobKind.STAGE_IN, priority=9))
+    order = []
+
+    def runner(workflow_id, job):
+        order.append(job.id)
+        yield env.timeout(1.0)
+
+    dagman = DAGMan(env, plan, {JobKind.STAGE_IN: runner}, throttles={JobKind.STAGE_IN: 1})
+    run_dagman(env, dagman)
+    assert order == ["high", "low"]
+
+
+def test_retries_then_success():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    attempts = {"a": 0}
+
+    def runner(workflow_id, job):
+        yield env.timeout(1.0)
+        if job.id == "a":
+            attempts["a"] += 1
+            if attempts["a"] <= 2:
+                raise RuntimeError("flaky")
+
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}, retries=5))
+    assert result.success
+    assert result.records["a"].attempts == 3
+    assert result.records["b"].state == "done"
+
+
+def test_retries_exhausted_fails_workflow():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+
+    def runner(workflow_id, job):
+        yield env.timeout(1.0)
+        if job.id == "a":
+            raise RuntimeError("always broken")
+
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}, retries=2))
+    assert not result.success
+    assert "always broken" in result.failure
+    assert result.records["a"].state == "failed"
+    assert result.records["a"].attempts == 3  # 1 try + 2 retries
+    assert result.records["b"].state == "pending"  # never released
+
+
+def test_job_records_timing():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    runner = timed_runner(env, {"a": 4, "b": 2})
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}))
+    rec_b = result.records["b"]
+    assert rec_b.t_ready == 4
+    assert rec_b.t_start == 4
+    assert rec_b.t_end == 6
+    assert rec_b.duration == 2
+    assert rec_b.queue_delay == 0
+
+
+def test_validation():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    with pytest.raises(ValueError, match="no runner"):
+        DAGMan(env, plan, {})
+    runner = timed_runner(env, {})
+    with pytest.raises(ValueError):
+        DAGMan(env, plan, {JobKind.COMPUTE: runner}, retries=-1)
+    with pytest.raises(ValueError):
+        DAGMan(env, plan, {JobKind.COMPUTE: runner}, throttles={JobKind.COMPUTE: 0})

@@ -1,0 +1,61 @@
+"""Unit tests for the figure series builders (reduced scale for speed)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.figures import (
+    DEFAULT_STREAM_SWEEP,
+    FIG5_SIZES_MB,
+    FIG_SIZE_MB,
+    THRESHOLD_SWEEP,
+    fig5_series,
+    fig_threshold_series,
+    no_policy_point,
+)
+
+
+def tiny_base():
+    return ExperimentConfig(n_images=8)
+
+
+def test_constants_match_paper():
+    assert DEFAULT_STREAM_SWEEP == (4, 6, 8, 10, 12)
+    assert FIG5_SIZES_MB == (0, 10, 100, 500, 1000)
+    assert THRESHOLD_SWEEP == (50, 100, 200)
+    assert FIG_SIZE_MB == {6: 10, 7: 100, 8: 500, 9: 1000}
+
+
+def test_fig5_series_shape():
+    series = fig5_series(
+        base=tiny_base(), sizes_mb=(0, 10), defaults=(4, 8), replicates=2
+    )
+    assert [s.label for s in series] == ["0 MB extra", "10 MB extra"]
+    for s in series:
+        assert s.xs == [4, 8]
+        assert all(len(v) == 2 for v in s.ys)
+    # More staged data cannot be faster.
+    assert series[1].at(4)[0] > series[0].at(4)[0] * 0.95
+
+
+def test_fig_threshold_series_shape():
+    series = fig_threshold_series(
+        10, base=tiny_base(), thresholds=(50, 200), defaults=(4,), replicates=1
+    )
+    assert [s.label for s in series] == [
+        "greedy threshold 50",
+        "greedy threshold 200",
+    ]
+    assert all(s.xs == [4] for s in series)
+
+
+def test_no_policy_point_shape():
+    series = no_policy_point(10, base=tiny_base(), replicates=2)
+    assert series.xs == [4]
+    assert len(series.ys[0]) == 2
+    assert "no policy" in series.label
+
+
+def test_series_are_seeded_deterministically():
+    a = fig5_series(base=tiny_base(), sizes_mb=(10,), defaults=(4,), replicates=1)
+    b = fig5_series(base=tiny_base(), sizes_mb=(10,), defaults=(4,), replicates=1)
+    assert a[0].ys == b[0].ys

@@ -1,0 +1,17 @@
+"""Tests for the Table IV cross-check helper (observed WAN peaks)."""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.figures import observed_wan_peaks
+from repro.policy.allocation import greedy_allocation_trace
+
+
+def test_observed_peaks_respect_analytic_bounds():
+    base = ExperimentConfig(n_images=16, job_limit=8)
+    peaks = observed_wan_peaks(
+        size_mb=20, base=base, thresholds=(20,), defaults=(6,)
+    )
+    observed = peaks["greedy"][20][6]
+    bound = sum(greedy_allocation_trace(8, 6, 20))
+    assert 0 < observed <= bound
+    # No-policy peak bounded by job_limit x default streams.
+    assert 0 < peaks["no_policy"] <= 8 * 4

@@ -1,0 +1,128 @@
+"""Targeted robustness tests: failures interacting with waits/sharing."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.engine import PegasusTransferTool
+from repro.net import FlowNetwork, GridFTPClient, Link, Network, StreamModel, TransferError
+from repro.planner.executable import ExecutableJob, JobKind, TransferSpec
+from repro.policy import InProcessPolicyClient, PolicyConfig, PolicyService
+
+
+def make_world():
+    env = Environment()
+    net = Network()
+    s = net.add_site("s")
+    src = net.add_host("fg-vm", s)
+    dst = net.add_host("obelix", s)
+    net.add_link(Link("wan", capacity=100.0))
+    net.add_route(src, dst, [net.links["wan"]])
+    fabric = FlowNetwork(env, net, StreamModel(0.5, 0, 0))
+    service = PolicyService(PolicyConfig(policy="greedy", default_streams=4, max_streams=50))
+    client = InProcessPolicyClient(service, env, latency=0.0)
+    return env, fabric, service, client
+
+
+def staging_job(job_id, lfn, nbytes=1000.0):
+    return ExecutableJob(
+        id=job_id,
+        kind=JobKind.STAGE_IN,
+        site="s",
+        transfers=[
+            TransferSpec(
+                lfn=lfn,
+                src_url=f"gsiftp://fg-vm/data/{lfn}",
+                dst_url=f"gsiftp://obelix/scratch/{lfn}",
+                nbytes=nbytes,
+            )
+        ],
+    )
+
+
+def test_waiter_restages_when_inflight_transfer_fails():
+    """wf2 waits on wf1's in-flight transfer; wf1's transfer fails; wf2
+    must detect the staged-state going 'unknown' and restage itself."""
+    env, fabric, service, client = make_world()
+    # wf1's GridFTP always fails; wf2's always succeeds.
+    bad_gridftp = GridFTPClient(fabric, rng=np.random.default_rng(1), failure_rate=0.999)
+    good_gridftp = GridFTPClient(fabric, rng=np.random.default_rng(2))
+    ptt1 = PegasusTransferTool(bad_gridftp, policy=client, poll_interval=0.5)
+    ptt2 = PegasusTransferTool(good_gridftp, policy=client, poll_interval=0.5)
+    outcome = {}
+
+    def wf1():
+        try:
+            yield from ptt1.execute("wf1", staging_job("j1", "big", nbytes=5000.0))
+        except TransferError:
+            outcome["wf1"] = "failed"
+            # wf1 gives up (no retry): the file never lands.
+
+    def wf2():
+        yield env.timeout(1.0)  # arrive while wf1's transfer is in flight
+        record = yield from ptt2.execute("wf2", staging_job("j2", "big", nbytes=5000.0))
+        outcome["wf2"] = record
+
+    env.process(wf1())
+    env.process(wf2())
+    env.run()
+    assert outcome["wf1"] == "failed"
+    record = outcome["wf2"]
+    assert record.waited == 1      # first told to wait on wf1's transfer
+    assert record.executed == 1    # then restaged the file itself
+    assert service.staging_state("big", "gsiftp://obelix/scratch/big") == "staged"
+
+
+def test_waiter_times_out_eventually():
+    """A waiter with a tight deadline raises instead of hanging forever."""
+    env, fabric, service, client = make_world()
+    gridftp = GridFTPClient(fabric, rng=np.random.default_rng(3))
+    # A very slow first transfer holds the 'staging' state.
+    slow_ptt = PegasusTransferTool(gridftp, policy=client)
+    fast_ptt = PegasusTransferTool(
+        gridftp, policy=client, poll_interval=0.5, max_wait=5.0
+    )
+
+    def wf1():
+        yield from slow_ptt.execute("wf1", staging_job("j1", "huge", nbytes=1e6))
+
+    failures = []
+
+    def wf2():
+        yield env.timeout(1.0)
+        try:
+            yield from fast_ptt.execute("wf2", staging_job("j2", "huge", nbytes=1e6))
+        except TransferError as exc:
+            failures.append(str(exc))
+
+    env.process(wf1())
+    env.process(wf2())
+    env.run()
+    assert failures and "timed out waiting" in failures[0]
+
+
+def test_streams_fully_released_after_mixed_outcomes():
+    """After successes, failures, and waits, no streams stay allocated."""
+    env, fabric, service, client = make_world()
+    flaky = GridFTPClient(fabric, rng=np.random.default_rng(5), failure_rate=0.3)
+    ptt = PegasusTransferTool(flaky, policy=client, poll_interval=0.5)
+    done = []
+
+    def job(i):
+        attempts = 0
+        while attempts < 10:
+            attempts += 1
+            try:
+                yield from ptt.execute("wf", staging_job(f"j{i}", f"f{i}"))
+                done.append(i)
+                return
+            except TransferError:
+                continue
+
+    for i in range(10):
+        env.process(job(i))
+    env.run()
+    assert sorted(done) == list(range(10))
+    snapshot = service.snapshot()
+    assert snapshot["host_pairs"]["fg-vm->obelix"]["allocated"] == 0
+    assert snapshot["memory"].get("TransferFact") is None

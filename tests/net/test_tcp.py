@@ -1,0 +1,75 @@
+"""Unit tests for the stream throughput model."""
+
+import pytest
+
+from repro.net import Link, StreamModel
+from repro.net.tcp import congestion_factor, effective_capacity
+
+
+def test_stream_model_validation():
+    with pytest.raises(ValueError):
+        StreamModel(session_setup=-1)
+    with pytest.raises(ValueError):
+        StreamModel(ramp_ref=0)
+
+
+def test_setup_delay_components():
+    model = StreamModel(session_setup=1.0, stream_setup=0.1, ramp_time=2.0, ramp_ref=50)
+    # no contention: 1 + 0.1*4 + 2*(1+0) = 3.4
+    assert model.setup_delay(4, 0) == pytest.approx(3.4)
+    # contention of 50 doubles the ramp
+    assert model.setup_delay(4, 50) == pytest.approx(1 + 0.4 + 4.0)
+
+
+def test_setup_delay_monotone_in_streams_and_contention():
+    model = StreamModel()
+    assert model.setup_delay(8, 0) > model.setup_delay(2, 0)
+    assert model.setup_delay(4, 100) > model.setup_delay(4, 0)
+
+
+def test_setup_delay_requires_stream():
+    with pytest.raises(ValueError):
+        StreamModel().setup_delay(0, 0)
+
+
+def test_congestion_factor_below_knee_is_one():
+    link = Link("wan", capacity=1e6, knee=70)
+    assert congestion_factor(link, 0) == 1.0
+    assert congestion_factor(link, 70) == 1.0
+
+
+def test_congestion_factor_declines_past_knee():
+    link = Link("wan", capacity=1e6, knee=70, congestion_slope=0.5, congestion_floor=0.3)
+    f100 = congestion_factor(link, 100)
+    f200 = congestion_factor(link, 200)
+    assert f100 == pytest.approx(1 / (1 + 0.5 * (30 / 70)))
+    assert f200 < f100 < 1.0
+
+
+def test_congestion_factor_concave_marginal_damage_decreases():
+    link = Link("wan", capacity=1e6, knee=70, congestion_slope=0.5, congestion_floor=0.01)
+    drop1 = congestion_factor(link, 70) - congestion_factor(link, 100)
+    drop2 = congestion_factor(link, 100) - congestion_factor(link, 130)
+    assert drop1 > drop2 > 0
+
+
+def test_congestion_factor_floor():
+    link = Link("wan", capacity=1e6, knee=10, congestion_slope=1.0, congestion_floor=0.4)
+    assert congestion_factor(link, 10_000) == 0.4
+
+
+def test_no_knee_means_no_congestion():
+    link = Link("lan", capacity=1e6)
+    assert congestion_factor(link, 10_000) == 1.0
+
+
+def test_negative_streams_rejected():
+    link = Link("wan", capacity=1e6, knee=70)
+    with pytest.raises(ValueError):
+        congestion_factor(link, -1)
+
+
+def test_effective_capacity():
+    link = Link("wan", capacity=100.0, knee=10, congestion_slope=0.5, congestion_floor=0.1)
+    assert effective_capacity(link, 5) == 100.0
+    assert effective_capacity(link, 20) == pytest.approx(100 / (1 + 0.5))

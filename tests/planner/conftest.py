@@ -1,0 +1,51 @@
+"""Shared planning fixtures: the paper's catalog setup in miniature."""
+
+import pytest
+
+from repro.catalogs import ReplicaCatalog, SiteCatalog, SiteEntry, TransformationCatalog
+from repro.planner import Planner
+from repro.workflow.montage import EXTRA_FILE_PREFIX, montage_transformations
+
+
+@pytest.fixture
+def sites():
+    sc = SiteCatalog()
+    sc.add(
+        SiteEntry(
+            name="isi",
+            storage_host="obelix",
+            scratch_dir="/nfs/scratch",
+            nodes=9,
+            cores_per_node=6,
+        )
+    )
+    sc.add(SiteEntry(name="futuregrid", storage_host="fg-vm", scratch_dir="/data"))
+    sc.add(SiteEntry(name="archive", storage_host="archive-host", scratch_dir="/archive"))
+    return sc
+
+
+@pytest.fixture
+def transformations():
+    tc = montage_transformations()
+    for extra in ("gen", "proc", "sink", "split", "join", "process"):
+        tc.add(extra, 1.0, 0.1)
+    return tc
+
+
+def register_montage_inputs(replicas: ReplicaCatalog, workflow) -> None:
+    """Put raw images + header on the local web host; extras on FutureGrid."""
+    for f in workflow.input_files():
+        if f.lfn.startswith(EXTRA_FILE_PREFIX):
+            replicas.register(f.lfn, "futuregrid", f"gsiftp://fg-vm/data/{f.lfn}")
+        else:
+            replicas.register(f.lfn, "isi-web", f"http://web-isi/images/{f.lfn}")
+
+
+@pytest.fixture
+def replicas():
+    return ReplicaCatalog()
+
+
+@pytest.fixture
+def planner(sites, transformations, replicas):
+    return Planner(sites, transformations, replicas)

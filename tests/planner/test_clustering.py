@@ -1,0 +1,73 @@
+"""Unit tests for horizontal clustering of staging jobs (paper Fig. 2)."""
+
+import pytest
+
+from repro.planner import JobKind, PlanningError, PlanOptions, cluster_staging_jobs
+from repro.workflow import montage_workflow
+from repro.workflow.montage import MontageConfig
+
+from tests.planner.conftest import register_montage_inputs
+
+
+def planned_montage(planner, replicas, n_images=9, **opts):
+    wf = montage_workflow(MontageConfig(n_images=n_images, name=f"m{n_images}"))
+    register_montage_inputs(replicas, wf)
+    return planner.plan(wf, "isi", PlanOptions(cleanup=False, **opts))
+
+
+def test_cluster_factor_bounds_staging_jobs_per_level(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=9, cluster_factor=2)
+    stage_ins = plan.by_kind(JobKind.STAGE_IN)
+    # All 9 stage-ins sit at level 0 -> merged into 2 clusters.
+    assert len(stage_ins) == 2
+    assert plan.cluster_factor == 2
+
+
+def test_clustering_preserves_all_transfers(planner, replicas):
+    unclustered = planned_montage(planner, replicas, n_images=9)
+    clustered = planned_montage(planner, replicas, n_images=9, cluster_factor=3)
+
+    def transfer_set(plan):
+        return sorted(
+            (t.lfn, t.src_url, t.dst_url, t.nbytes)
+            for j in plan.by_kind(JobKind.STAGE_IN)
+            for t in j.transfers
+        )
+
+    assert transfer_set(unclustered) == transfer_set(clustered)
+
+
+def test_clustering_rewires_edges_to_cluster(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=9, cluster_factor=2)
+    for si in plan.by_kind(JobKind.STAGE_IN):
+        children = plan.children(si.id)
+        assert children, "cluster feeds at least one compute job"
+        assert all(plan.jobs[c].kind == JobKind.COMPUTE for c in children)
+    plan.validate()
+
+
+def test_clustering_factor_larger_than_jobs_is_identity_count(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=4, cluster_factor=100)
+    assert len(plan.by_kind(JobKind.STAGE_IN)) == 4
+
+
+def test_clustering_factor_one_serializes_level(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=9, cluster_factor=1)
+    stage_ins = plan.by_kind(JobKind.STAGE_IN)
+    assert len(stage_ins) == 1
+    assert len(stage_ins[0].transfers) == 10  # 9 images + region.hdr
+
+
+def test_cluster_source_jobs_tracked(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=9, cluster_factor=2)
+    sources = sorted(
+        s for si in plan.by_kind(JobKind.STAGE_IN) for s in si.source_jobs
+    )
+    assert len(sources) == 9
+    assert all(s.startswith("mProjectPP_") for s in sources)
+
+
+def test_invalid_factor_rejected(planner, replicas):
+    plan = planned_montage(planner, replicas, n_images=4)
+    with pytest.raises(PlanningError):
+        cluster_staging_jobs(plan, 0)

@@ -1,0 +1,135 @@
+"""Unit tests for the runtime-adaptive threshold controller."""
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.adaptive import AdaptiveSettings, AdaptiveThresholdController
+
+from tests.policy.conftest import spec
+
+
+def make(initial=100, **settings):
+    defaults = dict(epoch_bytes=1000.0, min_epoch=0.0, step_up=10,
+                    down_factor=0.2, tolerance=0.05, min_threshold=10,
+                    max_threshold=300)
+    defaults.update(settings)
+    ctrl = AdaptiveThresholdController(initial, AdaptiveSettings(**defaults))
+    ctrl.threshold_for("a", "b", now=0.0)  # open the measurement epoch
+    return ctrl
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        AdaptiveSettings(epoch_bytes=0)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(min_epoch=-1)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(step_up=0)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(down_factor=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(tolerance=-0.1)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(min_threshold=0)
+    with pytest.raises(ValueError):
+        AdaptiveSettings(min_threshold=100, max_threshold=50)
+    with pytest.raises(ValueError):
+        AdaptiveThresholdController(0)
+    with pytest.raises(TypeError):
+        AdaptiveThresholdController(100, settings="fast")  # type: ignore[arg-type]
+
+
+def test_no_decision_before_quota():
+    ctrl = make()
+    assert ctrl.observe("a", "b", 500.0, now=10.0) is None
+    assert ctrl.threshold_for("a", "b", 10.0) == 100
+
+
+def test_first_move_probes_downward():
+    ctrl = make(initial=100)
+    decided = ctrl.observe("a", "b", 1500.0, now=10.0)
+    assert decided == 80  # 100 - max(10, 0.2*100)
+
+
+def test_regression_reverses_direction():
+    ctrl = make(initial=100)
+    ctrl.observe("a", "b", 2000.0, now=10.0)       # rate 200 -> move down to 80
+    decided = ctrl.observe("a", "b", 1000.0, now=20.0)  # rate 100: much worse
+    assert decided == 90  # reversed: 80 + 10
+
+
+def test_improvement_keeps_direction():
+    ctrl = make(initial=100)
+    ctrl.observe("a", "b", 1000.0, now=10.0)       # rate 100, down to 80
+    decided = ctrl.observe("a", "b", 2000.0, now=20.0)  # rate 200: better
+    assert decided == 64  # keep descending: 80 - 16
+
+
+def test_upward_plateau_turns_back_down():
+    ctrl = make(initial=100)
+    ctrl.observe("a", "b", 2000.0, now=10.0)        # down to 80 (rate 200)
+    ctrl.observe("a", "b", 1000.0, now=20.0)        # regression -> up to 90
+    decided = ctrl.observe("a", "b", 1000.0, now=30.0)  # flat while going up
+    assert decided == 72  # plateau: prefer the cheaper side
+
+
+def test_bounds_respected():
+    ctrl = make(initial=12, min_threshold=10)
+    decided = ctrl.observe("a", "b", 1500.0, now=5.0)
+    assert decided == 10  # clamped at min
+    # At the floor with flat rates the controller bounces back up.
+    nxt = ctrl.observe("a", "b", 1500.0, now=10.0)
+    assert nxt is None or nxt >= 10
+
+
+def test_pairs_tracked_independently():
+    ctrl = make(initial=100)
+    ctrl.observe("a", "b", 1500.0, now=10.0)
+    assert ctrl.threshold_for("a", "b", 10.0) == 80
+    assert ctrl.threshold_for("x", "y", 10.0) == 100
+
+
+def test_history_records_decisions():
+    ctrl = make(initial=100)
+    ctrl.observe("a", "b", 1500.0, now=10.0)
+    ctrl.observe("a", "b", 1500.0, now=20.0)
+    history = ctrl.history("a", "b")
+    assert len(history) == 2
+    assert ctrl.history("no", "pair") == []
+
+
+def test_negative_bytes_rejected():
+    ctrl = make()
+    with pytest.raises(ValueError):
+        ctrl.observe("a", "b", -1.0, now=0.0)
+
+
+# ------------------------------------------------------ service integration
+def test_service_applies_adaptive_decisions():
+    clock = [0.0]
+    service = PolicyService(
+        PolicyConfig(
+            policy="greedy",
+            default_streams=8,
+            max_streams=100,
+            adaptive=True,
+            adaptive_settings=AdaptiveSettings(
+                epoch_bytes=100.0, min_epoch=0.0, step_up=10, down_factor=0.2
+            ),
+        ),
+        clock=lambda: clock[0],
+    )
+    first = service.submit_transfers("wf", "j0", [spec("f0", nbytes=1000)])
+    clock[0] = 10.0
+    service.complete_transfers(done=[first[0].tid])  # closes an epoch
+    assert service.adaptive.adjustments == 1
+    # The pair's threshold fact now carries the adapted value.
+    from repro.policy.model import HostPairFact
+
+    pair = service.memory.facts_of(HostPairFact)[0]
+    assert pair.threshold == 80
+
+
+def test_adaptive_requires_greedy():
+    with pytest.raises(ValueError):
+        PolicyConfig(policy="fifo", adaptive=True)

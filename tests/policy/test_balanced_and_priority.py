@@ -1,0 +1,117 @@
+"""Tests of the balanced allocation pack and structure-based priorities."""
+
+from repro.policy import PolicyConfig, PolicyService
+
+from tests.policy.conftest import spec
+
+
+def balanced_service(cluster_count=2, max_streams=20, default=8, cluster_threshold=None):
+    return PolicyService(
+        PolicyConfig(
+            policy="balanced",
+            default_streams=default,
+            max_streams=max_streams,
+            cluster_count=cluster_count,
+            cluster_threshold=cluster_threshold,
+        )
+    )
+
+
+def test_balanced_each_cluster_gets_own_share():
+    service = balanced_service(cluster_count=2, max_streams=20, default=8)
+    # Cluster A exhausts its share of 10.
+    a1 = service.submit_transfers("wf", "cA", [spec("a1", cluster="cA")])[0]
+    a2 = service.submit_transfers("wf", "cA", [spec("a2", cluster="cA")])[0]
+    a3 = service.submit_transfers("wf", "cA", [spec("a3", cluster="cA")])[0]
+    assert (a1.streams, a2.streams, a3.streams) == (8, 2, 1)
+    # Cluster B's share was reserved: late arrival still gets a full grant.
+    b1 = service.submit_transfers("wf", "cB", [spec("b1", cluster="cB")])[0]
+    assert b1.streams == 8
+
+
+def test_balanced_not_starved_unlike_greedy():
+    """The scenario motivating balanced: greedy lets an early cluster hog."""
+    greedy = PolicyService(PolicyConfig(policy="greedy", default_streams=10, max_streams=20))
+    g = [
+        greedy.submit_transfers("wf", "cA", [spec(f"g{i}", cluster="cA")])[0].streams
+        for i in range(2)
+    ]
+    g_late = greedy.submit_transfers("wf", "cB", [spec("gl", cluster="cB")])[0].streams
+    assert g == [10, 10] and g_late == 1  # cluster B starved by greedy
+
+    balanced = balanced_service(cluster_count=2, max_streams=20, default=10)
+    b = [
+        balanced.submit_transfers("wf", "cA", [spec(f"b{i}", cluster="cA")])[0].streams
+        for i in range(2)
+    ]
+    b_late = balanced.submit_transfers("wf", "cB", [spec("bl", cluster="cB")])[0].streams
+    assert b == [10, 1] and b_late == 10  # cluster B's share preserved
+
+
+def test_balanced_cluster_defaults_to_job_id():
+    service = balanced_service(cluster_count=2, max_streams=20, default=8)
+    a = service.submit_transfers("wf", "jobX", [spec("a")])[0]
+    assert a.streams == 8
+    # Same job id = same cluster; its share depletes.
+    b = service.submit_transfers("wf", "jobX", [spec("b")])[0]
+    assert b.streams == 2
+
+
+def test_balanced_explicit_cluster_threshold():
+    service = balanced_service(cluster_count=4, max_streams=100, default=8,
+                               cluster_threshold=8)
+    a = service.submit_transfers("wf", "c1", [spec("a", cluster="c1")])[0]
+    b = service.submit_transfers("wf", "c1", [spec("b", cluster="c1")])[0]
+    assert (a.streams, b.streams) == (8, 1)
+
+
+def test_balanced_completion_frees_cluster_share():
+    service = balanced_service(cluster_count=2, max_streams=20, default=8)
+    a = service.submit_transfers("wf", "cA", [spec("a", cluster="cA")])[0]
+    b = service.submit_transfers("wf", "cA", [spec("b", cluster="cA")])[0]
+    assert (a.streams, b.streams) == (8, 2)
+    service.complete_transfers(done=[a.tid])
+    c = service.submit_transfers("wf", "cA", [spec("c", cluster="cA")])[0]
+    assert c.streams == 8
+
+
+# ------------------------------------------------------------- priorities
+def test_priority_ordering_of_advice():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50,
+                     order_by="priority")
+    )
+    advice = service.submit_transfers(
+        "wf", "j",
+        [spec("low", priority=1), spec("high", priority=9), spec("mid", priority=5)],
+    )
+    assert [a.lfn for a in advice] == ["high", "mid", "low"]
+
+
+def test_priority_order_affects_allocation_order():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=8, max_streams=10,
+                     order_by="priority")
+    )
+    advice = service.submit_transfers(
+        "wf", "j", [spec("low", priority=1), spec("high", priority=9)]
+    )
+    by_lfn = {a.lfn: a.streams for a in advice}
+    assert by_lfn == {"high": 8, "low": 2}  # high-priority allocated first
+
+
+def test_registered_priorities_stamped_on_transfers():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, order_by="priority")
+    )
+    service.register_priorities("wf", {"stage_in_rootjob": 42})
+    advice = service.submit_transfers("wf", "stage_in_rootjob", [spec("a")])
+    assert advice[0].priority == 42
+
+
+def test_unregistered_workflow_priorities_removed():
+    service = PolicyService(PolicyConfig(policy="greedy", order_by="priority"))
+    service.register_priorities("wf", {"j": 7})
+    service.unregister_workflow("wf")
+    advice = service.submit_transfers("wf", "j", [spec("a")])
+    assert advice[0].priority == 0

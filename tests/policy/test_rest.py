@@ -1,0 +1,153 @@
+"""Integration tests: real HTTP against the RESTful web interface."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.client import HTTPPolicyClient
+from repro.policy.rest import PolicyRestServer
+
+
+@pytest.fixture
+def server():
+    service = PolicyService(PolicyConfig(policy="greedy", default_streams=4, max_streams=50))
+    with PolicyRestServer(service) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return HTTPPolicyClient(server.url)
+
+
+def transfers_for(*lfns):
+    return [
+        {
+            "lfn": lfn,
+            "src_url": f"gsiftp://fg-vm/data/{lfn}",
+            "dst_url": f"gsiftp://obelix/scratch/{lfn}",
+            "nbytes": 1000,
+        }
+        for lfn in lfns
+    ]
+
+
+def test_full_transfer_lifecycle_over_http(client):
+    advice = client.submit_transfers("wf1", "j1", transfers_for("a", "b"))
+    assert [a.action for a in advice] == ["transfer", "transfer"]
+    assert all(a.streams == 4 for a in advice)
+
+    assert client.transfer_state(advice[0].tid) == "in_progress"
+    client.complete_transfers(done=[a.tid for a in advice])
+    assert client.transfer_state(advice[0].tid) == "done"
+    assert client.staging_state("a", "gsiftp://obelix/scratch/a") == "staged"
+
+    # A second workflow sees the staged file and is told to skip.
+    again = client.submit_transfers("wf2", "j2", transfers_for("a"))
+    assert again[0].action == "skip"
+
+
+def test_cleanup_lifecycle_over_http(client):
+    advice = client.submit_transfers("wf1", "j1", transfers_for("f"))
+    client.complete_transfers(done=[advice[0].tid])
+    cleanups = client.submit_cleanups("wf1", "c", [("f", "gsiftp://obelix/scratch/f")])
+    assert cleanups[0].action == "delete"
+    ack = client.complete_cleanups([cleanups[0].cid])
+    assert ack["acknowledged"] == 1
+
+
+def test_priorities_and_status_over_http(client):
+    client.register_priorities("wf1", {"stage_in_x": 9})
+    status = client.status()
+    assert status["policy"] == "greedy"
+    assert status["memory"].get("JobPriorityFact") == 1
+    client.unregister_workflow("wf1")
+    assert "JobPriorityFact" not in client.status()["memory"]
+
+
+def test_malformed_request_is_http_400(server):
+    request = urllib.request.Request(
+        f"{server.url}/policy/transfers",
+        data=json.dumps({"job": "j"}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5)
+    assert excinfo.value.code == 400
+    assert "workflow" in json.loads(excinfo.value.read())["error"]
+
+
+def test_invalid_json_is_http_400(server):
+    request = urllib.request.Request(
+        f"{server.url}/policy/transfers",
+        data=b"{broken",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5)
+    assert excinfo.value.code == 400
+
+
+def test_unknown_endpoint_is_http_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{server.url}/policy/nope", timeout=5)
+    assert excinfo.value.code == 404
+
+
+def test_unknown_transfer_id_state(client):
+    assert client.transfer_state(424242) == "unknown"
+
+
+def test_server_restart_guard():
+    service = PolicyService(PolicyConfig())
+    server = PolicyRestServer(service).start()
+    try:
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.stop()
+    server.stop()  # idempotent
+
+
+def test_concurrent_http_clients_are_serialized_safely(server):
+    """Multiple threads hammer the service; the internal lock keeps the
+    single-threaded rule engine consistent (every request answered, all
+    transfers eventually completed)."""
+    import threading
+
+    client = HTTPPolicyClient(server.url)
+    errors = []
+    approved_tids = []
+    lock = threading.Lock()
+
+    def worker(worker_id):
+        try:
+            for i in range(10):
+                advice = client.submit_transfers(
+                    f"wf{worker_id}",
+                    f"job{worker_id}_{i}",
+                    transfers_for(f"w{worker_id}_f{i}"),
+                )
+                with lock:
+                    approved_tids.extend(
+                        a.tid for a in advice if a.action == "transfer"
+                    )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert len(approved_tids) == 40
+    assert len(set(approved_tids)) == 40  # unique ids under concurrency
+    client.complete_transfers(done=approved_tids)
+    status = client.status()
+    assert status["memory"].get("TransferFact") is None

@@ -1,0 +1,60 @@
+"""Tests of the threshold auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.policy.tuning import ThresholdTuner
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ThresholdTuner([])
+    with pytest.raises(ValueError):
+        ThresholdTuner([0])
+    with pytest.raises(ValueError):
+        ThresholdTuner([50], epsilon=2.0)
+    tuner = ThresholdTuner([50, 100])
+    with pytest.raises(ValueError):
+        tuner.observe(75, 10.0)
+    with pytest.raises(ValueError):
+        tuner.observe(50, 0.0)
+
+
+def test_tries_every_arm_first():
+    tuner = ThresholdTuner([50, 100, 200], rng=np.random.default_rng(0))
+    seen = []
+    for _ in range(3):
+        arm = tuner.suggest()
+        seen.append(arm)
+        tuner.observe(arm, 100.0)
+    assert sorted(seen) == [50, 100, 200]
+
+
+def test_converges_to_best_threshold():
+    rng = np.random.default_rng(1)
+    tuner = ThresholdTuner([50, 100, 200], epsilon=0.2, rng=rng)
+
+    def simulated_time(threshold):
+        base = {50: 100.0, 100: 115.0, 200: 140.0}[threshold]
+        return base + rng.normal(0, 3)
+
+    for _ in range(60):
+        arm = tuner.suggest()
+        tuner.observe(arm, max(1.0, simulated_time(arm)))
+    assert tuner.best() == 50
+    # Exploitation dominates: the best arm has the most samples.
+    counts = tuner.observations()
+    assert counts[50] > counts[200]
+
+
+def test_mean_time_and_duplicate_candidates():
+    tuner = ThresholdTuner([50, 50, 100])
+    assert tuner.candidates == [50, 100]
+    assert tuner.mean_time(50) is None
+    tuner.observe(50, 10)
+    tuner.observe(50, 20)
+    assert tuner.mean_time(50) == 15.0
+
+
+def test_best_before_observations_is_first_candidate():
+    assert ThresholdTuner([75, 50]).best() == 75

@@ -1,0 +1,101 @@
+"""Property-based tests of the stream allocators (greedy / balanced)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.allocation import greedy_allocate, greedy_allocation_trace
+
+
+@given(
+    requested=st.integers(min_value=1, max_value=64),
+    allocated=st.integers(min_value=0, max_value=500),
+    threshold=st.integers(min_value=1, max_value=300),
+)
+def test_greedy_grant_bounds(requested, allocated, threshold):
+    grant = greedy_allocate(requested, allocated, threshold)
+    # Never starve, never exceed the request.
+    assert 1 <= grant <= requested
+    # Never push a below-threshold pair past the threshold.
+    if allocated < threshold:
+        assert allocated + grant <= threshold
+    else:
+        assert grant == 1
+
+
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    default=st.integers(min_value=1, max_value=16),
+    threshold=st.integers(min_value=1, max_value=250),
+)
+def test_greedy_trace_invariants(n, default, threshold):
+    trace = greedy_allocation_trace(n, default, threshold)
+    assert len(trace) == n
+    # Total allocation is at most threshold + (n - k) where the tail are
+    # single-stream grants; more precisely never exceeds threshold + n.
+    assert sum(trace) <= threshold + n
+    # Grants are non-increasing for identical requests.
+    assert all(a >= b for a, b in zip(trace, trace[1:]))
+    # Once a single-stream grant happens, all following grants are 1.
+    if 1 in trace and default > 1:
+        first_one = trace.index(1)
+        assert all(g == 1 for g in trace[first_one:])
+
+
+@given(
+    default=st.integers(min_value=1, max_value=16),
+    threshold=st.integers(min_value=1, max_value=250),
+    n=st.integers(min_value=1, max_value=25),
+)
+@settings(max_examples=30, deadline=None)
+def test_rule_engine_matches_analytic_allocator(default, threshold, n):
+    """The Table II rule pack is extensionally equal to the pure function."""
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=default, max_streams=threshold)
+    )
+    grants = []
+    for i in range(n):
+        advice = service.submit_transfers(
+            "wf",
+            f"job{i}",
+            [
+                {
+                    "lfn": f"f{i}",
+                    "src_url": f"gsiftp://src/d/f{i}",
+                    "dst_url": f"gsiftp://dst/s/f{i}",
+                    "nbytes": 1.0,
+                }
+            ],
+        )
+        grants.append(advice[0].streams)
+    assert grants == greedy_allocation_trace(n, default, threshold)
+
+
+@given(
+    lfns=st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_dedup_is_exact(lfns):
+    """Across any request mix, each distinct file is approved exactly once."""
+    service = PolicyService(PolicyConfig(policy="greedy", max_streams=100))
+    approved = []
+    for i, lfn in enumerate(lfns):
+        advice = service.submit_transfers(
+            "wf",
+            f"job{i}",
+            [
+                {
+                    "lfn": lfn,
+                    "src_url": f"gsiftp://src/d/{lfn}",
+                    "dst_url": f"gsiftp://dst/s/{lfn}",
+                    "nbytes": 1.0,
+                }
+            ],
+        )
+        for a in advice:
+            if a.action == "transfer":
+                approved.append(a.lfn)
+                service.complete_transfers(done=[a.tid])
+    assert sorted(approved) == sorted(set(lfns))

@@ -1,0 +1,98 @@
+"""Property-based tests of rule-engine semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import Collect, Fact, Pattern, Rule, Session
+
+
+class Item(Fact):
+    def __init__(self, value):
+        self.value = value
+        self.tagged = False
+
+
+@given(values=st.lists(st.integers(), min_size=0, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_each_fact_processed_exactly_once(values):
+    hits = []
+    rule = Rule(
+        "tag",
+        when=[Pattern(Item, "i", where=lambda i, b: not i.tagged)],
+        then=lambda ctx: (hits.append(ctx.i.value), ctx.update(ctx.i, tagged=True)),
+    )
+    s = Session([rule])
+    for v in values:
+        s.insert(Item(v))
+    fired = s.fire_all()
+    assert fired == len(values)
+    assert sorted(hits) == sorted(values)
+    assert s.fire_all() == 0  # quiescent
+
+
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=25),
+    cutoff=st.integers(min_value=-1000, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_guards_partition_facts(values, cutoff):
+    above, below = [], []
+    rules = [
+        Rule(
+            "above",
+            when=[Pattern(Item, "i", where=lambda i, b: i.value >= cutoff)],
+            then=lambda ctx: above.append(ctx.i.value),
+        ),
+        Rule(
+            "below",
+            when=[Pattern(Item, "i", where=lambda i, b: i.value < cutoff)],
+            then=lambda ctx: below.append(ctx.i.value),
+        ),
+    ]
+    s = Session(rules)
+    for v in values:
+        s.insert(Item(v))
+    s.fire_all()
+    assert sorted(above + below) == sorted(values)
+    assert all(v >= cutoff for v in above)
+    assert all(v < cutoff for v in below)
+
+
+@given(values=st.lists(st.integers(), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_collect_sees_full_population(values):
+    sums = []
+    rule = Rule(
+        "sum",
+        when=[Collect(Item, binding="items", min_count=1)],
+        then=lambda ctx: sums.append(sum(i.value for i in ctx.items)),
+    )
+    s = Session([rule])
+    for v in values:
+        s.insert(Item(v))
+    s.fire_all()
+    # Fires once with every fact bound (refraction: one firing per census).
+    assert sums == [sum(values)]
+
+
+@given(
+    saliences=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=8)
+)
+@settings(max_examples=50, deadline=None)
+def test_salience_ordering_is_total(saliences):
+    order = []
+    rules = [
+        Rule(
+            f"r{idx}",
+            salience=s,
+            when=[Pattern(Item)],
+            then=(lambda idx: (lambda ctx: order.append(idx)))(idx),
+        )
+        for idx, s in enumerate(saliences)
+    ]
+    session = Session(rules)
+    session.insert(Item(0))
+    session.fire_all()
+    fired_saliences = [saliences[i] for i in order]
+    assert fired_saliences == sorted(fired_saliences, reverse=True)
+    assert len(order) == len(saliences)

@@ -1,0 +1,109 @@
+"""Property-based tests of policy-service invariants under random traffic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.model import HostPairFact, TransferFact
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "done", "fail"]),
+        st.integers(min_value=0, max_value=9),   # file index
+        st.integers(min_value=0, max_value=2),   # source host index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    ops=op_strategy,
+    threshold=st.integers(min_value=2, max_value=40),
+    default=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_allocation_conservation(ops, threshold, default):
+    """At every step: each pair's recorded allocation equals the sum of
+    its in-progress transfers' grants, and while the pair is below its
+    threshold no single grant exceeds the remaining headroom."""
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=default, max_streams=threshold)
+    )
+    live: list[int] = []  # tids currently in progress
+    job_counter = 0
+
+    def check_conservation():
+        by_pair: dict = {}
+        for t in service.memory.facts_of(TransferFact):
+            if t.status == "in_progress" and t.allocated_streams:
+                key = (t.src_host, t.dst_host)
+                by_pair[key] = by_pair.get(key, 0) + t.allocated_streams
+        for pair in service.memory.facts_of(HostPairFact):
+            recorded = pair.allocated
+            actual = by_pair.get((pair.src_host, pair.dst_host), 0)
+            assert recorded == actual, (
+                f"pair {pair.src_host}->{pair.dst_host}: "
+                f"recorded {recorded} != in-progress sum {actual}"
+            )
+
+    for op, fidx, hidx in ops:
+        if op == "submit":
+            job_counter += 1
+            advice = service.submit_transfers(
+                "wf",
+                f"job{job_counter}",
+                [
+                    {
+                        "lfn": f"f{fidx}_{job_counter}",  # unique: no dedup noise
+                        "src_url": f"gsiftp://src{hidx}/d/f{fidx}_{job_counter}",
+                        "dst_url": f"gsiftp://dst/s/f{fidx}_{job_counter}",
+                        "nbytes": 10.0,
+                    }
+                ],
+            )
+            for item in advice:
+                if item.action == "transfer":
+                    assert 1 <= item.streams <= max(default, 1)
+                    live.append(item.tid)
+        elif live:
+            tid = live.pop(0) if op == "done" else live.pop()
+            if op == "done":
+                service.complete_transfers(done=[tid])
+            else:
+                service.complete_transfers(failed=[tid])
+        check_conservation()
+
+    # Drain everything; allocations must return to zero.
+    if live:
+        service.complete_transfers(done=list(live))
+    for pair in service.memory.facts_of(HostPairFact):
+        assert pair.allocated == 0
+
+
+@given(ops=op_strategy)
+@settings(max_examples=30, deadline=None)
+def test_every_submission_is_answered_exactly_once(ops):
+    service = PolicyService(PolicyConfig(policy="greedy"))
+    submitted = answered = 0
+    live: list[int] = []
+    for i, (op, fidx, hidx) in enumerate(ops):
+        if op == "submit":
+            advice = service.submit_transfers(
+                "wf",
+                f"j{i}",
+                [
+                    {
+                        "lfn": f"f{fidx}",
+                        "src_url": f"gsiftp://src{hidx}/d/f{fidx}",
+                        "dst_url": f"gsiftp://dst/s/f{fidx}",
+                        "nbytes": 1.0,
+                    }
+                ],
+            )
+            submitted += 1
+            answered += len(advice)
+            live.extend(a.tid for a in advice if a.action == "transfer")
+        elif live:
+            service.complete_transfers(done=[live.pop(0)])
+    assert submitted == answered

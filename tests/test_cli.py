@@ -1,0 +1,123 @@
+"""Tests of the command-line interface."""
+
+import io
+import threading
+import urllib.request
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_table4_command():
+    code, text = run_cli("table4")
+    assert code == 0
+    assert "Table IV" in text
+    assert "57" in text and "203" in text
+    assert "No policy case" in text
+
+
+def test_run_command_greedy():
+    code, text = run_cli(
+        "run", "--extra-mb", "10", "--images", "12", "--streams", "4", "--seed", "3"
+    )
+    assert code == 0
+    assert "success       : True" in text
+    assert "makespan" in text
+    assert "policy calls" in text
+
+
+def test_run_command_no_policy():
+    code, text = run_cli("run", "--extra-mb", "0", "--images", "8", "--policy", "none")
+    assert code == 0
+    assert "policy calls" not in text
+
+
+def test_run_command_balanced():
+    code, text = run_cli(
+        "run", "--extra-mb", "10", "--images", "8", "--policy", "balanced"
+    )
+    assert code == 0
+    assert "success       : True" in text
+
+
+def test_campaign_command():
+    code, text = run_cli(
+        "campaign", "--transfers", "20", "--mb", "20", "--workers", "4"
+    )
+    assert code == 0
+    assert "transfers    : 20" in text
+    assert "throughput" in text
+
+
+def test_campaign_adaptive_prints_trajectory():
+    code, text = run_cli(
+        "campaign", "--transfers", "60", "--mb", "200", "--threshold", "200",
+        "--adaptive",
+    )
+    assert code == 0
+    assert "adaptive     : final threshold" in text
+
+
+def test_figure_quick():
+    code, text = run_cli("figure", "7", "--replicates", "1", "--quick")
+    assert code == 0
+    assert "Fig. 7" in text
+    assert "no policy" in text
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_serve_command_over_http():
+    """Start the server in a thread, hit /policy/status, then stop it."""
+    from repro.policy import PolicyConfig, PolicyService
+    from repro.policy.rest import PolicyRestServer
+
+    # Exercise the same wiring `repro serve` uses, without blocking forever.
+    server = PolicyRestServer(
+        PolicyService(PolicyConfig(policy="greedy", max_streams=77))
+    ).start()
+    try:
+        with urllib.request.urlopen(f"{server.url}/policy/status", timeout=5) as r:
+            doc = json.loads(r.read())
+        assert doc["max_streams"] == 77
+    finally:
+        server.stop()
+
+
+def test_public_api_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_run_with_storage_budget_and_output_site():
+    code, text = run_cli(
+        "run", "--extra-mb", "10", "--images", "8",
+        "--max-staging-gb", "0.06", "--output-site", "archive",
+    )
+    assert code == 0
+    assert "success       : True" in text
+
+
+def test_figure_5_quick():
+    code, text = run_cli("figure", "5", "--replicates", "1", "--quick")
+    assert code == 0
+    assert "Fig. 5" in text
+    assert "1000 MB extra" in text

@@ -1,0 +1,73 @@
+"""Unit tests for the Epigenomics/CyberShake-like generators, and their
+end-to-end execution on the simulated testbed."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.environment import build_testbed
+from repro.experiments.runner import run_workflow
+from repro.workflow import cybershake_workflow, epigenomics_workflow
+
+
+# ---------------------------------------------------------------- epigenomics
+def test_epigenomics_structure():
+    wf = epigenomics_workflow(lanes=3, chunks=4)
+    counts = wf.transform_counts()
+    assert counts["fastqSplit"] == 3
+    assert counts["filterContams"] == counts["mapReads"] == counts["pileup"] == 12
+    assert counts["mergeBam"] == 3
+    assert counts["mapMerge"] == 1
+    # External inputs: one read file per lane.
+    assert len(wf.input_files()) == 3
+    # Pipelines are deep: filter -> map -> dedup -> merge -> density.
+    assert wf.levels()["density_map"] == 5
+
+
+def test_epigenomics_validation():
+    with pytest.raises(ValueError):
+        epigenomics_workflow(lanes=0)
+    with pytest.raises(ValueError):
+        epigenomics_workflow(chunks=0)
+
+
+# ----------------------------------------------------------------- cybershake
+def test_cybershake_structure():
+    wf = cybershake_workflow(rupture_sites=3, variations=5)
+    counts = wf.transform_counts()
+    assert counts["SeismogramSynthesis"] == 15
+    assert counts["PeakValCalc"] == 15
+    assert counts["HazardCurveCalc"] == 1
+    # SGT pairs are external inputs shared by all variations of a site.
+    assert len(wf.input_files()) == 6
+    assert len(wf.consumers_of("cs_s0_sgt_x.bin")) == 5
+
+
+def test_cybershake_validation():
+    with pytest.raises(ValueError):
+        cybershake_workflow(rupture_sites=0)
+    with pytest.raises(ValueError):
+        cybershake_workflow(variations=0)
+
+
+# --------------------------------------------------------------- end to end
+@pytest.mark.parametrize(
+    "workflow",
+    [epigenomics_workflow(lanes=2, chunks=3), cybershake_workflow(2, 3)],
+    ids=["epigenomics", "cybershake"],
+)
+def test_family_workflows_run_under_policy(workflow):
+    cfg = ExperimentConfig(extra_file_mb=0, policy="greedy", threshold=50, seed=6)
+    bed = build_testbed(cfg.testbed, seed=6)
+    metrics = run_workflow(cfg, workflow, bed=bed)
+    assert metrics.success
+    assert metrics.bytes_staged > 0
+
+
+def test_cybershake_shared_sgt_staged_once():
+    """Each SGT file feeds several jobs but moves over the WAN only once."""
+    wf = cybershake_workflow(rupture_sites=2, variations=4)
+    cfg = ExperimentConfig(extra_file_mb=0, policy="greedy", threshold=50, seed=6)
+    bed = build_testbed(cfg.testbed, seed=6)
+    metrics = run_workflow(cfg, wf, bed=bed)
+    # 2 sites x 2 SGT files of 50 MB each = 200 MB total (+ jitter).
+    assert metrics.bytes_staged == pytest.approx(4 * 50e6, rel=0.03)

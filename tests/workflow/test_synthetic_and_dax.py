@@ -1,0 +1,127 @@
+"""Unit tests for synthetic generators and DAX JSON round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    montage_workflow,
+    random_layered_workflow,
+    workflow_from_json,
+    workflow_to_json,
+)
+from repro.workflow.dag import WorkflowError
+from repro.workflow.montage import MontageConfig
+
+
+def test_chain_structure():
+    wf = chain_workflow(length=5)
+    assert len(wf) == 5
+    assert wf.roots() == ["stage_0"]
+    assert wf.leaves() == ["stage_4"]
+    assert wf.levels()["stage_4"] == 4
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        chain_workflow(length=0)
+
+
+def test_diamond_structure():
+    wf = diamond_workflow()
+    assert wf.parents("join") == ["left", "right"]
+    assert wf.children("split") == ["left", "right"]
+
+
+def test_fork_join_structure():
+    wf = fork_join_workflow(width=6)
+    assert len(wf) == 8
+    assert len(wf.children("fork")) == 6
+    assert len(wf.parents("join")) == 6
+    with pytest.raises(ValueError):
+        fork_join_workflow(width=0)
+
+
+def test_random_layered_connected_and_deterministic():
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    wf1 = random_layered_workflow(layers=4, width=5, rng=rng1)
+    wf2 = random_layered_workflow(layers=4, width=5, rng=rng2)
+    assert workflow_to_json(wf1) == workflow_to_json(wf2)
+    # Every non-root job has at least one parent.
+    levels = wf1.levels()
+    for job_id, level in levels.items():
+        if level > 0:
+            assert wf1.parents(job_id)
+
+
+def test_random_layered_validation():
+    with pytest.raises(ValueError):
+        random_layered_workflow(layers=0)
+    with pytest.raises(ValueError):
+        random_layered_workflow(edge_prob=1.5)
+
+
+def test_dax_roundtrip_montage():
+    wf = montage_workflow(MontageConfig(n_images=9, name="m9"))
+    text = workflow_to_json(wf, indent=2)
+    back = workflow_from_json(text)
+    assert back.name == wf.name
+    assert set(back.jobs) == set(wf.jobs)
+    assert back.transform_counts() == wf.transform_counts()
+    assert workflow_to_json(back) == workflow_to_json(wf)
+
+
+def test_dax_roundtrip_preserves_control_edges():
+    wf = diamond_workflow()
+    wf.add_control_edge("left", "right")
+    back = workflow_from_json(workflow_to_json(wf))
+    assert "left" in back.parents("right")
+
+
+def test_dax_rejects_garbage():
+    with pytest.raises(WorkflowError):
+        workflow_from_json("{not json")
+    with pytest.raises(WorkflowError):
+        workflow_from_json('{"format": "other", "name": "x"}')
+
+
+def test_dax_xml_roundtrip_montage():
+    from repro.workflow.dax import workflow_from_dax_xml, workflow_to_dax_xml
+
+    wf = montage_workflow(MontageConfig(n_images=9, name="m9"))
+    text = workflow_to_dax_xml(wf)
+    assert text.startswith("<adag")
+    assert 'link="input"' in text and 'link="output"' in text
+    back = workflow_from_dax_xml(text)
+    assert set(back.jobs) == set(wf.jobs)
+    assert back.transform_counts() == wf.transform_counts()
+    for lfn in ("raw_0.fits", "mosaic.jpg"):
+        assert back.file(lfn).size == wf.file(lfn).size
+
+
+def test_dax_xml_roundtrip_control_edges():
+    from repro.workflow.dax import workflow_from_dax_xml, workflow_to_dax_xml
+
+    wf = diamond_workflow()
+    wf.add_control_edge("left", "right")
+    back = workflow_from_dax_xml(workflow_to_dax_xml(wf))
+    assert "left" in back.parents("right")
+
+
+def test_dax_xml_rejects_garbage():
+    from repro.workflow.dax import workflow_from_dax_xml
+
+    with pytest.raises(WorkflowError, match="invalid DAX"):
+        workflow_from_dax_xml("<not-closed")
+    with pytest.raises(WorkflowError, match="not a DAX"):
+        workflow_from_dax_xml("<other/>")
+    with pytest.raises(WorkflowError, match="missing the workflow name"):
+        workflow_from_dax_xml("<adag/>")
+    with pytest.raises(WorkflowError, match="bad link"):
+        workflow_from_dax_xml(
+            '<adag name="w"><job id="j" name="t">'
+            '<uses file="f" link="sideways" size="1"/></job></adag>'
+        )
