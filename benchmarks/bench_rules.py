@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Rule-engine microbenchmark: indexed vs seed policy engine.
+
+Measures the policy service's decision hot path under the regime the
+paper's future work worries about — a long-lived Policy Memory serving
+large transfer batches — and emits ``BENCH_rules.json`` so the repo's
+perf trajectory has a committed baseline per PR.
+
+Scenarios
+---------
+``calibration``
+    A scale small enough that the seed (full re-scan) engine finishes,
+    giving a *measured* speedup.
+``batch``
+    The acceptance scenario: one 1,000-transfer batch against a memory
+    pre-loaded with 10,000 staged-file facts.  The seed engine is run in
+    a subprocess under a timeout budget; when it times out the reported
+    speedup is a **lower bound** (budget / indexed time).  Extrapolating
+    from the calibration scale, the seed engine would need hours here.
+``long_lived``
+    Repeated workflow lifetimes against one indexed service: per-batch
+    latency must stay flat and the fact census empty, demonstrating the
+    bounded-retention fixes (no leak-driven slowdown).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_rules.py [--quick] [--out PATH]
+
+``--quick`` (or ``REPRO_QUICK=1``) shrinks every scenario for CI smoke
+runs.  Each engine measurement runs in a fresh subprocess so the two
+engines never share interpreter state and the seed run can be killed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+SEED_TIMEOUT = 120.0  # seconds granted to the seed engine per scenario
+
+
+def _build_service(engine: str, staged: int):
+    from repro.policy import PolicyConfig, PolicyService
+    from repro.policy.model import StagedFileFact
+
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=4000),
+        engine=engine,
+    )
+    for i in range(staged):
+        fact = StagedFileFact(
+            lfn=f"pre{i}",
+            dst_url=f"gsiftp://obelix/pre/{i}",
+            owner_tid=-1,
+            workflow="wfpre",
+        )
+        fact.status = "staged"
+        service.memory.insert(fact)
+    return service
+
+
+def _specs(n: int, tag: str = "f"):
+    return [
+        {
+            "lfn": f"{tag}{i}",
+            "src_url": f"gsiftp://fg-vm/data/{tag}{i}",
+            "dst_url": f"gsiftp://obelix/scratch/{tag}{i}",
+            "nbytes": 1000.0,
+        }
+        for i in range(n)
+    ]
+
+
+def run_batch(engine: str, staged: int, transfers: int) -> dict:
+    """One submit_transfers batch; the measured hot path."""
+    service = _build_service(engine, staged)
+    specs = _specs(transfers)
+    t0 = time.perf_counter()
+    advice = service.submit_transfers("bench", "stage", specs)
+    elapsed = time.perf_counter() - t0
+    approved = sum(1 for a in advice if a.action == "transfer")
+    return {"elapsed_s": elapsed, "approved": approved, "advice": len(advice)}
+
+
+def run_long_lived(lifetimes: int, per_batch: int) -> dict:
+    """Repeated workflow lifetimes on one indexed service."""
+    service = _build_service("indexed", staged=0)
+    latencies = []
+    for life in range(lifetimes):
+        wf = f"wf{life}"
+        t0 = time.perf_counter()
+        advice = service.submit_transfers(
+            wf, "stage", _specs(per_batch, tag=f"{wf}-")
+        )
+        latencies.append(time.perf_counter() - t0)
+        service.complete_transfers(done=[a.tid for a in advice])
+        service.unregister_workflow(wf)
+    census = service.snapshot()["memory"]
+    head = latencies[: max(1, lifetimes // 3)]
+    tail = latencies[-max(1, lifetimes // 3):]
+    return {
+        "lifetimes": lifetimes,
+        "per_batch": per_batch,
+        "mean_first_third_s": sum(head) / len(head),
+        "mean_last_third_s": sum(tail) / len(tail),
+        "residual_facts": census,
+    }
+
+
+# -- subprocess driver -------------------------------------------------------
+def _worker_main(engine: str, staged: int, transfers: int) -> None:
+    print(json.dumps(run_batch(engine, staged, transfers)))
+
+
+def _measure(engine: str, staged: int, transfers: int, timeout: float) -> dict:
+    """Run one batch measurement in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, str(pathlib.Path(__file__).resolve()),
+        "--worker", engine, str(staged), str(transfers),
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, env=env, capture_output=True, text=True, timeout=timeout
+        )
+    except subprocess.TimeoutExpired:
+        return {"engine": engine, "timed_out": True, "timeout_s": timeout}
+    if proc.returncode != 0:
+        raise RuntimeError(f"{engine} worker failed:\n{proc.stderr}")
+    result = json.loads(proc.stdout.strip().splitlines()[-1])
+    result.update({"engine": engine, "timed_out": False})
+    return result
+
+
+def _scenario(name: str, staged: int, transfers: int, timeout: float) -> dict:
+    print(f"[{name}] staged={staged} transfers={transfers}", flush=True)
+    indexed = _measure("indexed", staged, transfers, timeout)
+    print(f"  indexed: {indexed['elapsed_s']:.3f}s", flush=True)
+    seed = _measure("seed", staged, transfers, timeout)
+    if seed["timed_out"]:
+        speedup = timeout / indexed["elapsed_s"]
+        kind = "lower_bound"
+        print(f"  seed: timed out after {timeout:.0f}s -> speedup >= {speedup:.1f}x",
+              flush=True)
+    else:
+        speedup = seed["elapsed_s"] / indexed["elapsed_s"]
+        kind = "measured"
+        print(f"  seed: {seed['elapsed_s']:.3f}s -> speedup {speedup:.1f}x",
+              flush=True)
+        if indexed["approved"] != seed["approved"]:
+            raise RuntimeError("engines disagreed on approvals")
+    return {
+        "staged_files": staged,
+        "transfer_batch": transfers,
+        "indexed": indexed,
+        "seed": seed,
+        "speedup": speedup,
+        "speedup_kind": kind,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_rules.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (also via REPRO_QUICK=1)")
+    parser.add_argument("--seed-timeout", type=float, default=SEED_TIMEOUT)
+    parser.add_argument("--worker", nargs=3, metavar=("ENGINE", "STAGED", "N"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        engine, staged, transfers = args.worker
+        _worker_main(engine, int(staged), int(transfers))
+        return 0
+
+    quick = args.quick or os.environ.get("REPRO_QUICK", "0") == "1"
+    if quick:
+        calibration = (200, 20)
+        batch = (1000, 100)
+        lifetimes, per_batch = (10, 10)
+    else:
+        calibration = (500, 50)
+        batch = (10_000, 1000)
+        lifetimes, per_batch = (30, 20)
+
+    report = {
+        "benchmark": "bench_rules",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed_timeout_s": args.seed_timeout,
+        "scenarios": {
+            "calibration": _scenario("calibration", *calibration,
+                                     timeout=args.seed_timeout),
+            "batch": _scenario("batch", *batch, timeout=args.seed_timeout),
+        },
+    }
+    print("[long_lived]", flush=True)
+    report["scenarios"]["long_lived"] = run_long_lived(lifetimes, per_batch)
+    ll = report["scenarios"]["long_lived"]
+    print(f"  first third {ll['mean_first_third_s'] * 1e3:.1f}ms/batch, "
+          f"last third {ll['mean_last_third_s'] * 1e3:.1f}ms/batch, "
+          f"residual facts: {ll['residual_facts'] or '{}'}", flush=True)
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    ok = all(
+        s["speedup"] >= 5.0 for s in
+        (report["scenarios"]["calibration"], report["scenarios"]["batch"])
+    )
+    print("PASS: >=5x speedup in every scenario" if ok
+          else "FAIL: speedup below 5x")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(SRC))
+    raise SystemExit(main())

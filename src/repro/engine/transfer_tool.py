@@ -187,9 +187,11 @@ class PegasusTransferTool:
     def _run_approved(self, items: list[TransferAdvice], record: StagingRecord):
         """Execute approved transfers group by group, sessions reused."""
         # Preserve the service's ordering; group boundaries reset sessions.
+        # Group id 0 means "ungrouped" (the service assigned no host-pair
+        # group), so consecutive 0s never share a session.
         current_group: Optional[int] = None
         for idx, item in enumerate(items):
-            session_established = item.group_id == current_group
+            session_established = item.group_id != 0 and item.group_id == current_group
             current_group = item.group_id
             try:
                 rec = yield from self.gridftp.transfer(

@@ -184,7 +184,11 @@ class WorkflowExecution:
                 self.dagman.run(), name=f"dagman-{self.plan.workflow_id}"
             )
             if self.policy is not None:
-                self.policy.service.unregister_workflow(self.plan.workflow_id)
+                # Without cleanup the staged files stay on disk for later
+                # ensemble members to share; keep tracking them.
+                self.policy.service.unregister_workflow(
+                    self.plan.workflow_id, retain_staged=not self.cfg.cleanup
+                )
             return self.result
 
         return self.bed.env.process(driver(), name=f"exec-{self.plan.workflow_id}")

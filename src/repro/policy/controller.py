@@ -137,7 +137,10 @@ class PolicyController:
 
     def unregister_workflow(self, payload: dict) -> dict:
         workflow = _require(payload, "workflow")
-        self.service.unregister_workflow(workflow)
+        retain = payload.get("retain_staged", False)
+        if not isinstance(retain, bool):
+            raise PolicyRequestError("retain_staged must be a boolean")
+        self.service.unregister_workflow(workflow, retain_staged=retain)
         return {"workflow": workflow, "unregistered": True}
 
     # -- status ---------------------------------------------------------------

@@ -53,6 +53,11 @@ class PolicyConfig:
     order_by:
         ``"urls"`` — sort advice by source/destination URL (Table I);
         ``"priority"`` — sort by structure-based priority, then URLs.
+    completed_tid_retention:
+        How many completed/failed transfer ids the service remembers for
+        :meth:`PolicyService.transfer_state` queries.  Bounded so a
+        long-lived service does not grow without limit; the oldest ids
+        are forgotten first (their state reads ``"unknown"``).
     adaptive / adaptive_settings:
         Enable runtime threshold adaptation from recent transfer
         performance (:mod:`repro.policy.adaptive`); greedy policy only.
@@ -68,6 +73,7 @@ class PolicyConfig:
     adaptive: bool = False
     adaptive_settings: Optional[object] = None
     access_control: bool = False
+    completed_tid_retention: int = 10_000
 
     def __post_init__(self) -> None:
         if self.policy not in ("greedy", "balanced", "fifo"):
@@ -85,6 +91,8 @@ class PolicyConfig:
                 raise ValueError("cluster_threshold must be >= 1")
         if self.adaptive and self.policy != "greedy":
             raise ValueError("adaptive thresholds require the greedy policy")
+        if self.completed_tid_retention < 0:
+            raise ValueError("completed_tid_retention must be >= 0")
 
     def threshold_for(self, src_host: str, dst_host: str) -> int:
         """Stream threshold between a host pair (with per-pair override)."""

@@ -53,7 +53,14 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
             self.wfile.write(body)
 
         def _read_json(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0))
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except (TypeError, ValueError) as exc:
+                raise PolicyRequestError(
+                    "Content-Length header must be an integer"
+                ) from exc
+            if length < 0:
+                raise PolicyRequestError("Content-Length header must be >= 0")
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 doc = json.loads(raw or b"{}")
@@ -76,7 +83,13 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                     else:
                         self._reply(404, {"error": f"no such endpoint {self.path!r}"})
             except PolicyRequestError as exc:
+                # The body may be unread (bad framing) — do not reuse the
+                # connection for a follow-up request.
+                self.close_connection = True
                 self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # don't drop the connection on a bug
+                self.close_connection = True
+                self._reply(500, {"error": f"internal error: {exc}"})
 
         def do_POST(self) -> None:  # noqa: N802
             routes = {
@@ -100,7 +113,13 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                 with lock:
                     self._reply(200, handler(payload))
             except PolicyRequestError as exc:
+                # The body may be unread (bad framing) — do not reuse the
+                # connection for a follow-up request.
+                self.close_connection = True
                 self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # don't drop the connection on a bug
+                self.close_connection = True
+                self._reply(500, {"error": f"internal error: {exc}"})
 
     return Handler
 

@@ -104,11 +104,13 @@ def access_rules() -> list[Rule]:
                     TransferFact,
                     "t",
                     where=lambda t, b: t.status == "failed" and t.quota_charged,
+                    keys={"status": lambda b: "failed"},
                 ),
                 Pattern(
                     WorkflowQuotaFact,
                     "quota",
                     where=lambda q, b: q.workflow == b["t"].workflow,
+                    keys={"workflow": lambda b: b["t"].workflow},
                 ),
             ],
             then=_refund_quota,
@@ -117,7 +119,12 @@ def access_rules() -> list[Rule]:
             "Deny transfers that involve an administratively denied host",
             salience=_ACCESS_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(HostDenialFact, "deny", where=_denied_by_host),
             ],
             then=_deny_host,
@@ -126,7 +133,12 @@ def access_rules() -> list[Rule]:
             "Deny transfers that would exceed their workflow's staging quota",
             salience=_ACCESS_SALIENCE - 1,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     WorkflowQuotaFact,
                     "quota",
@@ -135,6 +147,7 @@ def access_rules() -> list[Rule]:
                     where=lambda q, b: q.workflow == b["t"].workflow
                     and not b["t"].quota_charged
                     and q.used_bytes + b["t"].nbytes > q.max_bytes,
+                    keys={"workflow": lambda b: b["t"].workflow},
                 ),
             ],
             then=_deny_quota,
@@ -148,12 +161,14 @@ def access_rules() -> list[Rule]:
                     "t",
                     where=lambda t, b: t.status == "new"
                     and not getattr(t, "quota_charged", False),
+                    keys={"status": lambda b: "new"},
                 ),
                 Pattern(
                     WorkflowQuotaFact,
                     "quota",
                     where=lambda q, b: q.workflow == b["t"].workflow
                     and q.used_bytes + b["t"].nbytes <= q.max_bytes,
+                    keys={"workflow": lambda b: b["t"].workflow},
                 ),
             ],
             then=_charge_quota,

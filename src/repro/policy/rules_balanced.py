@@ -36,6 +36,17 @@ def _needs_allocation(t, bindings) -> bool:
     )
 
 
+_NEW_KEYS = {"status": lambda b: "new"}
+
+
+def _cluster_keys():
+    return {
+        "src_host": lambda b: b["t"].src_host,
+        "dst_host": lambda b: b["t"].dst_host,
+        "cluster": lambda b: b["t"].cluster,
+    }
+
+
 def _cluster_of(c, bindings) -> bool:
     t = bindings["t"]
     return (
@@ -81,8 +92,8 @@ def balanced_rules() -> list[Rule]:
             "cluster between a source and destination host",
             salience=_ALLOC_SALIENCE + 1,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
-                Absent(ClusterAllocationFact, where=_cluster_of),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
+                Absent(ClusterAllocationFact, where=_cluster_of, keys=_cluster_keys()),
             ],
             then=_create_cluster_allocation,
         ),
@@ -91,12 +102,13 @@ def balanced_rules() -> list[Rule]:
             "fits within its cluster's share",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     ClusterAllocationFact,
                     "alloc",
                     where=lambda a, b: _cluster_of(a, b)
                     and a.allocated + b["t"].requested_streams <= _threshold(b),
+                    keys=_cluster_keys(),
                 ),
             ],
             then=_grant_full,
@@ -107,13 +119,14 @@ def balanced_rules() -> list[Rule]:
             "its cluster",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     ClusterAllocationFact,
                     "alloc",
                     where=lambda a, b: _cluster_of(a, b)
                     and a.allocated < _threshold(b)
                     and a.allocated + b["t"].requested_streams > _threshold(b),
+                    keys=_cluster_keys(),
                 ),
             ],
             then=_grant_partial,
@@ -123,12 +136,13 @@ def balanced_rules() -> list[Rule]:
             "the defined cluster threshold (share exhausted: single stream)",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     ClusterAllocationFact,
                     "alloc",
                     where=lambda a, b: _cluster_of(a, b)
                     and a.allocated >= _threshold(b),
+                    keys=_cluster_keys(),
                 ),
             ],
             then=_grant_single,

@@ -5,6 +5,12 @@ Each rule is named after its row in the paper's Table I.  The final row
 ordering concern of the response and is applied by the service when it
 assembles advice (see :meth:`PolicyService.submit_transfers`).
 
+Patterns declare ``keys`` on the join attributes the guards equate —
+``(lfn, dst_url)`` for dedup/staged-file joins, ``(src_host, dst_host)``
+for host-pair joins — so candidate facts come from the working memory's
+hash indexes instead of full type scans; the guards remain authoritative.
+Rule actions use :meth:`WorkingMemory.lookup` for the same reason.
+
 Salience tiers (higher fires first):
 
 ====  ====================================================================
@@ -25,12 +31,29 @@ from repro.rules import Absent, Pattern, Rule
 
 from repro.policy.model import (
     CleanupFact,
+    ClusterAllocationFact,
     HostPairFact,
     StagedFileFact,
     TransferFact,
 )
 
 __all__ = ["common_rules"]
+
+
+# -- index key helpers (keys must be implied by the guards they ride with) --
+def _t_file_keys():
+    return {"lfn": lambda b: b["t"].lfn, "dst_url": lambda b: b["t"].dst_url}
+
+
+def _t_pair_keys():
+    return {
+        "src_host": lambda b: b["t"].src_host,
+        "dst_host": lambda b: b["t"].dst_host,
+    }
+
+
+def _c_url_keys():
+    return {"dst_url": lambda b: b["c"].url}
 
 
 # -- actions ----------------------------------------------------------------
@@ -87,27 +110,27 @@ def _release(ctx, t):
     """Free the streams a finished transfer held ('Record ... against the
     defined threshold' is undone on completion)."""
     if t.allocated_streams:
-        for pair in ctx._session.memory.facts_of(HostPairFact):
-            if pair.src_host == t.src_host and pair.dst_host == t.dst_host:
-                ctx.update(pair, allocated=max(0, pair.allocated - t.allocated_streams))
-        from repro.policy.model import ClusterAllocationFact
-
-        for cluster in ctx._session.memory.facts_of(ClusterAllocationFact):
-            if (
-                cluster.src_host == t.src_host
-                and cluster.dst_host == t.dst_host
-                and cluster.cluster == t.cluster
-            ):
-                ctx.update(
-                    cluster, allocated=max(0, cluster.allocated - t.allocated_streams)
-                )
+        memory = ctx._session.memory
+        for pair in memory.lookup(
+            HostPairFact, src_host=t.src_host, dst_host=t.dst_host
+        ):
+            ctx.update(pair, allocated=max(0, pair.allocated - t.allocated_streams))
+        for cluster in memory.lookup(
+            ClusterAllocationFact,
+            src_host=t.src_host,
+            dst_host=t.dst_host,
+            cluster=t.cluster,
+        ):
+            ctx.update(
+                cluster, allocated=max(0, cluster.allocated - t.allocated_streams)
+            )
 
 
 def _remove_completed(ctx):
     t = ctx.t
     _release(ctx, t)
-    for r in ctx._session.memory.facts_of(StagedFileFact):
-        if r.lfn == t.lfn and r.dst_url == t.dst_url and r.status == "staging":
+    for r in ctx._session.memory.lookup(StagedFileFact, lfn=t.lfn, dst_url=t.dst_url):
+        if r.status == "staging":
             ctx.update(r, status="staged")
     ctx.retract(t)
 
@@ -115,13 +138,8 @@ def _remove_completed(ctx):
 def _remove_failed(ctx):
     t = ctx.t
     _release(ctx, t)
-    for r in ctx._session.memory.facts_of(StagedFileFact):
-        if (
-            r.lfn == t.lfn
-            and r.dst_url == t.dst_url
-            and r.status == "staging"
-            and r.owner_tid == t.tid
-        ):
+    for r in ctx._session.memory.lookup(StagedFileFact, lfn=t.lfn, dst_url=t.dst_url):
+        if r.status == "staging" and r.owner_tid == t.tid:
             ctx.retract(r)  # the file never arrived; allow restaging
     ctx.retract(t)
 
@@ -157,20 +175,41 @@ def common_rules() -> list[Rule]:
         Rule(
             "Remove a transfer that has completed",
             salience=95,
-            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "done")],
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "done",
+                    keys={"status": lambda b: "done"},
+                )
+            ],
             then=_remove_completed,
         ),
         Rule(
             "Remove a transfer that has failed",
             salience=95,
-            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "failed")],
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "failed",
+                    keys={"status": lambda b: "failed"},
+                )
+            ],
             then=_remove_failed,
         ),
         # -- insertion acknowledgement --------------------------------------
         Rule(
             "Insert new transfers into policy memory",
             salience=90,
-            when=[Pattern(TransferFact, "t", where=lambda t, b: t.status == "submitted")],
+            when=[
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "submitted",
+                    keys={"status": lambda b: "submitted"},
+                )
+            ],
             then=_ack_transfer,
         ),
         # -- de-duplication ---------------------------------------------------
@@ -178,7 +217,12 @@ def common_rules() -> list[Rule]:
             "Remove duplicate transfers from the transfer list",
             salience=85,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     TransferFact,
                     "dup",
@@ -186,6 +230,7 @@ def common_rules() -> list[Rule]:
                     and d.tid > b["t"].tid
                     and d.lfn == b["t"].lfn
                     and d.dst_url == b["t"].dst_url,
+                    keys=_t_file_keys(),
                 ),
             ],
             then=_skip_batch_duplicate,
@@ -194,13 +239,19 @@ def common_rules() -> list[Rule]:
             "Remove transfers whose file is already staged",
             salience=84,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     StagedFileFact,
                     "r",
                     where=lambda r, b: r.status == "staged"
                     and r.lfn == b["t"].lfn
                     and r.dst_url == b["t"].dst_url,
+                    keys=_t_file_keys(),
                 ),
             ],
             then=_skip_already_staged,
@@ -209,19 +260,26 @@ def common_rules() -> list[Rule]:
             "Remove transfers from the transfer list that are already in progress",
             salience=83,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     TransferFact,
                     "other",
                     where=lambda o, b: o.status == "in_progress"
                     and o.lfn == b["t"].lfn
                     and o.dst_url == b["t"].dst_url,
+                    keys=_t_file_keys(),
                 ),
                 Pattern(
                     StagedFileFact,
                     "r",
                     where=lambda r, b: r.lfn == b["t"].lfn
                     and r.dst_url == b["t"].dst_url,
+                    keys=_t_file_keys(),
                 ),
             ],
             then=_wait_for_in_flight,
@@ -231,11 +289,17 @@ def common_rules() -> list[Rule]:
             "Create a resource for a new transfer to track the resulting staged file",
             salience=70,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Absent(
                     StagedFileFact,
                     where=lambda r, b: r.lfn == b["t"].lfn
                     and r.dst_url == b["t"].dst_url,
+                    keys=_t_file_keys(),
                 ),
             ],
             then=_create_resource,
@@ -245,13 +309,19 @@ def common_rules() -> list[Rule]:
             "workflows using the staged file",
             salience=65,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     StagedFileFact,
                     "r",
                     where=lambda r, b: r.lfn == b["t"].lfn
                     and r.dst_url == b["t"].dst_url
                     and b["t"].workflow not in r.users,
+                    keys=_t_file_keys(),
                 ),
             ],
             then=_associate_resource,
@@ -261,11 +331,17 @@ def common_rules() -> list[Rule]:
             "Generate a unique group ID for a source and destination host pair",
             salience=60,
             when=[
-                Pattern(TransferFact, "t", where=lambda t, b: t.status == "new"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Absent(
                     HostPairFact,
                     where=lambda p, b: p.src_host == b["t"].src_host
                     and p.dst_host == b["t"].dst_host,
+                    keys=_t_pair_keys(),
                 ),
             ],
             then=_create_host_pair,
@@ -279,12 +355,14 @@ def common_rules() -> list[Rule]:
                     TransferFact,
                     "t",
                     where=lambda t, b: t.status == "new" and t.group_id is None,
+                    keys={"status": lambda b: "new"},
                 ),
                 Pattern(
                     HostPairFact,
                     "pair",
                     where=lambda p, b: p.src_host == b["t"].src_host
                     and p.dst_host == b["t"].dst_host,
+                    keys=_t_pair_keys(),
                 ),
             ],
             then=_assign_group,
@@ -299,6 +377,7 @@ def common_rules() -> list[Rule]:
                     "t",
                     where=lambda t, b: t.status == "new"
                     and t.requested_streams is None,
+                    keys={"status": lambda b: "new"},
                 )
             ],
             then=_assign_default_streams,
@@ -313,6 +392,7 @@ def common_rules() -> list[Rule]:
                     where=lambda t, b: t.status == "new"
                     and t.requested_streams is not None
                     and t.requested_streams < 1,
+                    keys={"status": lambda b: "new"},
                 )
             ],
             then=_ensure_min_stream,
@@ -321,20 +401,33 @@ def common_rules() -> list[Rule]:
         Rule(
             "Insert new cleanups into policy memory",
             salience=90,
-            when=[Pattern(CleanupFact, "c", where=lambda c, b: c.status == "submitted")],
+            when=[
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status == "submitted",
+                    keys={"status": lambda b: "submitted"},
+                )
+            ],
             then=_ack_cleanup,
         ),
         Rule(
             "Remove duplicate cleanup requests that are in progress or completed",
             salience=85,
             when=[
-                Pattern(CleanupFact, "c", where=lambda c, b: c.status == "new"),
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     CleanupFact,
                     "other",
                     where=lambda o, b: o.cid != b["c"].cid
                     and o.url == b["c"].url
                     and o.status in ("approved", "in_progress"),
+                    keys={"url": lambda b: b["c"].url},
                 ),
             ],
             then=_skip_duplicate_cleanup,
@@ -344,12 +437,18 @@ def common_rules() -> list[Rule]:
             "the resource's staged file",
             salience=80,
             when=[
-                Pattern(CleanupFact, "c", where=lambda c, b: c.status == "new"),
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status == "new",
+                    keys={"status": lambda b: "new"},
+                ),
                 Pattern(
                     StagedFileFact,
                     "r",
                     where=lambda r, b: r.dst_url == b["c"].url
                     and b["c"].workflow in r.users,
+                    keys=_c_url_keys(),
                 ),
             ],
             then=_detach_from_resource,
@@ -368,6 +467,7 @@ def common_rules() -> list[Rule]:
                     StagedFileFact,
                     "r",
                     where=lambda r, b: r.dst_url == b["c"].url and len(r.users) > 0,
+                    keys=_c_url_keys(),
                 ),
             ],
             then=_skip_cleanup_in_use,
@@ -385,6 +485,7 @@ def common_rules() -> list[Rule]:
                 Absent(
                     StagedFileFact,
                     where=lambda r, b: r.dst_url == b["c"].url and len(r.users) > 0,
+                    keys=_c_url_keys(),
                 ),
             ],
             then=_approve_cleanup,

@@ -35,6 +35,16 @@ def _needs_allocation(t, bindings) -> bool:
     )
 
 
+_NEW_KEYS = {"status": lambda b: "new"}
+
+
+def _pair_keys():
+    return {
+        "src_host": lambda b: b["t"].src_host,
+        "dst_host": lambda b: b["t"].dst_host,
+    }
+
+
 def _pair_of(p, bindings) -> bool:
     t = bindings["t"]
     return p.src_host == t.src_host and p.dst_host == t.dst_host
@@ -82,13 +92,14 @@ def greedy_rules() -> list[Rule]:
             "Enforce the maximum number of parallel streams on a transfer",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     HostPairFact,
                     "pair",
                     where=lambda p, b: _pair_of(p, b)
                     and p.threshold is not None
                     and p.allocated + b["t"].requested_streams <= p.threshold,
+                    keys=_pair_keys(),
                 ),
             ],
             then=_grant_full,
@@ -99,7 +110,7 @@ def greedy_rules() -> list[Rule]:
             "does not exceed the threshold",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     HostPairFact,
                     "pair",
@@ -107,6 +118,7 @@ def greedy_rules() -> list[Rule]:
                     and p.threshold is not None
                     and p.allocated < p.threshold
                     and p.allocated + b["t"].requested_streams > p.threshold,
+                    keys=_pair_keys(),
                 ),
             ],
             then=_grant_partial,
@@ -116,13 +128,14 @@ def greedy_rules() -> list[Rule]:
             "stream for the new transfer",
             salience=_ALLOC_SALIENCE,
             when=[
-                Pattern(TransferFact, "t", where=_needs_allocation),
+                Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
                     HostPairFact,
                     "pair",
                     where=lambda p, b: _pair_of(p, b)
                     and p.threshold is not None
                     and p.allocated >= p.threshold,
+                    keys=_pair_keys(),
                 ),
             ],
             then=_grant_single,

@@ -40,6 +40,7 @@ def priority_rules() -> list[Rule]:
                     TransferFact,
                     "t",
                     where=lambda t, b: t.status == "new" and t.priority == 0,
+                    keys={"status": lambda b: "new"},
                 ),
                 Pattern(
                     JobPriorityFact,
@@ -47,6 +48,10 @@ def priority_rules() -> list[Rule]:
                     where=lambda p, b: p.workflow == b["t"].workflow
                     and p.job == b["t"].job
                     and p.priority != 0,
+                    keys={
+                        "workflow": lambda b: b["t"].workflow,
+                        "job": lambda b: b["t"].job,
+                    },
                 ),
             ],
             then=_stamp_priority,

@@ -35,6 +35,31 @@ from repro.policy.rules_priority import JobPriorityFact, priority_rules
 __all__ = ["PolicyService"]
 
 
+class _BoundedIdSet:
+    """Insertion-ordered id set that forgets its oldest members beyond a
+    size cap — retention for completed/failed transfer ids."""
+
+    __slots__ = ("_cap", "_ids")
+
+    def __init__(self, cap: int):
+        self._cap = int(cap)
+        self._ids: dict[int, None] = {}
+
+    def add(self, value: int) -> None:
+        ids = self._ids
+        if value in ids:
+            return
+        ids[value] = None
+        while len(ids) > self._cap:
+            del ids[next(iter(ids))]
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
 class PolicyService:
     """The policy engine of paper Fig. 1.
 
@@ -46,6 +71,11 @@ class PolicyService:
     extra_rules:
         Additional rules appended to the pack (deployment customization —
         the paper stresses rules are separated from application logic).
+    engine:
+        ``"indexed"`` (default) uses the hash-indexed working memory and
+        the incremental rule agenda; ``"seed"`` keeps the original
+        scan-everything engine — same advice, used as the baseline by
+        ``benchmarks/bench_rules.py`` and the equivalence tests.
     """
 
     def __init__(
@@ -53,7 +83,11 @@ class PolicyService:
         config: Optional[PolicyConfig] = None,
         extra_rules: Sequence[Rule] = (),
         clock: Optional[Callable[[], float]] = None,
+        engine: str = "indexed",
     ):
+        if engine not in ("indexed", "seed"):
+            raise ValueError(f"engine must be 'indexed' or 'seed', got {engine!r}")
+        self.engine = engine
         self.config = config or PolicyConfig()
         #: time source for adaptive epochs — the simulated clock inside a
         #: simulation, wall time behind the REST frontend
@@ -63,7 +97,7 @@ class PolicyService:
             self.adaptive = AdaptiveThresholdController(
                 self.config.max_streams, self.config.adaptive_settings
             )
-        self.memory = WorkingMemory()
+        self.memory = WorkingMemory(indexed=self.engine == "indexed")
         self.globals: dict = {"config": self.config, "group_counter": 1}
         rules = list(common_rules()) + list(priority_rules())
         if self.config.access_control:
@@ -77,8 +111,9 @@ class PolicyService:
         self._tid = itertools.count(1)
         self._cid = itertools.count(1)
         self._batch = itertools.count(1)
-        self._done_tids: set[int] = set()
-        self._failed_tids: set[int] = set()
+        retention = self.config.completed_tid_retention
+        self._done_tids = _BoundedIdSet(retention)
+        self._failed_tids = _BoundedIdSet(retention)
         self.stats = {
             "transfer_requests": 0,
             "transfers_submitted": 0,
@@ -95,7 +130,12 @@ class PolicyService:
 
     # ------------------------------------------------------------------ session
     def _session(self) -> Session:
-        return Session(self._rules, memory=self.memory, globals=self.globals)
+        return Session(
+            self._rules,
+            memory=self.memory,
+            globals=self.globals,
+            incremental=self.engine == "indexed",
+        )
 
     def _fire(self, session: Session) -> None:
         self.stats["rule_firings"] += session.fire_all()
@@ -231,22 +271,25 @@ class PolicyService:
         done, failed = list(done), list(failed)
         session = self._session()
         matched = 0
-        by_tid = {
-            f.tid: f
-            for f in self.memory.facts_of(TransferFact)
-            if f.status == "in_progress"
-        }
+
+        def in_progress(tid: int) -> Optional[TransferFact]:
+            for f in self.memory.lookup(TransferFact, tid=tid):
+                if f.status == "in_progress":
+                    return f
+            return None
+
         completed_pairs: list[tuple[str, str, float]] = []
         for tid in done:
-            if tid in by_tid:
-                fact = by_tid[tid]
+            fact = in_progress(tid)
+            if fact is not None:
                 completed_pairs.append((fact.src_host, fact.dst_host, fact.nbytes))
                 session.update(fact, status="done")
                 self._done_tids.add(tid)
                 matched += 1
         for tid in failed:
-            if tid in by_tid:
-                session.update(by_tid[tid], status="failed")
+            fact = in_progress(tid)
+            if fact is not None:
+                session.update(fact, status="failed")
                 self._failed_tids.add(tid)
                 matched += 1
         self._fire(session)
@@ -262,9 +305,10 @@ class PolicyService:
             decided = self.adaptive.observe(src_host, dst_host, nbytes, now)
             if decided is None:
                 continue
-            for pair in self.memory.facts_of(HostPairFact):
-                if pair.src_host == src_host and pair.dst_host == dst_host:
-                    self.memory.update(pair, threshold=decided)
+            for pair in self.memory.lookup(
+                HostPairFact, src_host=src_host, dst_host=dst_host
+            ):
+                self.memory.update(pair, threshold=decided)
 
     # ------------------------------------------------------------------ cleanups
     def submit_cleanups(
@@ -309,9 +353,10 @@ class PolicyService:
         matched = 0
         for fact in list(self.memory.facts_of(CleanupFact)):
             if fact.cid in ids and fact.status == "in_progress":
-                for resource in list(self.memory.facts_of(StagedFileFact)):
-                    if resource.dst_url == fact.url:
-                        self.memory.retract(resource)
+                for resource in list(
+                    self.memory.lookup(StagedFileFact, dst_url=fact.url)
+                ):
+                    self.memory.retract(resource)
                 self.memory.retract(fact)
                 matched += 1
         return {"acknowledged": matched}
@@ -319,16 +364,14 @@ class PolicyService:
     # ------------------------------------------------------------------ queries
     def staging_state(self, lfn: str, dst_url: str) -> str:
         """``"staged"`` / ``"staging"`` / ``"unknown"`` for a file at a URL."""
-        for r in self.memory.facts_of(StagedFileFact):
-            if r.lfn == lfn and r.dst_url == dst_url:
-                return r.status
+        for r in self.memory.lookup(StagedFileFact, lfn=lfn, dst_url=dst_url):
+            return r.status
         return "unknown"
 
     def transfer_state(self, tid: int) -> str:
         """``"in_progress"`` / ``"done"`` / ``"failed"`` / ``"unknown"``."""
-        for f in self.memory.facts_of(TransferFact):
-            if f.tid == tid:
-                return f.status
+        for f in self.memory.lookup(TransferFact, tid=tid):
+            return f.status
         if tid in self._done_tids:
             return "done"
         if tid in self._failed_tids:
@@ -369,11 +412,24 @@ class PolicyService:
             count += 1
         return count
 
-    def unregister_workflow(self, workflow: str) -> None:
-        """Drop a finished workflow's interest in staged files/priorities."""
-        for r in self.memory.facts_of(StagedFileFact):
+    def unregister_workflow(self, workflow: str, retain_staged: bool = False) -> None:
+        """Drop a finished workflow's interest in staged files/priorities.
+
+        A staged file whose last user departs is an orphaned resource: no
+        workflow can ever detach or delete it again, so by default it is
+        retracted instead of lingering in policy memory forever.  Pass
+        ``retain_staged=True`` when the files deliberately stay on disk
+        (e.g. an ensemble without cleanup whose later members re-use them);
+        retained facts keep their empty ``users`` set until a cleanup or
+        a later sharing workflow picks them up.
+        """
+        for r in list(self.memory.facts_of(StagedFileFact)):
             if workflow in r.users:
-                self.memory.update(r, users=r.users - {workflow})
+                remaining = r.users - {workflow}
+                if remaining or retain_staged:
+                    self.memory.update(r, users=remaining)
+                else:
+                    self.memory.retract(r)
         for p in list(self.memory.facts_of(JobPriorityFact)):
             if p.workflow == workflow:
                 self.memory.retract(p)

@@ -18,6 +18,26 @@ Semantics (modelled on Drools):
 Actions receive an :class:`ActivationContext` giving attribute access to the
 bindings plus ``insert`` / ``update`` / ``retract`` / ``halt`` and the
 session ``globals`` dict (configuration values such as stream thresholds).
+
+Incremental agenda
+------------------
+By default (``incremental=True``) a session maintains one *agenda* per
+rule — the set of computed, not-yet-fired activations — and after each
+firing re-derives only what the firing's mutations can have changed:
+
+* a rule none of whose referenced fact types changed is untouched
+  (type-stamp check, as before);
+* a dirty fact only matched by :class:`~repro.rules.patterns.Pattern`
+  elements triggers a *delta* update: activations referencing the fact are
+  dropped and the rule is re-joined with each Pattern position restricted
+  to the dirty facts (index-accelerated through the patterns' ``keys``);
+* a dirty fact of a type referenced by ``Absent`` / ``Exists`` /
+  ``Collect`` forces a full re-match of that rule, because negations and
+  aggregates can flip activations that do not reference the fact at all.
+
+``incremental=False`` preserves the seed engine's re-enumerate-everything
+behaviour for benchmarking and equivalence tests; both modes fire the
+same activations in the same order.
 """
 
 from __future__ import annotations
@@ -25,7 +45,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.rules.facts import Fact, WorkingMemory
-from repro.rules.patterns import Collect, ConditionElement
+from repro.rules.patterns import Absent, Collect, ConditionElement, Pattern
 
 __all__ = ["Rule", "Session", "RuleEngineError", "ActivationContext"]
 
@@ -80,19 +100,76 @@ class Rule:
         self.types: tuple[type, ...] = tuple(
             {element.fact_type for element in when if hasattr(element, "fact_type")}
         )
+        #: types referenced by non-Pattern elements (Absent/Exists/Collect):
+        #: changes to these cannot be handled by a positional delta join.
+        self.gate_types: tuple[type, ...] = tuple(
+            {
+                element.fact_type
+                for element in when
+                if hasattr(element, "fact_type") and not isinstance(element, Pattern)
+            }
+        )
+        #: Absent-only gate types: an *insert* of one of these can only
+        #: invalidate existing activations (negation is anti-monotone), so
+        #: the agenda may keep its entries and re-verify them lazily.
+        self.absent_types: tuple[type, ...] = tuple(
+            {element.fact_type for element in when if isinstance(element, Absent)}
+        )
+        #: gates where any change forces a rebuild (Exists can enable new
+        #: activations on insert; Collect rebinds on every change).
+        self.hard_gate_types: tuple[type, ...] = tuple(
+            {
+                element.fact_type
+                for element in when
+                if hasattr(element, "fact_type")
+                and not isinstance(element, (Pattern, Absent))
+            }
+        )
 
-    def matches(self, memory: WorkingMemory, seed: Optional[dict] = None) -> list[dict]:
+    def matches(
+        self,
+        memory: WorkingMemory,
+        seed: Optional[dict] = None,
+        restrict: Optional[tuple[int, Sequence[Fact]]] = None,
+    ) -> list[dict]:
         """All binding dicts satisfying the full LHS.
 
         ``seed`` pre-populates the bindings every guard sees; sessions seed
         ``{"_globals": session.globals}`` so guards can reference
         configuration (thresholds etc.) just like Drools globals.
+
+        ``restrict=(position, facts)`` limits the Pattern at that condition
+        index to the given candidate facts — the delta-join primitive of
+        the incremental agenda.
         """
         frontier: list[dict] = [dict(seed) if seed else {}]
-        for element in self.when:
+        restrict_ids: Optional[set] = None
+        if restrict is not None and len(restrict[1]) > 16:
+            restrict_ids = {id(f) for f in restrict[1]}
+        for position, element in enumerate(self.when):
             next_frontier: list[dict] = []
-            for bindings in frontier:
-                next_frontier.extend(element.expand(memory, bindings))
+            if restrict is not None and position == restrict[0]:
+                if restrict_ids is None:
+                    # Few dirty facts: probing them directly is cheaper
+                    # than an index lookup per binding.
+                    for bindings in frontier:
+                        next_frontier.extend(
+                            element.expand_over(restrict[1], bindings)
+                        )
+                else:
+                    # Large dirty set (batch insert): probe the element's
+                    # (possibly keyed) access path and intersect — walking
+                    # the whole dirty set per binding would be quadratic.
+                    for bindings in frontier:
+                        candidates = [
+                            f
+                            for f in element.candidates(memory, bindings)
+                            if id(f) in restrict_ids
+                        ]
+                        next_frontier.extend(element.expand_over(candidates, bindings))
+            else:
+                for bindings in frontier:
+                    next_frontier.extend(element.expand(memory, bindings))
             if not next_frontier:
                 return []
             frontier = next_frontier
@@ -156,6 +233,46 @@ def _activation_key(memory: WorkingMemory, rule: Rule, bindings: dict):
     )
 
 
+class _Agenda:
+    """Computed activations of one rule, kept in sync with the memory."""
+
+    __slots__ = ("stamp", "seq", "entries", "by_fid", "verify_gates")
+
+    def __init__(self) -> None:
+        self.stamp = -1
+        self.seq = -1
+        #: activation key -> bindings (insertion order = discovery order)
+        self.entries: dict[tuple, dict] = {}
+        #: fid -> set of activation keys referencing that fact
+        self.by_fid: dict[int, set] = {}
+        #: an Absent-gated fact was inserted since the last rebuild:
+        #: entries must re-check their Absent gates before firing
+        self.verify_gates = False
+
+    def add(self, key: tuple, bindings: dict) -> None:
+        if key in self.entries:
+            return
+        self.entries[key] = bindings
+        for fid in key[1]:
+            self.by_fid.setdefault(fid, set()).add(key)
+
+    def drop_fact(self, fid: int) -> None:
+        for key in self.by_fid.pop(fid, ()):
+            if self.entries.pop(key, None) is not None:
+                for other in key[1]:
+                    if other != fid:
+                        refs = self.by_fid.get(other)
+                        if refs is not None:
+                            refs.discard(key)
+
+    def drop_key(self, key: tuple) -> None:
+        if self.entries.pop(key, None) is not None:
+            for fid in key[1]:
+                refs = self.by_fid.get(fid)
+                if refs is not None:
+                    refs.discard(key)
+
+
 class Session:
     """A stateful rule session over a working memory.
 
@@ -170,6 +287,11 @@ class Session:
         Named configuration values visible to actions via ``ctx.globals``.
     max_firings:
         Divergence guard per ``fire_all`` call.
+    incremental:
+        Maintain per-rule agendas updated from the memory change log
+        (default).  ``False`` re-enumerates every match on every firing —
+        the seed engine's behaviour, kept for benchmarks and equivalence
+        tests.
     """
 
     def __init__(
@@ -178,6 +300,7 @@ class Session:
         memory: Optional[WorkingMemory] = None,
         globals: Optional[dict] = None,
         max_firings: int = 100_000,
+        incremental: bool = True,
     ):
         names = [r.name for r in rules]
         dupes = {n for n in names if names.count(n) > 1}
@@ -190,6 +313,7 @@ class Session:
         # actions mutate it via ``ctx.globals``.
         self.globals = globals if globals is not None else {}
         self.max_firings = int(max_firings)
+        self.incremental = bool(incremental)
         self._fired: set = set()
         # rule name -> {fact-id tuple: versions at last firing}
         self._last_fired_versions: dict[str, dict[tuple, tuple]] = {}
@@ -199,6 +323,7 @@ class Session:
             tiers.setdefault(rule.salience, []).append((order, rule))
         self._tiers = [tiers[s] for s in sorted(tiers, reverse=True)]
         self._match_cache: dict[str, tuple[int, list[dict]]] = {}
+        self._agendas: dict[str, _Agenda] = {}
         self._halted = False
         self.trace: list[str] = []
         self.trace_enabled = False
@@ -229,15 +354,14 @@ class Session:
         changed_by_other = False
         for fid, old_v, new_v in zip(key[1], prior, key[2]):
             if new_v != old_v:
-                fact = next(
-                    (f for f in self.memory if self.memory.fid_of(f) == fid), None
-                )
+                fact = self.memory.fact_with_fid(fid)
                 if fact is None:
                     return False  # fact replaced; treat as fresh
                 if self.memory.modifier_of(fact) != rule.name:
                     changed_by_other = True
         return not changed_by_other
 
+    # -- seed (full re-enumeration) matching ----------------------------------
     def _rule_matches(self, rule: Rule, seed: dict) -> list[dict]:
         """Match with type-stamp caching: a rule only re-matches after a
         fact of one of its referenced types changed."""
@@ -249,8 +373,7 @@ class Session:
         self._match_cache[rule.name] = (stamp, matches)
         return matches
 
-    def _next_activation(self):
-        seed = {"_globals": self.globals}
+    def _next_activation_full(self, seed: dict):
         # Rules grouped by salience tier, highest first; lower tiers are
         # only evaluated when every higher tier is quiescent.
         for tier in self._tiers:
@@ -270,6 +393,133 @@ class Session:
             if best is not None:
                 return best
         return None
+
+    # -- incremental agenda ----------------------------------------------------
+    def _rebuild_agenda(self, agenda: _Agenda, rule: Rule, seed: dict) -> None:
+        agenda.entries.clear()
+        agenda.by_fid.clear()
+        agenda.verify_gates = False
+        for bindings in rule.matches(self.memory, seed):
+            agenda.add(_activation_key(self.memory, rule, bindings), bindings)
+
+    def _delta_agenda(
+        self, agenda: _Agenda, rule: Rule, seed: dict, dirty: list[tuple[int, Fact]]
+    ) -> None:
+        # 1. Any activation referencing a dirty fact is stale: its version
+        #    changed (update), it is gone (retract), or its guards may now
+        #    disagree.  Drop them all; step 2 re-derives the survivors.
+        for fid, _fact in dirty:
+            agenda.drop_fact(fid)
+        # 2. Every new activation must bind at least one dirty fact at some
+        #    Pattern position (gate elements force a full rebuild instead),
+        #    so re-join with each position restricted to the dirty facts.
+        live: list[Fact] = []
+        seen_ids = set()
+        for _fid, fact in dirty:
+            if id(fact) not in seen_ids and self.memory.contains(fact):
+                seen_ids.add(id(fact))
+                live.append(fact)
+        if not live:
+            return
+        for position, element in enumerate(rule.when):
+            if not isinstance(element, Pattern):
+                continue
+            candidates = [f for f in live if isinstance(f, element.fact_type)]
+            if not candidates:
+                continue
+            for bindings in rule.matches(self.memory, seed, restrict=(position, candidates)):
+                agenda.add(_activation_key(self.memory, rule, bindings), bindings)
+
+    def _sync_agenda(self, rule: Rule, seed: dict) -> _Agenda:
+        agenda = self._agendas.get(rule.name)
+        if agenda is None:
+            agenda = self._agendas[rule.name] = _Agenda()
+        stamp = self.memory.stamp(rule.types)
+        if agenda.stamp == stamp:
+            return agenda
+        dirty: Optional[list[tuple[int, Fact]]] = None
+        verify = False
+        if agenda.seq >= 0:
+            changes = self.memory.changes_since(agenda.seq)
+            if changes is not None:
+                relevant = [
+                    (fid, fact, op)
+                    for fid, fact, op in changes
+                    if isinstance(fact, rule.types)
+                ]
+                rebuild = False
+                for _fid, fact, op in relevant:
+                    if rule.hard_gate_types and isinstance(fact, rule.hard_gate_types):
+                        # Exists can be newly satisfied by an insert and
+                        # Collect rebinds on any change: no delta possible.
+                        rebuild = True
+                        break
+                    if rule.absent_types and isinstance(fact, rule.absent_types):
+                        if op == "i" and self.memory.contains(fact):
+                            # A new blocker can only invalidate existing
+                            # activations — keep them, re-verify at fire
+                            # time instead of rebuilding.
+                            verify = True
+                        else:
+                            # An update may flip the Absent guard either
+                            # way; a retract can enable activations that
+                            # bind no dirty fact.  Only a rebuild finds
+                            # those.
+                            rebuild = True
+                            break
+                if not rebuild:
+                    dirty = [(fid, fact) for fid, fact, _op in relevant]
+        if dirty is None:
+            self._rebuild_agenda(agenda, rule, seed)
+        else:
+            self._delta_agenda(agenda, rule, seed, dirty)
+            if verify:
+                agenda.verify_gates = True
+        agenda.stamp = stamp
+        agenda.seq = self.memory.clock
+        return agenda
+
+    def _gates_still_pass(self, rule: Rule, bindings: dict) -> bool:
+        """Re-check a stored activation's Absent gates against the memory."""
+        for element in rule.when:
+            if isinstance(element, Absent) and not element.expand(self.memory, bindings):
+                return False
+        return True
+
+    def _next_activation_incremental(self, seed: dict):
+        for tier in self._tiers:
+            best = None
+            for order, rule in tier:
+                agenda = self._sync_agenda(rule, seed)
+                if not agenda.entries:
+                    continue
+                fired = self._fired
+                stale: list[tuple] = []
+                for key, bindings in agenda.entries.items():
+                    if key in fired:
+                        continue
+                    rank = (key[1], order)
+                    if best is not None and rank >= best[0]:
+                        continue
+                    if self._suppressed_by_no_loop(rule, key):
+                        continue
+                    if agenda.verify_gates and not self._gates_still_pass(
+                        rule, bindings
+                    ):
+                        stale.append(key)
+                        continue
+                    best = (rank, rule, bindings, key)
+                for key in stale:
+                    agenda.drop_key(key)
+            if best is not None:
+                return best
+        return None
+
+    def _next_activation(self):
+        seed = {"_globals": self.globals}
+        if self.incremental:
+            return self._next_activation_incremental(seed)
+        return self._next_activation_full(seed)
 
     def fire_all(self) -> int:
         """Fire activations until quiescence; returns the firing count."""

@@ -3,6 +3,18 @@
 Facts are plain mutable objects; the working memory assigns them handles
 (ids) and version numbers.  Rules never see retracted facts, and updates
 bump the version so refraction (fire-once-per-version) works like Drools.
+
+The memory keeps **hash indexes** over attribute tuples, built lazily the
+first time :meth:`WorkingMemory.lookup` is called for a given
+``(fact type, attributes)`` combination and maintained incrementally on
+every insert / update / retract afterwards.  Rule condition elements use
+``lookup`` (via their ``keys`` parameter) to fetch only the facts that can
+possibly join instead of scanning the whole type extent, and sessions use
+the memory's **change log** to re-match only what actually changed.
+
+Constructing the memory with ``indexed=False`` degrades ``lookup`` to a
+linear scan with the exact same results — that is the seed engine used as
+the baseline by ``benchmarks/bench_rules.py`` and the equivalence tests.
 """
 
 from __future__ import annotations
@@ -12,6 +24,12 @@ from typing import Any, Iterator, Optional, Type, TypeVar
 __all__ = ["Fact", "WorkingMemory"]
 
 F = TypeVar("F", bound="Fact")
+
+_MISSING = object()
+
+#: Mutations remembered for :meth:`WorkingMemory.changes_since`.  Sessions
+#: that fall behind further than this simply rebuild their agendas.
+_CHANGELOG_CAP = 65_536
 
 
 class Fact:
@@ -44,25 +62,55 @@ class _Entry:
 
 
 class WorkingMemory:
-    """Fact store with per-type indexes.
+    """Fact store with per-type extents and lazy hash indexes.
 
     Lookup by type returns facts of that type *or any subclass* so rules can
     match on base classes (mirrors Drools' class-based patterns).
+
+    Parameters
+    ----------
+    indexed:
+        When True (default), :meth:`lookup` answers from incrementally
+        maintained hash indexes; when False it linearly scans the type
+        extent — same results, seed-engine cost.  Used for benchmarking
+        and equivalence testing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, indexed: bool = True) -> None:
         self._entries: dict[int, _Entry] = {}   # id(fact) -> entry
         self._by_type: dict[type, list[Fact]] = {}
+        self._by_fid: dict[int, Fact] = {}
         self._next_fid = 0
         self._clock = 0
         self._type_clock: dict[type, int] = {}
+        self._indexed = bool(indexed)
+        # (fact type, sorted attr names) -> key tuple -> {id(fact): fact}
+        self._indexes: dict[tuple[type, tuple[str, ...]], dict[tuple, dict[int, Fact]]] = {}
+        # (clock, fid, fact, op) log feeding incremental agendas.  A plain
+        # list (compacted by halves once it outgrows the cap) so that
+        # ``changes_since`` can slice by index: clock ticks once per
+        # entry, making ``seq -> index`` arithmetic.
+        self._log: list[tuple[int, int, Fact, str]] = []
 
-    def _touch(self, fact: Fact) -> None:
+    @property
+    def indexed(self) -> bool:
+        return self._indexed
+
+    @property
+    def clock(self) -> int:
+        """Monotonic mutation counter (one tick per insert/update/retract)."""
+        return self._clock
+
+    def _touch(self, fact: Fact, fid: int, op: str) -> None:
         self._clock += 1
         for klass in type(fact).__mro__:
             if klass is object:
                 break
             self._type_clock[klass] = self._clock
+        log = self._log
+        log.append((self._clock, fid, fact, op))
+        if len(log) > _CHANGELOG_CAP:
+            del log[: len(log) // 2]
 
     def stamp(self, types: tuple[type, ...]) -> int:
         """Monotonic change stamp over a set of fact types.
@@ -71,6 +119,78 @@ class WorkingMemory:
         updated, or retracted — used by sessions to cache rule matches.
         """
         return max((self._type_clock.get(t, 0) for t in types), default=0)
+
+    def changes_since(self, seq: int) -> Optional[list[tuple[int, Fact, str]]]:
+        """``(fid, fact, op)`` mutations after clock ``seq``, oldest first.
+
+        ``op`` is ``"i"`` (insert), ``"u"`` (update) or ``"r"`` (retract).
+        Returns ``None`` when the requested range has been evicted from
+        the bounded change log (caller must fall back to a full rebuild).
+        A fact appears once per mutation; retracted facts are included —
+        check :meth:`contains` for liveness.
+        """
+        if seq >= self._clock:
+            return []
+        log = self._log
+        if not log or log[0][0] > seq + 1:
+            return None
+        # One clock tick per log entry: the entry with sequence s lives at
+        # index s - first_seq, so the tail after ``seq`` is a slice.
+        start = seq + 1 - log[0][0]
+        return [(fid, fact, op) for (_s, fid, fact, op) in log[start:]]
+
+    # -- index maintenance ---------------------------------------------------
+    def _applicable_indexes(self, fact: Fact):
+        for (klass, attrs), buckets in self._indexes.items():
+            if isinstance(fact, klass):
+                yield attrs, buckets
+
+    @staticmethod
+    def _index_key(fact: Fact, attrs: tuple[str, ...]):
+        key = []
+        for attr in attrs:
+            value = getattr(fact, attr, _MISSING)
+            if value is _MISSING:
+                return None
+            key.append(value)
+        return tuple(key)
+
+    def _index_add(self, fact: Fact, fid: int, attrs: tuple[str, ...], buckets) -> None:
+        key = self._index_key(fact, attrs)
+        if key is None:
+            return
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = {fid: fact}
+            return
+        # Keep buckets sorted by fid so lookups need no sort.  New facts
+        # have the highest fid (plain append); only re-slotting an old
+        # fact after an update pays a re-sort of its bucket.
+        if next(reversed(bucket)) < fid:
+            bucket[fid] = fact
+        else:
+            bucket[fid] = fact
+            buckets[key] = {k: bucket[k] for k in sorted(bucket)}
+
+    def _index_discard(self, fact: Fact, fid: int, attrs: tuple[str, ...], buckets) -> None:
+        key = self._index_key(fact, attrs)
+        if key is None:
+            return
+        bucket = buckets.get(key)
+        if bucket is not None:
+            bucket.pop(fid, None)
+            if not bucket:
+                del buckets[key]
+
+    def _build_index(self, fact_type: type, attrs: tuple[str, ...]):
+        buckets: dict[tuple, dict[int, Fact]] = {}
+        entries = self._entries
+        for fact in self._by_type.get(fact_type, ()):
+            key = self._index_key(fact, attrs)
+            if key is not None:
+                buckets.setdefault(key, {})[entries[id(fact)].fid] = fact
+        self._indexes[(fact_type, attrs)] = buckets
+        return buckets
 
     # -- mutation -----------------------------------------------------------
     def insert(self, fact: Fact, modifier: Optional[str] = None) -> Fact:
@@ -83,11 +203,15 @@ class WorkingMemory:
         self._next_fid += 1
         entry.last_modifier = modifier
         self._entries[id(fact)] = entry
+        self._by_fid[entry.fid] = fact
         for klass in type(fact).__mro__:
             if klass is object:
                 break
             self._by_type.setdefault(klass, []).append(fact)
-        self._touch(fact)
+        if self._indexes:
+            for attrs, buckets in self._applicable_indexes(fact):
+                self._index_add(fact, entry.fid, attrs, buckets)
+        self._touch(fact, entry.fid, "i")
         return fact
 
     def update(self, fact: Fact, modifier: Optional[str] = None, **changes: Any) -> Fact:
@@ -98,10 +222,21 @@ class WorkingMemory:
         for key, value in changes.items():
             if not hasattr(fact, key):
                 raise AttributeError(f"{type(fact).__name__} has no attribute {key!r}")
+        # Re-slot the fact in any index whose key attributes are changing;
+        # the old key must be read before the attributes are assigned.
+        touched_indexes = []
+        if self._indexes:
+            for attrs, buckets in self._applicable_indexes(fact):
+                if any(a in changes for a in attrs):
+                    self._index_discard(fact, entry.fid, attrs, buckets)
+                    touched_indexes.append((attrs, buckets))
+        for key, value in changes.items():
             setattr(fact, key, value)
+        for attrs, buckets in touched_indexes:
+            self._index_add(fact, entry.fid, attrs, buckets)
         entry.version += 1
         entry.last_modifier = modifier
-        self._touch(fact)
+        self._touch(fact, entry.fid, "u")
         return fact
 
     def retract(self, fact: Fact) -> None:
@@ -109,13 +244,17 @@ class WorkingMemory:
         entry = self._entries.pop(id(fact), None)
         if entry is None:
             raise KeyError(f"fact not in working memory: {fact.describe()}")
+        self._by_fid.pop(entry.fid, None)
         for klass in type(fact).__mro__:
             if klass is object:
                 break
             bucket = self._by_type.get(klass)
             if bucket is not None:
                 bucket.remove(fact)
-        self._touch(fact)
+        if self._indexes:
+            for attrs, buckets in self._applicable_indexes(fact):
+                self._index_discard(fact, entry.fid, attrs, buckets)
+        self._touch(fact, entry.fid, "r")
 
     # -- queries ------------------------------------------------------------
     def contains(self, fact: Fact) -> bool:
@@ -125,6 +264,32 @@ class WorkingMemory:
         """All live facts of ``fact_type`` (including subclasses), in
         insertion order."""
         return list(self._by_type.get(fact_type, ()))
+
+    def lookup(self, fact_type: Type[F], **keys: Any) -> list[F]:
+        """Live facts of ``fact_type`` whose attributes equal ``keys``.
+
+        Results are in insertion order, identical to filtering
+        :meth:`facts_of` on attribute equality.  With ``indexed=True``
+        this answers from a hash index on the key attributes (built
+        lazily, maintained incrementally); otherwise it scans.
+        """
+        if not keys:
+            return self.facts_of(fact_type)
+        attrs = tuple(sorted(keys))
+        if not self._indexed:
+            values = tuple(keys[a] for a in attrs)
+            return [
+                f
+                for f in self._by_type.get(fact_type, ())
+                if all(getattr(f, a, _MISSING) == v for a, v in zip(attrs, values))
+            ]
+        buckets = self._indexes.get((fact_type, attrs))
+        if buckets is None:
+            buckets = self._build_index(fact_type, attrs)
+        bucket = buckets.get(tuple(keys[a] for a in attrs))
+        if not bucket:
+            return []
+        return list(bucket.values())  # buckets are kept in fid order
 
     def single(self, fact_type: Type[F]) -> Optional[F]:
         """The unique fact of a type, or None (error if several)."""
@@ -138,6 +303,10 @@ class WorkingMemory:
 
     def fid_of(self, fact: Fact) -> int:
         return self._entries[id(fact)].fid
+
+    def fact_with_fid(self, fid: int) -> Optional[Fact]:
+        """The live fact with handle ``fid``, or None if retracted."""
+        return self._by_fid.get(fid)
 
     def modifier_of(self, fact: Fact) -> Optional[str]:
         return self._entries[id(fact)].last_modifier

@@ -1,19 +1,19 @@
 """Condition elements for rules.
 
 A rule's left-hand side is an ordered list of condition elements, evaluated
-left to right with accumulated bindings (a nested-loop join, adequate for
-policy-sized fact bases):
+left to right with accumulated bindings (a nested-loop join over indexed
+candidate sets):
 
-``Pattern(T, binding="x", where=guard)``
+``Pattern(T, binding="x", where=guard, keys=...)``
     Matches each live fact of type ``T`` for which ``guard(fact, bindings)``
     is true, binding it under ``binding``.
-``Absent(T, where=guard)``
+``Absent(T, where=guard, keys=...)``
     Matches when *no* live fact of ``T`` satisfies the guard (negation as
     failure, Drools ``not``).
-``Collect(T, binding="xs", where=guard, min_count=0)``
+``Collect(T, binding="xs", where=guard, min_count=0, keys=...)``
     Binds the list of all matching facts (Drools ``collect`` /
     ``accumulate``); fails when fewer than ``min_count`` match.
-``Exists(T, where=guard)``
+``Exists(T, where=guard, keys=...)``
     Succeeds once (no binding) when at least one fact matches (Drools
     ``exists``).
 ``Test(predicate)``
@@ -21,6 +21,19 @@ policy-sized fact bases):
 
 Guards take ``(fact, bindings)`` — bindings is a dict of previously bound
 names.  ``Test`` predicates take ``(bindings,)``.
+
+Indexed candidate selection
+---------------------------
+``keys`` is an optional ``{attribute: key_fn}`` dict where each
+``key_fn(bindings)`` computes the value the fact's attribute must equal.
+The element then fetches its candidates with
+:meth:`~repro.rules.facts.WorkingMemory.lookup` (a hash-index probe)
+instead of scanning the whole type extent.  The guard still runs over the
+candidates, so ``keys`` is purely an access-path hint — but it MUST be
+implied by the guard (every fact the guard accepts must also satisfy the
+key equalities), otherwise matches are silently lost.  A ``key_fn``
+raising :class:`AttributeError` falls back to the full scan, mirroring the
+guard semantics below.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from repro.rules.facts import Fact
 __all__ = ["Pattern", "Absent", "Collect", "Exists", "Test"]
 
 Guard = Callable[[Fact, dict], bool]
+KeySpec = Optional[dict[str, Callable[[dict], Any]]]
 
 
 class ConditionElement:
@@ -55,26 +69,66 @@ def _check(guard: Optional[Guard], fact: Fact, bindings: dict) -> bool:
         return False
 
 
-class Pattern(ConditionElement):
+def _validate_keys(name: str, keys: KeySpec) -> KeySpec:
+    if keys is None:
+        return None
+    if not isinstance(keys, dict) or not keys:
+        raise TypeError(f"{name} keys must be a non-empty dict of attr -> key_fn")
+    for attr, fn in keys.items():
+        if not isinstance(attr, str) or not attr:
+            raise TypeError(f"{name} keys attribute names must be strings")
+        if not callable(fn):
+            raise TypeError(f"{name} keys[{attr!r}] must be callable(bindings)")
+    return dict(keys)
+
+
+class _TypedElement(ConditionElement):
+    """Shared candidate selection for the typed condition elements."""
+
+    __slots__ = ("fact_type", "where", "keys")
+
+    def __init__(self, fact_type: Type[Fact], where: Optional[Guard], keys: KeySpec):
+        name = type(self).__name__
+        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
+            raise TypeError(f"{name} requires a Fact subclass, got {fact_type!r}")
+        self.fact_type = fact_type
+        self.where = where
+        self.keys = _validate_keys(name, keys)
+
+    def candidates(self, memory, bindings: dict) -> list[Fact]:
+        """Facts this element may match, narrowed via the key index."""
+        if self.keys is not None:
+            try:
+                values = {attr: fn(bindings) for attr, fn in self.keys.items()}
+            except AttributeError:
+                values = None
+            if values is not None:
+                return memory.lookup(self.fact_type, **values)
+        return memory.facts_of(self.fact_type)
+
+
+class Pattern(_TypedElement):
     """Positive match on one fact of a type."""
 
-    __slots__ = ("fact_type", "binding", "where")
+    __slots__ = ("binding",)
 
     def __init__(
         self,
         fact_type: Type[Fact],
         binding: Optional[str] = None,
         where: Optional[Guard] = None,
+        keys: KeySpec = None,
     ):
-        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
-            raise TypeError(f"Pattern requires a Fact subclass, got {fact_type!r}")
-        self.fact_type = fact_type
+        super().__init__(fact_type, where, keys)
         self.binding = binding
-        self.where = where
 
     def expand(self, memory, bindings: dict) -> list[dict]:
+        return self.expand_over(self.candidates(memory, bindings), bindings)
+
+    def expand_over(self, facts, bindings: dict) -> list[dict]:
+        """Expand over an explicit candidate list (incremental matching)."""
         out = []
-        for fact in memory.facts_of(self.fact_type):
+        for fact in facts:
             if _check(self.where, fact, bindings):
                 if self.binding:
                     new = dict(bindings)
@@ -88,19 +142,21 @@ class Pattern(ConditionElement):
         return f"Pattern({self.fact_type.__name__}, binding={self.binding!r})"
 
 
-class Absent(ConditionElement):
+class Absent(_TypedElement):
     """Negation: succeeds when no fact of the type passes the guard."""
 
-    __slots__ = ("fact_type", "where")
+    __slots__ = ()
 
-    def __init__(self, fact_type: Type[Fact], where: Optional[Guard] = None):
-        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
-            raise TypeError(f"Absent requires a Fact subclass, got {fact_type!r}")
-        self.fact_type = fact_type
-        self.where = where
+    def __init__(
+        self,
+        fact_type: Type[Fact],
+        where: Optional[Guard] = None,
+        keys: KeySpec = None,
+    ):
+        super().__init__(fact_type, where, keys)
 
     def expand(self, memory, bindings: dict) -> list[dict]:
-        for fact in memory.facts_of(self.fact_type):
+        for fact in self.candidates(memory, bindings):
             if _check(self.where, fact, bindings):
                 return []
         return [dict(bindings)]
@@ -109,7 +165,7 @@ class Absent(ConditionElement):
         return f"Absent({self.fact_type.__name__})"
 
 
-class Exists(ConditionElement):
+class Exists(_TypedElement):
     """Existential quantifier: succeeds (once, without binding) when at
     least one fact of the type passes the guard (Drools ``exists``).
 
@@ -118,16 +174,18 @@ class Exists(ConditionElement):
     that should not multiply firings.
     """
 
-    __slots__ = ("fact_type", "where")
+    __slots__ = ()
 
-    def __init__(self, fact_type: Type[Fact], where: Optional[Guard] = None):
-        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
-            raise TypeError(f"Exists requires a Fact subclass, got {fact_type!r}")
-        self.fact_type = fact_type
-        self.where = where
+    def __init__(
+        self,
+        fact_type: Type[Fact],
+        where: Optional[Guard] = None,
+        keys: KeySpec = None,
+    ):
+        super().__init__(fact_type, where, keys)
 
     def expand(self, memory, bindings: dict) -> list[dict]:
-        for fact in memory.facts_of(self.fact_type):
+        for fact in self.candidates(memory, bindings):
             if _check(self.where, fact, bindings):
                 return [dict(bindings)]
         return []
@@ -136,10 +194,10 @@ class Exists(ConditionElement):
         return f"Exists({self.fact_type.__name__})"
 
 
-class Collect(ConditionElement):
+class Collect(_TypedElement):
     """Bind the list of all matching facts."""
 
-    __slots__ = ("fact_type", "binding", "where", "min_count")
+    __slots__ = ("binding", "min_count")
 
     def __init__(
         self,
@@ -147,20 +205,18 @@ class Collect(ConditionElement):
         binding: str,
         where: Optional[Guard] = None,
         min_count: int = 0,
+        keys: KeySpec = None,
     ):
-        if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
-            raise TypeError(f"Collect requires a Fact subclass, got {fact_type!r}")
+        super().__init__(fact_type, where, keys)
         if not binding:
             raise ValueError("Collect requires a binding name")
-        self.fact_type = fact_type
         self.binding = binding
-        self.where = where
         self.min_count = int(min_count)
 
     def expand(self, memory, bindings: dict) -> list[dict]:
         matches = [
             fact
-            for fact in memory.facts_of(self.fact_type)
+            for fact in self.candidates(memory, bindings)
             if _check(self.where, fact, bindings)
         ]
         if len(matches) < self.min_count:

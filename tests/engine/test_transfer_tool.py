@@ -188,3 +188,57 @@ def test_validation(fabric_env):
         PegasusTransferTool(client, default_streams=0)
     with pytest.raises(ValueError):
         PegasusTransferTool(client, poll_interval=0)
+
+
+class _StubPolicy:
+    """Minimal policy client: acknowledges completions, no advice."""
+
+    def complete_transfers(self, done=(), failed=()):
+        yield from ()
+        return {"acknowledged": len(list(done)) + len(list(failed))}
+
+
+def _advice(tid, lfn, group_id, streams=1, nbytes=100.0):
+    from repro.policy.model import TransferAdvice
+
+    return TransferAdvice(
+        tid=tid,
+        lfn=lfn,
+        src_url=f"gsiftp://fg-vm/data/{lfn}",
+        dst_url=f"gsiftp://obelix/scratch/{lfn}",
+        nbytes=nbytes,
+        action="transfer",
+        streams=streams,
+        group_id=group_id,
+    )
+
+
+def _run_items(env, ptt, items):
+    from repro.engine.transfer_tool import StagingRecord
+
+    record = StagingRecord(job_id="j", t_start=env.now)
+
+    def proc():
+        yield from ptt._run_approved(items, record)
+
+    p = env.process(proc())
+    env.run(until=p)
+    return record
+
+
+def test_grouped_items_share_one_session(fabric_env):
+    env, fabric, client = fabric_env
+    ptt = PegasusTransferTool(client, policy=_StubPolicy(), default_streams=1)
+    _run_items(env, ptt, [_advice(1, "a", group_id=7), _advice(2, "b", group_id=7)])
+    # One session setup (1s) + 1s data, then reuse: 0s setup + 1s data.
+    assert env.now == pytest.approx(3.0, rel=0.05)
+
+
+def test_group_zero_never_reuses_a_session(fabric_env):
+    # group_id == 0 is the "ungrouped" fallback, not a real group:
+    # consecutive 0s must each pay control-channel setup.
+    env, fabric, client = fabric_env
+    ptt = PegasusTransferTool(client, policy=_StubPolicy(), default_streams=1)
+    _run_items(env, ptt, [_advice(1, "a", group_id=0), _advice(2, "b", group_id=0)])
+    # Two full session setups: (1+1) + (1+1) = 4s.
+    assert env.now == pytest.approx(4.0, rel=0.05)

@@ -1,0 +1,170 @@
+"""Indexed-engine equivalence and long-lived-service memory tests.
+
+The ``engine="indexed"`` service (hash-indexed memory + incremental
+agenda) must give **byte-identical** advice to the ``engine="seed"``
+service (full re-scan engine) for the same request stream.  The Montage
+scenario mirrors the paper's workload: per-job stage-in batches with
+cross-workflow duplicates, completions and cleanups interleaved.
+"""
+
+import json
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.model import StagedFileFact, TransferFact
+from repro.workflow.montage import MontageConfig, montage_workflow
+
+from tests.policy.conftest import spec
+
+
+# ------------------------------------------------------------- workload
+def montage_batches(max_jobs=40):
+    """Per-job stage-in batches derived from the Montage DAG."""
+    wf = montage_workflow(MontageConfig(n_images=12))
+    batches = []
+    for job in list(wf.jobs.values())[:max_jobs]:
+        items = [
+            {
+                "lfn": f.lfn,
+                "src_url": f"gsiftp://fg-vm/data/{f.lfn}",
+                "dst_url": f"gsiftp://obelix/scratch/{f.lfn}",
+                "nbytes": float(f.size or 1000.0),
+            }
+            for f in job.inputs
+        ]
+        if items:
+            batches.append((job.id, items))
+    return batches
+
+
+def drive(service):
+    """Run the Montage scenario against a service; return the advice log."""
+    log = []
+    in_flight = []
+    for n, (workflow, mult) in enumerate([("wfA", 1), ("wfB", 2)]):
+        for i, (job, items) in enumerate(montage_batches()):
+            advice = service.submit_transfers(workflow, job, items)
+            log.append([a.to_dict() for a in advice])
+            in_flight.extend(
+                a.tid for a in advice if a.action == "transfer"
+            )
+            # Complete in waves so allocations free up mid-run; leave a
+            # tail in flight to exercise the shared-staging "wait" path.
+            if i % mult == 0 and in_flight:
+                half = len(in_flight) // 2 or 1
+                done, in_flight = in_flight[:half], in_flight[half:]
+                log.append(service.complete_transfers(done=done))
+        log.append(service.complete_transfers(done=in_flight))
+        in_flight = []
+        cleanups = service.submit_cleanups(
+            workflow,
+            "clean",
+            [(f"{n}-unused", f"gsiftp://obelix/scratch/{n}-unused")],
+        )
+        log.append([c.to_dict() for c in cleanups])
+        service.unregister_workflow(workflow)
+    log.append(service.snapshot()["memory"])
+    return log
+
+
+def make_service(engine, policy="greedy", **kw):
+    cfg = dict(policy=policy, default_streams=4, max_streams=12)
+    cfg.update(kw)
+    return PolicyService(PolicyConfig(**cfg), engine=engine)
+
+
+@pytest.mark.parametrize(
+    "policy_kw",
+    [
+        {"policy": "greedy"},
+        {"policy": "fifo"},
+        {"policy": "balanced", "cluster_count": 3},
+        {"policy": "greedy", "order_by": "priority"},
+    ],
+    ids=["greedy", "fifo", "balanced", "priority"],
+)
+def test_montage_advice_byte_identical_across_engines(policy_kw):
+    seed = drive(make_service("seed", **policy_kw))
+    indexed = drive(make_service("indexed", **policy_kw))
+    assert json.dumps(seed, sort_keys=True) == json.dumps(indexed, sort_keys=True)
+
+
+def test_engine_parameter_validated():
+    with pytest.raises(ValueError):
+        PolicyService(engine="warp")
+
+
+# ------------------------------------------------------- bounded memory
+def test_hundred_workflow_lifetimes_leave_no_residue():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50,
+                     completed_tid_retention=100)
+    )
+    censuses = []
+    for life in range(100):
+        wf = f"wf{life}"
+        advice = service.submit_transfers(
+            wf, "stage", [spec(f"{wf}-f{i}") for i in range(5)]
+        )
+        tids = [a.tid for a in advice if a.action == "transfer"]
+        service.complete_transfers(done=tids[:-1], failed=tids[-1:])
+        service.unregister_workflow(wf)
+        census = service.snapshot()["memory"]
+        censuses.append(
+            (census.get("StagedFileFact", 0), census.get("TransferFact", 0))
+        )
+    # No growth: every lifetime ends with the same (empty) census.
+    assert set(censuses) == {(0, 0)}
+    assert len(service._done_tids) <= 100
+    assert len(service._failed_tids) <= 100
+
+
+def test_unregister_retracts_orphaned_staged_files(greedy_service):
+    service = greedy_service
+    advice = service.submit_transfers("wf1", "j1", [spec("a"), spec("b")])
+    service.complete_transfers(done=[a.tid for a in advice])
+    assert len(service.memory.facts_of(StagedFileFact)) == 2
+    service.unregister_workflow("wf1")
+    assert service.memory.facts_of(StagedFileFact) == []
+
+
+def test_unregister_keeps_files_with_remaining_users(greedy_service):
+    service = greedy_service
+    a1 = service.submit_transfers("wf1", "j1", [spec("a")])
+    service.complete_transfers(done=[a1[0].tid])
+    # wf2 shares the staged file (skip advice attaches it as a user).
+    again = service.submit_transfers("wf2", "j1", [spec("a")])
+    assert again[0].action == "skip"
+    service.unregister_workflow("wf1")
+    [fact] = service.memory.facts_of(StagedFileFact)
+    assert fact.users == {"wf2"}
+    service.unregister_workflow("wf2")
+    assert service.memory.facts_of(StagedFileFact) == []
+
+
+def test_unregister_retain_staged_keeps_orphans(greedy_service):
+    service = greedy_service
+    advice = service.submit_transfers("wf1", "j1", [spec("a")])
+    service.complete_transfers(done=[advice[0].tid])
+    service.unregister_workflow("wf1", retain_staged=True)
+    [fact] = service.memory.facts_of(StagedFileFact)
+    assert fact.users == set()
+    # A later workflow can still share the retained file.
+    again = service.submit_transfers("wf2", "j1", [spec("a")])
+    assert again[0].action == "skip"
+
+
+def test_completed_tid_retention_is_bounded_and_fifo():
+    service = PolicyService(
+        PolicyConfig(policy="fifo", completed_tid_retention=3)
+    )
+    tids = []
+    for i in range(6):
+        advice = service.submit_transfers("wf", "j", [spec(f"f{i}")])
+        tids.append(advice[0].tid)
+        service.complete_transfers(done=[advice[0].tid])
+    # Only the 3 most recent completions are remembered.
+    assert [service.transfer_state(t) for t in tids[:3]] == ["unknown"] * 3
+    assert [service.transfer_state(t) for t in tids[3:]] == ["done"] * 3
+    assert service.memory.facts_of(TransferFact) == []

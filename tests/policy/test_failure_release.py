@@ -1,0 +1,106 @@
+"""Failure/release accounting and allocation boundary regressions.
+
+A failed transfer must give back the streams it held on *every* ledger
+the allocation rules charge: the host-pair allocation (greedy and
+balanced) **and** the per-cluster allocation (balanced only).  And the
+balanced partial-grant boundary must never hand out 0 streams.
+"""
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.model import ClusterAllocationFact, HostPairFact
+
+from tests.policy.conftest import spec
+
+
+def balanced_service(**kw):
+    cfg = dict(policy="balanced", default_streams=8, max_streams=20, cluster_count=2)
+    cfg.update(kw)
+    return PolicyService(PolicyConfig(**cfg))
+
+
+def pair_allocated(service):
+    [pair] = service.memory.facts_of(HostPairFact)
+    return pair.allocated
+
+
+def cluster_allocated(service, cluster):
+    for c in service.memory.facts_of(ClusterAllocationFact):
+        if c.cluster == cluster:
+            return c.allocated
+    return 0
+
+
+# ----------------------------------------------------------- failure release
+def test_failed_transfer_releases_host_pair_streams_greedy():
+    service = PolicyService(PolicyConfig(policy="greedy", default_streams=6, max_streams=20))
+    advice = service.submit_transfers("wf", "j", [spec("a"), spec("b")])
+    assert pair_allocated(service) == 12
+    service.complete_transfers(failed=[advice[0].tid])
+    assert pair_allocated(service) == 6
+    service.complete_transfers(done=[advice[1].tid])
+    assert pair_allocated(service) == 0
+
+
+def test_failed_transfer_releases_both_pair_and_cluster_ledgers():
+    service = balanced_service()
+    advice = service.submit_transfers("wf", "cA", [spec("a", cluster="cA")])
+    assert cluster_allocated(service, "cA") == 8
+    service.complete_transfers(failed=[advice[0].tid])
+    # The release path walks BOTH ledgers: the cluster allocation drops
+    # back to zero and the (uncharged) pair ledger is never driven
+    # negative by the clamp.
+    assert cluster_allocated(service, "cA") == 0
+    assert pair_allocated(service) == 0
+    # The freed share is grantable again in full.
+    again = service.submit_transfers("wf", "cA", [spec("a2", cluster="cA")])
+    assert again[0].streams == 8
+
+
+def test_mixed_outcomes_release_only_their_own_streams():
+    service = balanced_service()
+    a = service.submit_transfers("wf", "cA", [spec("a", cluster="cA")])[0]
+    b = service.submit_transfers("wf", "cB", [spec("b", cluster="cB")])[0]
+    service.complete_transfers(done=[a.tid], failed=[b.tid])
+    assert pair_allocated(service) == 0
+    assert cluster_allocated(service, "cA") == 0
+    assert cluster_allocated(service, "cB") == 0
+
+
+# ----------------------------------------------------------- grant boundaries
+def test_balanced_partial_grant_boundary_never_grants_zero():
+    # Share per cluster = 10.  First transfer takes exactly the share;
+    # the next request must fall through to the single-stream rule, not a
+    # zero-stream "partial" grant.
+    service = balanced_service(max_streams=20, cluster_count=2, default_streams=10)
+    first = service.submit_transfers("wf", "cA", [spec("a", cluster="cA")])[0]
+    assert first.streams == 10
+    second = service.submit_transfers("wf", "cA", [spec("b", cluster="cA")])[0]
+    assert second.streams == 1
+    assert second.streams > 0
+
+
+def test_balanced_partial_grant_takes_remaining_share():
+    service = balanced_service(max_streams=20, cluster_count=2, default_streams=7)
+    first = service.submit_transfers("wf", "cA", [spec("a", cluster="cA")])[0]
+    second = service.submit_transfers("wf", "cA", [spec("b", cluster="cA")])[0]
+    assert (first.streams, second.streams) == (7, 3)
+    assert cluster_allocated(service, "cA") == 10
+
+
+def test_balanced_every_grant_positive_under_pressure():
+    service = balanced_service(max_streams=12, cluster_count=3, default_streams=3)
+    streams = [
+        service.submit_transfers("wf", "cA", [spec(f"f{i}", cluster="cA")])[0].streams
+        for i in range(6)
+    ]
+    assert all(s >= 1 for s in streams)
+    assert streams[0] == 3  # share is 4: full grant
+    assert 1 in streams  # exhaustion reached single-stream grants
+
+
+def test_greedy_partial_grant_boundary_never_grants_zero():
+    service = PolicyService(PolicyConfig(policy="greedy", default_streams=10, max_streams=10))
+    first = service.submit_transfers("wf", "j", [spec("a")])[0]
+    second = service.submit_transfers("wf", "j", [spec("b")])[0]
+    assert first.streams == 10
+    assert second.streams == 1

@@ -151,3 +151,119 @@ def test_concurrent_http_clients_are_serialized_safely(server):
     client.complete_transfers(done=approved_tids)
     status = client.status()
     assert status["memory"].get("TransferFact") is None
+
+
+def _raw_request(server, payload: bytes) -> tuple[int, dict]:
+    """Send raw bytes over a socket; return (status, decoded JSON body)."""
+    import socket
+
+    host, port = server._httpd.server_address[:2]
+    with socket.create_connection((host, port), timeout=5) as sock:
+        sock.sendall(payload)
+        sock.settimeout(5)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except TimeoutError:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if b"\r\n\r\n" in b"".join(chunks):
+                head, _, body = b"".join(chunks).partition(b"\r\n\r\n")
+                declared = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        declared = int(line.split(b":", 1)[1])
+                if len(body) >= declared:
+                    break
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body or b"{}")
+
+
+def test_non_numeric_content_length_is_http_400(server):
+    status, doc = _raw_request(
+        server,
+        b"POST /policy/transfers HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: banana\r\n"
+        b"\r\n",
+    )
+    assert status == 400
+    assert "Content-Length" in doc["error"]
+
+
+def test_negative_content_length_is_http_400(server):
+    status, doc = _raw_request(
+        server,
+        b"POST /policy/transfers HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Length: -5\r\n"
+        b"\r\n",
+    )
+    assert status == 400
+    assert "Content-Length" in doc["error"]
+
+
+def test_non_numeric_content_length_on_get_is_handled(server):
+    # GET ignores the body, but a bogus header must not crash the handler.
+    status, doc = _raw_request(
+        server,
+        b"GET /policy/status HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Length: banana\r\n"
+        b"\r\n",
+    )
+    assert status == 200
+    assert "policy" in doc
+
+
+def test_non_dict_json_body_is_http_400(server):
+    request = urllib.request.Request(
+        f"{server.url}/policy/transfers",
+        data=b"[1, 2, 3]",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5)
+    assert excinfo.value.code == 400
+    assert "JSON object" in json.loads(excinfo.value.read())["error"]
+
+
+def test_internal_error_is_http_500_not_dropped_connection(server):
+    # Sabotage the controller to simulate an unexpected bug; the handler
+    # must answer 500 + JSON instead of severing the connection.
+    original = server.controller.status
+    server.controller.status = lambda: 1 / 0
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/policy/status", timeout=5)
+        assert excinfo.value.code == 500
+        assert "internal error" in json.loads(excinfo.value.read())["error"]
+    finally:
+        server.controller.status = original
+    # The server is still alive for the next request.
+    with urllib.request.urlopen(f"{server.url}/policy/status", timeout=5) as resp:
+        assert resp.status == 200
+
+
+def test_post_internal_error_is_http_500(server):
+    original = server.controller.submit_transfers
+    server.controller.submit_transfers = lambda payload: {}["boom"]
+    try:
+        request = urllib.request.Request(
+            f"{server.url}/policy/transfers",
+            data=json.dumps({"workflow": "w", "job": "j", "transfers": []}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 500
+    finally:
+        server.controller.submit_transfers = original

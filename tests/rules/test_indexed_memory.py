@@ -1,0 +1,147 @@
+"""Unit tests for the hash-indexed working memory (lookup + change log)."""
+
+import pytest
+
+from repro.rules import Fact, WorkingMemory
+from repro.rules.facts import _CHANGELOG_CAP
+
+
+class Transfer(Fact):
+    def __init__(self, lfn, dst, status="new"):
+        self.lfn = lfn
+        self.dst = dst
+        self.status = status
+
+
+class Priority(Transfer):
+    pass
+
+
+class Bare(Fact):
+    pass
+
+
+@pytest.fixture(params=[True, False], ids=["indexed", "scan"])
+def wm(request):
+    return WorkingMemory(indexed=request.param)
+
+
+# ------------------------------------------------------------------ lookup
+def test_lookup_matches_scan_filter(wm):
+    a = wm.insert(Transfer("a", "u1"))
+    b = wm.insert(Transfer("b", "u1"))
+    wm.insert(Transfer("a", "u2"))
+    assert wm.lookup(Transfer, dst="u1") == [a, b]
+    assert wm.lookup(Transfer, lfn="a", dst="u1") == [a]
+    assert wm.lookup(Transfer, lfn="zzz") == []
+
+
+def test_lookup_preserves_insertion_order(wm):
+    facts = [wm.insert(Transfer(str(i), "u", status="s")) for i in range(20)]
+    assert wm.lookup(Transfer, status="s") == facts
+
+
+def test_lookup_sees_subclasses_via_base(wm):
+    p = wm.insert(Priority("a", "u1"))
+    t = wm.insert(Transfer("a", "u1"))
+    assert wm.lookup(Transfer, lfn="a") == [p, t]
+    assert wm.lookup(Priority, lfn="a") == [p]
+
+
+def test_lookup_tracks_updates(wm):
+    a = wm.insert(Transfer("a", "u1"))
+    assert wm.lookup(Transfer, status="new") == [a]
+    wm.update(a, status="done")
+    assert wm.lookup(Transfer, status="new") == []
+    assert wm.lookup(Transfer, status="done") == [a]
+
+
+def test_lookup_tracks_retracts(wm):
+    a = wm.insert(Transfer("a", "u1"))
+    wm.lookup(Transfer, dst="u1")  # build the index first
+    wm.retract(a)
+    assert wm.lookup(Transfer, dst="u1") == []
+
+
+def test_lookup_index_built_lazily_covers_existing_facts(wm):
+    facts = [wm.insert(Transfer(str(i), "u1")) for i in range(5)]
+    # No lookup has run yet; the first one must still see everything.
+    assert wm.lookup(Transfer, dst="u1") == facts
+
+
+def test_lookup_skips_facts_missing_the_attribute(wm):
+    wm.insert(Bare())
+    t = wm.insert(Transfer("a", "u1"))
+    assert wm.lookup(Fact, lfn="a") == [t]
+
+
+def test_lookup_unhashable_value_raises_when_indexed():
+    wm = WorkingMemory(indexed=True)
+    wm.insert(Transfer("a", "u1"))
+    with pytest.raises(TypeError):
+        wm.lookup(Transfer, lfn=["not", "hashable"])
+
+
+def test_indexed_and_scan_modes_agree():
+    indexed, scan = WorkingMemory(indexed=True), WorkingMemory(indexed=False)
+    for mem in (indexed, scan):
+        for i in range(30):
+            mem.insert(Transfer(f"f{i % 7}", f"u{i % 3}", status="new"))
+        for f in list(mem.facts_of(Transfer))[::4]:
+            mem.update(f, status="done")
+        for f in list(mem.facts_of(Transfer))[::9]:
+            mem.retract(f)
+
+    def view(mem):
+        return [
+            [(f.lfn, f.dst, f.status) for f in mem.lookup(Transfer, **q)]
+            for q in (
+                {"status": "new"},
+                {"status": "done"},
+                {"lfn": "f1", "dst": "u0"},
+                {"dst": "u2"},
+            )
+        ]
+
+    assert view(indexed) == view(scan)
+
+
+# ------------------------------------------------------------------ fid access
+def test_fact_with_fid(wm):
+    a = wm.insert(Transfer("a", "u1"))
+    fid = wm.fid_of(a)
+    assert wm.fact_with_fid(fid) is a
+    wm.retract(a)
+    assert wm.fact_with_fid(fid) is None
+
+
+# ------------------------------------------------------------------ change log
+def test_changes_since_records_insert_update_retract(wm):
+    start = wm.clock
+    a = wm.insert(Transfer("a", "u1"))
+    fid = wm.fid_of(a)
+    wm.update(a, status="done")
+    wm.retract(a)
+    changes = wm.changes_since(start)
+    assert changes is not None
+    assert [(c_fid, op) for c_fid, _f, op in changes] == [
+        (fid, "i"), (fid, "u"), (fid, "r")
+    ]
+
+
+def test_changes_since_current_clock_is_empty(wm):
+    wm.insert(Transfer("a", "u1"))
+    assert wm.changes_since(wm.clock) == []
+
+
+def test_changes_since_overflow_returns_none(wm):
+    start = wm.clock
+    a = wm.insert(Transfer("a", "u1"))
+    for _ in range(_CHANGELOG_CAP + 10):
+        wm.update(a, status="new")
+    assert wm.changes_since(start) is None
+    # A recent sequence number is still serviceable.
+    recent = wm.clock
+    wm.update(a, status="done")
+    changes = wm.changes_since(recent)
+    assert changes is not None and len(changes) == 1
