@@ -1,0 +1,197 @@
+"""Fault injection for chaos experiments.
+
+A :class:`FaultPlan` declares *when* things break; a
+:class:`FaultInjector` turns the plan into DES processes that break them:
+
+* :class:`ServiceOutage` — the Policy Service crashes at ``at`` and is
+  unreachable for ``duration`` seconds.  When the injector was given a
+  ``restart`` callable, the service comes back as whatever it returns —
+  typically ``PolicyService.recover(journal_dir)``, which is how the
+  chaos tests exercise the durable policy memory end to end.
+* :class:`RpcDropWindow` — individual policy RPCs are dropped with
+  probability ``rate`` during the window (flaky network, not a crash).
+* :class:`GridFTPStorm` — the transfer fabric's failure rate is raised
+  to ``failure_rate`` for the window, then restored.
+
+The injector hooks the simulation through the
+:class:`~repro.policy.client.InProcessPolicyClient` ``fault_gate`` and
+the :class:`~repro.net.gridftp.GridFTPClient` ``failure_rate`` knob; it
+lives in :mod:`repro.des` but is imported explicitly (not re-exported
+from the package) so the DES kernel itself stays policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.des.core import Environment
+
+__all__ = [
+    "ServiceOutage",
+    "RpcDropWindow",
+    "GridFTPStorm",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class ServiceOutage:
+    """The Policy Service is down during ``[at, at + duration)``."""
+
+    at: float
+    duration: float
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("outage needs at >= 0 and duration > 0")
+
+
+@dataclass(frozen=True)
+class RpcDropWindow:
+    """Policy RPCs are dropped with probability ``rate`` in the window."""
+
+    at: float
+    duration: float
+    rate: float = 1.0
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("drop window needs at >= 0 and duration > 0")
+        if not 0 < self.rate <= 1:
+            raise ValueError("rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class GridFTPStorm:
+    """The fabric's transfer failure rate spikes during the window."""
+
+    at: float
+    duration: float
+    failure_rate: float
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("storm needs at >= 0 and duration > 0")
+        if not 0 <= self.failure_rate <= 1:
+            raise ValueError("failure_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative schedule of faults for one simulation run."""
+
+    outages: tuple[ServiceOutage, ...] = ()
+    rpc_drops: tuple[RpcDropWindow, ...] = ()
+    storms: tuple[GridFTPStorm, ...] = ()
+
+    @classmethod
+    def single_crash(cls, at: float, duration: float) -> "FaultPlan":
+        """The canonical chaos scenario: one mid-run service outage."""
+        return cls(outages=(ServiceOutage(at=at, duration=duration),))
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan` onto a simulation environment.
+
+    Attach the targets first, then :meth:`start` (before ``env.run``)::
+
+        injector = FaultInjector(env, plan, rng=rng)
+        injector.attach_policy(client, restart=lambda: PolicyService.recover(d))
+        injector.attach_gridftp(gridftp)
+        injector.start()
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        rng: Optional[random.Random] = None,
+    ):
+        self.env = env
+        self.plan = plan
+        self._rng = rng or random.Random(0)
+        self._policy_client = None
+        self._restart: Optional[Callable[[], object]] = None
+        self._gridftp = None
+        self.service_down = False
+        self._drop_rate = 0.0
+        #: (time, description) trace of everything the injector did
+        self.log: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ wiring
+    def attach_policy(self, client, restart: Optional[Callable[[], object]] = None) -> None:
+        """Gate ``client``'s RPCs through this injector.
+
+        ``restart`` (optional) is called when an outage ends; its return
+        value replaces ``client.service`` — the recovery path.
+        """
+        from repro.policy.client import PolicyUnavailableError  # local: layering
+
+        self._policy_client = client
+        self._restart = restart
+
+        def gate(method: str) -> None:
+            if self.service_down:
+                raise PolicyUnavailableError(
+                    f"policy service is down (fault injection, call={method})"
+                )
+            if self._drop_rate > 0 and self._rng.random() < self._drop_rate:
+                raise PolicyUnavailableError(
+                    f"policy rpc dropped (fault injection, call={method})"
+                )
+
+        client.fault_gate = gate
+
+    def attach_gridftp(self, gridftp) -> None:
+        """Let storms drive ``gridftp.failure_rate``."""
+        self._gridftp = gridftp
+
+    # ------------------------------------------------------------------ running
+    def start(self) -> None:
+        """Spawn one DES process per scheduled fault."""
+        if self.plan.outages and self._policy_client is None:
+            raise RuntimeError("plan has outages but no policy client attached")
+        if self.plan.rpc_drops and self._policy_client is None:
+            raise RuntimeError("plan has rpc drops but no policy client attached")
+        if self.plan.storms and self._gridftp is None:
+            raise RuntimeError("plan has storms but no gridftp client attached")
+        for outage in self.plan.outages:
+            self.env.process(self._run_outage(outage), name="fault-outage")
+        for window in self.plan.rpc_drops:
+            self.env.process(self._run_drop_window(window), name="fault-rpc-drop")
+        for storm in self.plan.storms:
+            self.env.process(self._run_storm(storm), name="fault-storm")
+
+    def _run_outage(self, outage: ServiceOutage):
+        yield self.env.timeout(outage.at)
+        self.service_down = True
+        self.log.append((self.env.now, "service crashed"))
+        yield self.env.timeout(outage.duration)
+        if self._restart is not None:
+            self._policy_client.service = self._restart()
+            self.log.append((self.env.now, "service recovered from journal"))
+        else:
+            self.log.append((self.env.now, "service back up"))
+        self.service_down = False
+
+    def _run_drop_window(self, window: RpcDropWindow):
+        yield self.env.timeout(window.at)
+        self._drop_rate = window.rate
+        self.log.append((self.env.now, f"dropping rpcs at rate {window.rate:g}"))
+        yield self.env.timeout(window.duration)
+        self._drop_rate = 0.0
+        self.log.append((self.env.now, "rpc drops ended"))
+
+    def _run_storm(self, storm: GridFTPStorm):
+        yield self.env.timeout(storm.at)
+        previous = self._gridftp.failure_rate
+        self._gridftp.failure_rate = storm.failure_rate
+        self.log.append(
+            (self.env.now, f"gridftp storm: failure rate {storm.failure_rate:g}")
+        )
+        yield self.env.timeout(storm.duration)
+        self._gridftp.failure_rate = previous
+        self.log.append((self.env.now, "gridftp storm ended"))

@@ -18,7 +18,7 @@ from repro.engine.storage import StorageTracker
 from repro.des import Environment
 from repro.net.gridftp import parse_url
 from repro.planner.executable import ExecutableJob
-from repro.policy.client import InProcessPolicyClient
+from repro.policy.client import InProcessPolicyClient, PolicyUnavailableError
 
 __all__ = ["CleanupTool", "CleanupRecord"]
 
@@ -30,6 +30,9 @@ class CleanupRecord:
     job_id: str
     deleted: int = 0
     skipped: int = 0
+    #: files left on disk because the policy service was unreachable —
+    #: deleting without advice could destroy files other workflows share
+    deferred: int = 0
 
 
 class CleanupTool:
@@ -65,9 +68,18 @@ class CleanupTool:
                 yield from self._delete(lfn, url)
                 record.deleted += 1
         else:
-            advice = yield from self.policy.submit_cleanups(
-                workflow_id, job.id, list(job.cleanup_files)
-            )
+            try:
+                advice = yield from self.policy.submit_cleanups(
+                    workflow_id, job.id, list(job.cleanup_files)
+                )
+            except PolicyUnavailableError:
+                # Unlike staging, deletion is unsafe without advice: the
+                # file may be shared with another workflow.  Leave the
+                # files in place — a later cleanup (or the operator) gets
+                # them once the service is back.
+                record.deferred += len(job.cleanup_files)
+                self.records.append(record)
+                return record
             done_ids = []
             for item in advice:
                 if item.action == "delete":
@@ -77,7 +89,12 @@ class CleanupTool:
                 else:
                     record.skipped += 1
             if done_ids:
-                yield from self.policy.complete_cleanups(done_ids)
+                try:
+                    yield from self.policy.complete_cleanups(done_ids)
+                except PolicyUnavailableError:
+                    # The deletions happened; the service's lease reaper
+                    # will retire the orphaned cleanup grants.
+                    pass
         self.records.append(record)
         return record
 

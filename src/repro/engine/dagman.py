@@ -83,6 +83,17 @@ class DAGMan:
         ``{JobKind.STAGE_IN: 20}``.
     retries:
         Retries per job after the first failure (paper: 5).
+    retry_backoff:
+        Base delay (seconds) before retry ``n`` — waits
+        ``retry_backoff * 2**(n-1)``, capped at ``retry_backoff_max``.
+        0 (the default) retries immediately, the seed behaviour.
+    retry_jitter:
+        Fraction of random inflation added to each backoff delay (needs
+        ``rng``) so failed jobs don't retry in lock-step against a
+        struggling resource.
+    rng:
+        Any object with a ``random() -> [0, 1)`` method (e.g. a
+        ``random.Random`` or a seeded simulation stream).
     """
 
     def __init__(
@@ -92,6 +103,10 @@ class DAGMan:
         runners: dict[JobKind, Runner],
         throttles: Optional[dict[JobKind, int]] = None,
         retries: int = 5,
+        retry_backoff: float = 0.0,
+        retry_backoff_max: float = 300.0,
+        retry_jitter: float = 0.1,
+        rng=None,
     ):
         plan.validate()
         missing = {j.kind for j in plan.jobs.values()} - set(runners)
@@ -99,10 +114,18 @@ class DAGMan:
             raise ValueError(f"no runner for job kinds: {sorted(k.value for k in missing)}")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if retry_backoff < 0 or retry_backoff_max < 0:
+            raise ValueError("retry backoff delays must be >= 0")
+        if not 0 <= retry_jitter <= 1:
+            raise ValueError("retry_jitter must be in [0, 1]")
         self.env = env
         self.plan = plan
         self.runners = runners
         self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.retry_jitter = retry_jitter
+        self._rng = rng
         self._throttles: dict[JobKind, PriorityResource] = {}
         for kind, limit in (throttles or {}).items():
             if limit < 1:
@@ -113,6 +136,15 @@ class DAGMan:
             for jid, job in plan.jobs.items()
         }
         self._failure: Optional[WorkflowFailed] = None
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retrying a job that has failed ``attempt`` times."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        delay = min(self.retry_backoff * 2 ** (attempt - 1), self.retry_backoff_max)
+        if self.retry_jitter and self._rng is not None:
+            delay *= 1.0 + self.retry_jitter * self._rng.random()
+        return delay
 
     # ------------------------------------------------------------------ run
     def run(self):
@@ -165,6 +197,9 @@ class DAGMan:
                             if not abort.triggered:
                                 abort.succeed(failure)
                             return
+                        delay = self._retry_delay(record.attempts)
+                        if delay > 0:
+                            yield self.env.timeout(delay)
             finally:
                 if throttle is not None and request is not None:
                     throttle.release(request)

@@ -18,6 +18,15 @@ the Policy Service, then acts on the returned advice:
 
 Without a policy client the PTT behaves like default Pegasus: it performs
 the transfers serially in list order with its configured default streams.
+
+When the policy client raises :exc:`PolicyUnavailableError` (service
+crashed, circuit open), the PTT **degrades** instead of wedging: the
+job's remaining transfers run policy-free like default Pegasus, and the
+staged files are remembered per workflow.  Once the service answers
+again, the backlog is reconciled (``reconcile_staged``) before the next
+advice request, so the shared policy memory regains the resource facts.
+Completion reports that could not be delivered are queued and flushed the
+same way.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from repro.catalogs.replica import ReplicaCatalog
 from repro.engine.storage import StorageTracker
 from repro.net.gridftp import GridFTPClient, TransferError, parse_url
 from repro.planner.executable import ExecutableJob
-from repro.policy.client import InProcessPolicyClient
+from repro.policy.client import InProcessPolicyClient, PolicyUnavailableError
 from repro.policy.model import TransferAdvice
 
 __all__ = ["PegasusTransferTool", "StagingRecord"]
@@ -45,6 +54,8 @@ class StagingRecord:
     executed: int = 0
     skipped: int = 0
     waited: int = 0
+    #: transfers executed policy-free because the service was unreachable
+    degraded: int = 0
     bytes_moved: float = 0.0
     streams_used: list[int] = field(default_factory=list)
 
@@ -105,6 +116,14 @@ class PegasusTransferTool:
         #: optional scratch-space accounting for transfer destinations
         self.storage = storage
         self.records: list[StagingRecord] = []
+        #: append-only (lfn, dst_url) log of every file this tool staged —
+        #: the ground truth the chaos experiments compare runs with
+        self.staged_log: list[tuple[str, str]] = []
+        #: files staged policy-free per workflow, awaiting reconciliation
+        self._degraded_staged: dict[str, list[tuple[str, str]]] = {}
+        #: completion reports the service never acknowledged
+        self._unreported_done: list[int] = []
+        self._unreported_failed: list[int] = []
 
     # ------------------------------------------------------------------ public
     def execute(self, workflow_id: str, job: ExecutableJob):
@@ -135,8 +154,9 @@ class PegasusTransferTool:
     # ------------------------------------------------------------- with policy
     def _execute_with_policy(self, workflow_id: str, job: ExecutableJob, record: StagingRecord):
         cluster = job.id if self.cluster_scope == "job" else workflow_id
-        pending = [
-            {
+
+        def spec_of(t) -> dict:
+            return {
                 "lfn": t.lfn,
                 "src_url": t.src_url,
                 "dst_url": t.dst_url,
@@ -145,13 +165,22 @@ class PegasusTransferTool:
                 "priority": job.priority,
                 "cluster": cluster,
             }
-            for t in job.transfers
-        ]
+
+        pending = [spec_of(t) for t in job.transfers]
         deadline = self.env.now + self.max_wait
+        # Settle earlier degraded-mode debts before asking for new advice;
+        # if the service is still down, stay policy-free for this job.
+        if not (yield from self._reconcile(workflow_id)):
+            yield from self._execute_degraded(workflow_id, pending, record)
+            return
         while pending:
-            advice = yield from self.policy.submit_transfers(
-                workflow_id, job.id, pending
-            )
+            try:
+                advice = yield from self.policy.submit_transfers(
+                    workflow_id, job.id, pending
+                )
+            except PolicyUnavailableError:
+                yield from self._execute_degraded(workflow_id, pending, record)
+                return
             denied = [a for a in advice if a.action == "deny"]
             if denied:
                 # A denial means the data will never arrive: fail the job.
@@ -170,19 +199,26 @@ class PegasusTransferTool:
             pending = []
             for item in waits:
                 record.waited += 1
-                outcome = yield from self._await_staged(item, deadline)
-                if outcome == "resubmit":
-                    pending.append(
-                        {
-                            "lfn": item.lfn,
-                            "src_url": item.src_url,
-                            "dst_url": item.dst_url,
-                            "nbytes": item.nbytes,
-                            "streams": self.default_streams,
-                            "priority": job.priority,
-                            "cluster": cluster,
-                        }
+                item_spec = {
+                    "lfn": item.lfn,
+                    "src_url": item.src_url,
+                    "dst_url": item.dst_url,
+                    "nbytes": item.nbytes,
+                    "streams": self.default_streams,
+                    "priority": job.priority,
+                    "cluster": cluster,
+                }
+                try:
+                    outcome = yield from self._await_staged(item, deadline)
+                except PolicyUnavailableError:
+                    # The service vanished mid-wait: stage the file
+                    # ourselves rather than poll a dead endpoint.
+                    yield from self._execute_degraded(
+                        workflow_id, [item_spec], record
                     )
+                    continue
+                if outcome == "resubmit":
+                    pending.append(item_spec)
 
     def _run_approved(self, items: list[TransferAdvice], record: StagingRecord):
         """Execute approved transfers group by group, sessions reused."""
@@ -205,13 +241,13 @@ class PegasusTransferTool:
                 # Tell the service about the failure and the abandoned rest
                 # of the batch, then let the engine retry the whole job.
                 abandoned = [other.tid for other in items[idx:]]
-                yield from self.policy.complete_transfers(failed=abandoned)
+                yield from self._report(failed=abandoned)
                 raise
             record.executed += 1
             record.bytes_moved += rec.nbytes
             record.streams_used.append(item.streams)
             self._register(item.lfn, item.dst_url, item.nbytes)
-            yield from self.policy.complete_transfers(done=[item.tid])
+            yield from self._report(done=[item.tid])
 
     def _await_staged(self, item: TransferAdvice, deadline: float):
         """Poll until the in-flight duplicate lands; 'done' or 'resubmit'."""
@@ -221,6 +257,14 @@ class PegasusTransferTool:
                 return "done"
             if state == "unknown":
                 return "resubmit"  # the other workflow's transfer failed
+            if item.wait_for is not None:
+                # The resource still reads "staging", but the transfer it
+                # waits on may be gone — failed, lease-reaped, or forgotten
+                # by a restarted service.  "unknown" must mean resubmit,
+                # not wait-forever: nobody is going to finish that staging.
+                tstate = yield from self.policy.transfer_state(item.wait_for)
+                if tstate in ("failed", "unknown"):
+                    return "resubmit"
             if self.env.now >= deadline:
                 raise TransferError(
                     f"timed out waiting for {item.lfn!r} to be staged by "
@@ -230,9 +274,85 @@ class PegasusTransferTool:
                 )
             yield self.env.timeout(self.poll_interval)
 
+    # ------------------------------------------------------------ degraded mode
+    def finalize(self, workflow_id: str):
+        """Best-effort flush of queued reports and the degraded backlog.
+
+        Call once when a workflow finishes, so completions that failed to
+        be delivered mid-run reach the service before the workflow
+        unregisters.  Returns False when the service is still down — the
+        service's lease reaper then retires the orphaned grants.
+        """
+        return (yield from self._reconcile(workflow_id))
+
+    def _execute_degraded(self, workflow_id: str, specs: list[dict], record: StagingRecord):
+        """Policy-free fallback: serial transfers with default streams.
+
+        Staged files enter the per-workflow backlog so the policy memory
+        learns about them once the service is reachable again.
+        """
+        backlog = self._degraded_staged.setdefault(workflow_id, [])
+        for spec in specs:
+            rec = yield from self.gridftp.transfer(
+                spec["src_url"], spec["dst_url"], spec["nbytes"], self.default_streams
+            )
+            record.executed += 1
+            record.degraded += 1
+            record.bytes_moved += rec.nbytes
+            record.streams_used.append(self.default_streams)
+            self._register(spec["lfn"], spec["dst_url"], spec["nbytes"])
+            backlog.append((spec["lfn"], spec["dst_url"]))
+
+    def _reconcile(self, workflow_id: str):
+        """Flush queued completion reports and the degraded-staging backlog.
+
+        Returns True when the service acknowledged everything (or there
+        was nothing to flush); False when it is still unreachable.
+        """
+        done, failed = self._unreported_done, self._unreported_failed
+        if done or failed:
+            self._unreported_done, self._unreported_failed = [], []
+            try:
+                yield from self.policy.complete_transfers(done=done, failed=failed)
+            except PolicyUnavailableError:
+                # Extend, don't assign: a concurrent job may have queued
+                # its own ids while this call was in flight.
+                self._unreported_done.extend(done)
+                self._unreported_failed.extend(failed)
+                return False
+        backlog = self._degraded_staged.get(workflow_id)
+        if backlog:
+            try:
+                yield from self.policy.reconcile_staged(workflow_id, list(backlog))
+            except PolicyUnavailableError:
+                return False
+            self._degraded_staged[workflow_id] = []
+        return True
+
+    def _report(self, done=(), failed=()):
+        """Report completions, queueing them if the service is unreachable.
+
+        A lost completion report must not fail the job — the transfer
+        itself succeeded; the service learns about it at the next
+        reconciliation (and its lease reaper bounds the damage meanwhile).
+        """
+        done = self._unreported_done + list(done)
+        failed = self._unreported_failed + list(failed)
+        self._unreported_done, self._unreported_failed = [], []
+        if not done and not failed:
+            return
+        try:
+            yield from self.policy.complete_transfers(done=done, failed=failed)
+        except PolicyUnavailableError:
+            # Extend, don't assign: a concurrent job may have queued its
+            # own ids while this call was in flight.
+            self._unreported_done.extend(done)
+            self._unreported_failed.extend(failed)
+
     # ------------------------------------------------------------------ helpers
     def _register(self, lfn: str, dst_url: str, nbytes: float = 0.0) -> None:
         host, _ = parse_url(dst_url)
+        self.staged_log.append((lfn, dst_url))
         site = self.host_site.get(host, host)
         if self.replicas is not None:
             self.replicas.register(lfn, site, dst_url)

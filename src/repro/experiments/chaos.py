@@ -1,0 +1,166 @@
+"""Chaos experiments: Montage under injected faults.
+
+The robustness claim these runs back: a Montage workflow under policy
+management **completes with the same staged file set** whether or not the
+Policy Service crashes mid-run — provided the service journals its policy
+memory (:mod:`repro.policy.journal`), grants carry leases, and the client
+degrades gracefully while the service is away.
+
+:func:`run_chaos_montage` wires the standard experiment testbed with a
+journal-backed service, a retrying/circuit-breaking client, and a
+:class:`~repro.des.faults.FaultInjector` driving a :class:`FaultPlan`;
+:func:`compare_with_faultless` runs the same cell twice — once clean,
+once under the plan — and reports whether the staged file sets match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des.faults import FaultInjector, FaultPlan
+from repro.experiments.environment import build_testbed
+from repro.experiments.runner import ExperimentConfig, WorkflowExecution
+from repro.metrics.collectors import RunMetrics
+from repro.policy import (
+    CircuitBreaker,
+    InProcessPolicyClient,
+    PolicyConfig,
+    PolicyJournal,
+    PolicyService,
+    RetryPolicy,
+)
+from repro.policy.model import CleanupFact, TransferFact
+from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+__all__ = ["ChaosResult", "run_chaos_montage", "compare_with_faultless"]
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    metrics: RunMetrics
+    #: sorted, de-duplicated (lfn, dst_url) set the transfer tool staged —
+    #: the equivalence metric between faulted and clean runs
+    staged_files: list[tuple[str, str]] = field(default_factory=list)
+    #: what the injector did, as (sim time, description)
+    fault_log: list[tuple[float, str]] = field(default_factory=list)
+    #: transfers executed policy-free while the service was unreachable
+    degraded_transfers: int = 0
+    #: ids reaped by the final lease sweep
+    reaped: dict = field(default_factory=dict)
+    #: in-progress transfer/cleanup facts still in policy memory at the end
+    leaked_in_progress: int = 0
+    #: transactions replayed / snapshots taken by the journal (0 without one)
+    journal_commits: int = 0
+
+
+def _policy_config(cfg: ExperimentConfig) -> PolicyConfig:
+    if cfg.policy is None:
+        raise ValueError("chaos runs need a policy (cfg.policy is None)")
+    return PolicyConfig(
+        policy=cfg.policy,
+        default_streams=cfg.default_streams,
+        max_streams=cfg.threshold,
+        cluster_count=cfg.cluster_factor if cfg.policy == "balanced" else None,
+        cluster_threshold=cfg.cluster_threshold,
+        order_by=cfg.order_by,
+        adaptive=cfg.adaptive,
+        lease_seconds=cfg.lease_seconds,
+    )
+
+
+def run_chaos_montage(
+    cfg: ExperimentConfig,
+    plan: Optional[FaultPlan] = None,
+    journal_dir=None,
+    retry: Optional[RetryPolicy] = None,
+    breaker_threshold: int = 3,
+    breaker_reset: float = 60.0,
+) -> ChaosResult:
+    """Run the augmented-Montage cell under a fault plan.
+
+    With ``journal_dir`` set, the service journals every mutation there
+    and each :class:`~repro.des.faults.ServiceOutage` ends with
+    ``PolicyService.recover`` from that directory — a true crash+restart.
+    Without it, outages model a hang (same process resumes).
+    """
+    workflow = augmented_montage(
+        cfg.extra_file_mb * MB,
+        MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
+    )
+    bed = build_testbed(cfg.testbed, seed=cfg.seed)
+    pconfig = _policy_config(cfg)
+    clock = lambda: bed.env.now  # noqa: E731 - tiny closure over the sim clock
+    journal = PolicyJournal(journal_dir) if journal_dir is not None else None
+    service = PolicyService(pconfig, clock=clock, journal=journal)
+    client = InProcessPolicyClient(
+        service,
+        bed.env,
+        latency=cfg.testbed.policy_latency,
+        retry=retry or RetryPolicy(retries=2, base_delay=1.0, max_delay=30.0),
+        breaker=CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+            clock=clock,
+        ),
+        rng=bed.rng.stream("policy-retry"),
+    )
+
+    plan = plan or FaultPlan()
+    injector = FaultInjector(bed.env, plan, rng=bed.rng.stream("faults"))
+    restart = None
+    if journal_dir is not None:
+        def restart():
+            return PolicyService.recover(journal_dir, config=pconfig, clock=clock)
+    injector.attach_policy(client, restart=restart)
+    injector.attach_gridftp(bed.gridftp)
+
+    execution = WorkflowExecution(cfg, workflow, bed, client)
+    injector.start()
+    process = execution.start()
+    bed.env.run(until=process)
+    metrics = execution.metrics()
+
+    # Post-run hygiene: one unthrottled sweep past every possible lease
+    # deadline retires grants orphaned by crashes and dropped reports.
+    live_service = client.service
+    horizon = bed.env.now + (cfg.lease_seconds or 0.0) + 1.0
+    reaped = (
+        live_service.reap_expired(horizon)
+        if cfg.lease_seconds is not None
+        else {"transfers": [], "cleanups": []}
+    )
+    leaked = sum(
+        1
+        for fact_type in (TransferFact, CleanupFact)
+        for f in live_service.memory.facts_of(fact_type)
+        if f.status == "in_progress"
+    )
+    return ChaosResult(
+        metrics=metrics,
+        staged_files=sorted(set(execution.ptt.staged_log)),
+        fault_log=list(injector.log),
+        degraded_transfers=sum(r.degraded for r in execution.ptt.records),
+        reaped=reaped,
+        leaked_in_progress=leaked,
+        journal_commits=journal.commits if journal is not None else 0,
+    )
+
+
+def compare_with_faultless(
+    cfg: ExperimentConfig,
+    plan: FaultPlan,
+    journal_dir=None,
+    **kwargs,
+) -> dict:
+    """Run the cell clean and under ``plan``; compare staged file sets."""
+    clean = run_chaos_montage(cfg, plan=None, journal_dir=None, **kwargs)
+    chaotic = run_chaos_montage(cfg, plan=plan, journal_dir=journal_dir, **kwargs)
+    return {
+        "clean": clean,
+        "chaotic": chaotic,
+        "staged_sets_equal": clean.staged_files == chaotic.staged_files,
+        "both_succeeded": clean.metrics.success and chaotic.metrics.success,
+    }

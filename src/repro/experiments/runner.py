@@ -56,6 +56,8 @@ class ExperimentConfig:
     remote_inputs: bool = False           # place ALL inputs on the remote VM
     max_staging_bytes: Optional[float] = None  # storage-constrained staging
     output_site: Optional[str] = None     # stage final outputs to this site
+    lease_seconds: Optional[float] = None # grant leases (None = no leasing)
+    retry_backoff: float = 0.0            # base delay between job retries
     n_images: int = 89                    # paper: 89 data staging jobs
     seed: int = 0
     testbed: TestbedParams = field(default_factory=TestbedParams)
@@ -79,6 +81,7 @@ def build_policy_client(
             cluster_threshold=cfg.cluster_threshold,
             order_by=cfg.order_by,
             adaptive=cfg.adaptive,
+            lease_seconds=cfg.lease_seconds,
         ),
         clock=lambda: bed.env.now,
     )
@@ -172,6 +175,8 @@ class WorkflowExecution:
             },
             throttles={JobKind.STAGE_IN: cfg.job_limit},
             retries=cfg.retries,
+            retry_backoff=cfg.retry_backoff,
+            rng=bed.rng.stream(f"retry:{self.plan.name}"),
         )
         self.result = None
 
@@ -184,6 +189,10 @@ class WorkflowExecution:
                 self.dagman.run(), name=f"dagman-{self.plan.workflow_id}"
             )
             if self.policy is not None:
+                # Deliver completion reports / degraded staging the service
+                # missed while unreachable (best effort — lease reaping
+                # covers whatever still cannot be delivered).
+                yield from self.ptt.finalize(self.plan.workflow_id)
                 # Without cleanup the staged files stay on disk for later
                 # ensemble members to share; keep tracking them.
                 self.policy.service.unregister_workflow(

@@ -23,22 +23,38 @@ Layering (paper Fig. 1):
 * :mod:`repro.policy.rest` / :mod:`repro.policy.client` — the RESTful
   web interface and clients (real HTTP on localhost, plus an in-process
   adapter that charges simulated service-call latency);
+* :mod:`repro.policy.journal` — durable policy memory: a write-ahead
+  journal + snapshots from which :meth:`PolicyService.recover` rebuilds
+  the service after a crash;
 * :mod:`repro.policy.allocation` — the analytic allocator (Table IV);
 * :mod:`repro.policy.tuning` — threshold auto-tuning (paper future work).
 """
 
 from repro.policy.allocation import greedy_allocation_trace, max_streams_table
-from repro.policy.client import InProcessPolicyClient
+from repro.policy.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    InProcessPolicyClient,
+    PolicyUnavailableError,
+    RetryPolicy,
+)
 from repro.policy.controller import PolicyController, PolicyRequestError
+from repro.policy.journal import JournalError, PolicyJournal
 from repro.policy.model import PolicyConfig, TransferAdvice
 from repro.policy.service import PolicyService
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "InProcessPolicyClient",
+    "JournalError",
     "PolicyConfig",
     "PolicyController",
+    "PolicyJournal",
     "PolicyRequestError",
     "PolicyService",
+    "PolicyUnavailableError",
+    "RetryPolicy",
     "TransferAdvice",
     "greedy_allocation_trace",
     "max_streams_table",

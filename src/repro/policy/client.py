@@ -9,44 +9,213 @@ Two clients with matching vocabularies:
   latency on the simulation clock (the paper notes that consulting an
   external service "incurs overheads for the service calls").  Its methods
   are DES process generators, invoked with ``yield from``.
+
+Both clients share one resilience vocabulary: bounded retries with
+exponential backoff and jitter (:class:`RetryPolicy`) and a
+:class:`CircuitBreaker` that stops hammering a dead service.  When the
+retries are exhausted — or the circuit is open — the call raises
+:class:`PolicyUnavailableError`; the transfer tool catches it and degrades
+to policy-free staging rather than wedging the workflow.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import threading
+import time
+import urllib.error
 import urllib.request
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from repro.des.core import Environment
 from repro.policy.model import CleanupAdvice, TransferAdvice
 from repro.policy.service import PolicyService
 
-__all__ = ["HTTPPolicyClient", "InProcessPolicyClient"]
+__all__ = [
+    "HTTPPolicyClient",
+    "InProcessPolicyClient",
+    "PolicyUnavailableError",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "CircuitBreaker",
+]
+
+
+class PolicyUnavailableError(RuntimeError):
+    """The Policy Service could not be reached (after retries)."""
+
+
+class CircuitOpenError(PolicyUnavailableError):
+    """The circuit breaker is open — the call was not even attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    ``retries`` is the number of *re*-attempts after the first call; the
+    delay before retry ``n`` (0-based) is
+    ``min(base_delay * multiplier**n, max_delay)``, inflated by up to
+    ``jitter`` fraction so synchronized clients do not stampede a
+    recovering service.
+    """
+
+    retries: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+class CircuitBreaker:
+    """Classic three-state breaker guarding calls to the service.
+
+    ``closed`` — calls flow; ``failure_threshold`` *consecutive* failures
+    trip it ``open``.  While open, :meth:`allow` refuses immediately until
+    ``reset_timeout`` has elapsed, then one probe call is let through
+    (``half_open``): success closes the breaker, failure re-opens it.
+    Thread-safe so the blocking HTTP client can share one instance.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (May transition open -> half_open.)"""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                if self.clock() - self.opened_at >= self.reset_timeout:
+                    self.state = "half_open"
+                    return True
+                return False
+            # half_open: one probe is already in flight — hold the rest back
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = "closed"
+            self.failures = 0
+            self.opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            if self.state == "half_open" or self.failures >= self.failure_threshold:
+                self.state = "open"
+                self.opened_at = self.clock()
 
 
 class HTTPPolicyClient:
-    """Blocking JSON/HTTP client for :class:`PolicyRestServer`."""
+    """Blocking JSON/HTTP client for :class:`PolicyRestServer`.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    Transport errors and 5xx responses are retried per ``retry`` (4xx
+    responses are the caller's bug and surface immediately); exhausted
+    retries raise :class:`PolicyUnavailableError`.  An optional shared
+    ``breaker`` short-circuits calls while the service is known-dead.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry or RetryPolicy(retries=0)
+        self.breaker = breaker
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    def _call(self, request_fn: Callable[[], dict]) -> dict:
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError("policy service circuit is open")
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.retries + 1):
+            if attempt > 0:
+                self._sleep(self.retry.delay_for(attempt - 1, self._rng))
+            try:
+                result = request_fn()
+            except urllib.error.HTTPError as exc:
+                if exc.code < 500:
+                    raise  # client error: retrying cannot help
+                last_error = exc
+            except (urllib.error.URLError, OSError) as exc:
+                last_error = exc
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+            if breaker is not None:
+                breaker.record_failure()
+                if not breaker.allow():
+                    break  # tripped open mid-retry: stop hammering
+        raise PolicyUnavailableError(
+            f"policy service unreachable at {self.base_url}: {last_error}"
+        ) from last_error
 
     def _post(self, path: str, payload: dict) -> dict:
         data = json.dumps(payload).encode()
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return json.loads(response.read())
+
+        def request_fn() -> dict:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+
+        return self._call(request_fn)
 
     def _get(self, path: str) -> dict:
-        with urllib.request.urlopen(
-            f"{self.base_url}{path}", timeout=self.timeout
-        ) as response:
-            return json.loads(response.read())
+        def request_fn() -> dict:
+            with urllib.request.urlopen(
+                f"{self.base_url}{path}", timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+
+        return self._call(request_fn)
 
     # -- API ----------------------------------------------------------------
     def submit_transfers(self, workflow: str, job: str, transfers: list[dict]) -> list[TransferAdvice]:
@@ -89,6 +258,15 @@ class HTTPPolicyClient:
     def unregister_workflow(self, workflow: str) -> dict:
         return self._post("/policy/workflows/unregister", {"workflow": workflow})
 
+    def reconcile_staged(self, workflow: str, files: Iterable[tuple[str, str]]) -> dict:
+        return self._post(
+            "/policy/staged/reconcile",
+            {
+                "workflow": workflow,
+                "files": [{"lfn": lfn, "url": url} for lfn, url in files],
+            },
+        )
+
     def deny_host(self, host: str, direction: str = "any", reason: str = "") -> dict:
         return self._post(
             "/policy/denials", {"host": host, "direction": direction, "reason": reason}
@@ -112,6 +290,12 @@ class InProcessPolicyClient:
     Every method is a generator to be driven with ``yield from`` inside a
     DES process; each call costs ``latency`` seconds of simulated time
     (HTTP round trip + rule evaluation, the paper's service-call overhead).
+
+    Fault injection hooks in through ``fault_gate``: a callable invoked
+    with the method name *after* the latency is charged, raising
+    :exc:`PolicyUnavailableError` to simulate a dead service or a dropped
+    RPC.  Retries per ``retry`` cost simulated backoff time; exhausted
+    retries (or an open ``breaker``) surface the error to the caller.
     """
 
     def __init__(
@@ -119,13 +303,22 @@ class InProcessPolicyClient:
         service: PolicyService,
         env: Environment,
         latency: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_gate: Optional[Callable[[str], None]] = None,
+        rng: Optional[random.Random] = None,
     ):
         if latency < 0:
             raise ValueError("latency must be >= 0")
         self.service = service
         self.env = env
         self.latency = latency
+        self.retry = retry or RetryPolicy(retries=0)
+        self.breaker = breaker
+        self.fault_gate = fault_gate
+        self._rng = rng
         self.calls = 0
+        self.failed_calls = 0
         self.time_in_calls = 0.0
 
     def _charge(self):
@@ -134,34 +327,107 @@ class InProcessPolicyClient:
         if self.latency > 0:
             yield self.env.timeout(self.latency)
 
+    def _invoke(self, name: str, call: Callable[[], object]):
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError("policy service circuit is open")
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.retries + 1):
+            if attempt > 0:
+                delay = self.retry.delay_for(attempt - 1, self._rng)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            yield from self._charge()
+            try:
+                if self.fault_gate is not None:
+                    self.fault_gate(name)
+                result = call()
+            except PolicyUnavailableError as exc:
+                self.failed_calls += 1
+                last_error = exc
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+            if breaker is not None:
+                breaker.record_failure()
+                if not breaker.allow():
+                    break  # tripped open mid-retry: stop hammering
+        raise PolicyUnavailableError(
+            f"policy service unreachable ({name}): {last_error}"
+        ) from last_error
+
     def submit_transfers(self, workflow: str, job: str, transfers: list[dict]):
-        yield from self._charge()
-        return self.service.submit_transfers(workflow, job, transfers)
+        return (
+            yield from self._invoke(
+                "submit_transfers",
+                lambda: self.service.submit_transfers(workflow, job, transfers),
+            )
+        )
 
     def complete_transfers(self, done=(), failed=()):
-        yield from self._charge()
-        return self.service.complete_transfers(done=done, failed=failed)
+        done, failed = list(done), list(failed)
+        return (
+            yield from self._invoke(
+                "complete_transfers",
+                lambda: self.service.complete_transfers(done=done, failed=failed),
+            )
+        )
 
     def submit_cleanups(self, workflow: str, job: str, files):
-        yield from self._charge()
-        return self.service.submit_cleanups(workflow, job, files)
+        files = list(files)
+        return (
+            yield from self._invoke(
+                "submit_cleanups",
+                lambda: self.service.submit_cleanups(workflow, job, files),
+            )
+        )
 
     def complete_cleanups(self, ids):
-        yield from self._charge()
-        return self.service.complete_cleanups(ids)
+        ids = list(ids)
+        return (
+            yield from self._invoke(
+                "complete_cleanups", lambda: self.service.complete_cleanups(ids)
+            )
+        )
 
     def staging_state(self, lfn: str, url: str):
-        yield from self._charge()
-        return self.service.staging_state(lfn, url)
+        return (
+            yield from self._invoke(
+                "staging_state", lambda: self.service.staging_state(lfn, url)
+            )
+        )
 
     def transfer_state(self, tid: int):
-        yield from self._charge()
-        return self.service.transfer_state(tid)
+        return (
+            yield from self._invoke(
+                "transfer_state", lambda: self.service.transfer_state(tid)
+            )
+        )
 
     def register_priorities(self, workflow: str, priorities: dict):
-        yield from self._charge()
-        return self.service.register_priorities(workflow, priorities)
+        return (
+            yield from self._invoke(
+                "register_priorities",
+                lambda: self.service.register_priorities(workflow, priorities),
+            )
+        )
 
-    def unregister_workflow(self, workflow: str):
-        yield from self._charge()
-        return self.service.unregister_workflow(workflow)
+    def unregister_workflow(self, workflow: str, retain_staged: bool = False):
+        return (
+            yield from self._invoke(
+                "unregister_workflow",
+                lambda: self.service.unregister_workflow(
+                    workflow, retain_staged=retain_staged
+                ),
+            )
+        )
+
+    def reconcile_staged(self, workflow: str, files):
+        files = list(files)
+        return (
+            yield from self._invoke(
+                "reconcile_staged",
+                lambda: self.service.reconcile_staged(workflow, files),
+            )
+        )

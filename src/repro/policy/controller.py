@@ -98,6 +98,18 @@ class PolicyController:
             raise PolicyRequestError("field 'ids' must be a list of cleanup ids")
         return self.service.complete_cleanups(ids)
 
+    # -- reconciliation -------------------------------------------------------
+    def reconcile_staged(self, payload: dict) -> dict:
+        """Adopt files staged while the service was down (degraded clients)."""
+        workflow = _require(payload, "workflow")
+        files = _require(payload, "files", (list,))
+        pairs = []
+        for idx, item in enumerate(files):
+            if not isinstance(item, dict):
+                raise PolicyRequestError(f"files[{idx}] must be an object")
+            pairs.append((_require(item, "lfn"), _require(item, "url")))
+        return self.service.reconcile_staged(workflow, pairs)
+
     # -- access control -------------------------------------------------------
     def deny_host(self, payload: dict) -> dict:
         host = _require(payload, "host")

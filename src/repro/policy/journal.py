@@ -1,0 +1,313 @@
+"""Durable Policy Memory: write-ahead journal + snapshots.
+
+The paper's Policy Service is a long-lived daemon whose *persistent*
+policy memory is what lets concurrent workflows share staged files
+safely.  This module makes that memory survive a crash:
+
+* every working-memory mutation (insert / update / retract) performed by
+  a service call is appended to a JSONL **journal** as a full-state fact
+  record, buffered per call and flushed together with a ``commit`` record
+  carrying the service counters — so a torn write can only ever lose the
+  *uncommitted tail*, never corrupt acknowledged state;
+* every ``snapshot_interval`` commits the whole memory is dumped to a
+  **snapshot** file (atomic tmp-file + rename) and the journal is
+  truncated, bounding replay time on restart;
+* :meth:`PolicyService.recover` loads the snapshot, replays the committed
+  journal suffix, restores the id counters and the done/failed retention
+  sets, and resumes journaling — producing advice byte-identical to a
+  service that never crashed.
+
+Facts are serialized generically from their ``__dict__`` (sets become
+sorted lists) and revived without running ``__init__``, so every fact
+type round-trips exactly, including attributes added after construction.
+Fact handles (fids) are preserved *relatively*: facts re-enter memory in
+fid order, which keeps the rule engine's FIFO activation ordering — the
+property the byte-identical-advice guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional
+
+from repro.rules import Fact
+
+from repro.policy.model import (
+    CleanupFact,
+    ClusterAllocationFact,
+    HostPairFact,
+    LeaseSweepFact,
+    StagedFileFact,
+    TransferFact,
+)
+from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact
+from repro.policy.rules_priority import JobPriorityFact
+
+__all__ = ["PolicyJournal", "JournalError", "RecoveredState"]
+
+#: fact types the journal knows how to revive (name -> class)
+FACT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        TransferFact,
+        StagedFileFact,
+        HostPairFact,
+        ClusterAllocationFact,
+        CleanupFact,
+        LeaseSweepFact,
+        HostDenialFact,
+        WorkflowQuotaFact,
+        JobPriorityFact,
+    )
+}
+
+_SNAPSHOT_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Unusable journal state (type mismatch, incompatible config...)."""
+
+
+# --------------------------------------------------------------------------
+# Fact (de)serialization
+# --------------------------------------------------------------------------
+def _encode_value(value):
+    if isinstance(value, set):
+        return {"__set__": sorted(value)}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__set__" in value:
+        return set(value["__set__"])
+    return value
+
+
+def fact_to_doc(fact: Fact) -> dict:
+    """JSON-able full-state record of a fact."""
+    name = type(fact).__name__
+    if name not in FACT_TYPES:
+        raise JournalError(f"cannot journal unknown fact type {name!r}")
+    return {
+        "type": name,
+        "state": {k: _encode_value(v) for k, v in fact.__dict__.items()},
+    }
+
+
+def fact_from_doc(doc: dict) -> Fact:
+    """Revive a fact from :func:`fact_to_doc` output (skips __init__)."""
+    cls = FACT_TYPES.get(doc.get("type"))
+    if cls is None:
+        raise JournalError(f"journal names unknown fact type {doc.get('type')!r}")
+    fact = cls.__new__(cls)
+    fact.__dict__.update({k: _decode_value(v) for k, v in doc["state"].items()})
+    return fact
+
+
+# --------------------------------------------------------------------------
+# Recovered state
+# --------------------------------------------------------------------------
+@dataclass
+class RecoveredState:
+    """What :meth:`PolicyJournal.load` reconstructs for the service."""
+
+    #: live facts keyed by their original fid
+    facts: dict[int, Fact] = field(default_factory=dict)
+    counters: dict[str, int] = field(
+        default_factory=lambda: {"tid": 0, "cid": 0, "batch": 0, "group": 1}
+    )
+    done_tids: list[int] = field(default_factory=list)
+    failed_tids: list[int] = field(default_factory=list)
+    fingerprint: Optional[dict] = None
+    #: committed transactions replayed from the journal
+    replayed: int = 0
+    #: trailing uncommitted/torn records that were discarded
+    discarded: int = 0
+
+    def facts_in_fid_order(self) -> list[tuple[int, Fact]]:
+        return sorted(self.facts.items())
+
+
+class PolicyJournal:
+    """Append-only JSONL journal + periodic snapshots under one directory.
+
+    Parameters
+    ----------
+    path:
+        Directory holding ``journal.jsonl`` and ``snapshot.json``
+        (created if missing).
+    snapshot_interval:
+        Commits between automatic snapshots (journal truncation).
+    fsync:
+        Force an ``os.fsync`` after every commit — real crash-durability
+        at real disk cost; off by default for simulations and tests.
+    """
+
+    def __init__(self, path, snapshot_interval: int = 1000, fsync: bool = False):
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        self.dir = Path(path)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.dir / "journal.jsonl"
+        self.snapshot_path = self.dir / "snapshot.json"
+        self.snapshot_interval = int(snapshot_interval)
+        self.fsync = bool(fsync)
+        self._file: Optional[IO[str]] = None
+        self._pending: list[str] = []
+        self._commits_since_snapshot = 0
+        self.commits = 0
+        self.snapshots = 0
+
+    # ------------------------------------------------------------------ state
+    def has_state(self) -> bool:
+        """True when the directory already holds journal/snapshot data."""
+        if self.snapshot_path.exists():
+            return True
+        try:
+            return self.journal_path.stat().st_size > 0
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def _handle(self) -> IO[str]:
+        if self._file is None:
+            self._file = open(self.journal_path, "a", encoding="utf-8")
+        return self._file
+
+    # ------------------------------------------------------------------ write
+    def record_mutation(self, fact: Fact, fid: int, op: str) -> None:
+        """Buffer one working-memory mutation (flushed at commit)."""
+        if op == "r":
+            self._pending.append(json.dumps({"op": "r", "fid": fid}))
+        else:
+            self._pending.append(
+                json.dumps({"op": op, "fid": fid, "fact": fact_to_doc(fact)})
+            )
+
+    def commit(
+        self,
+        counters: dict[str, int],
+        done: list[int] = (),
+        failed: list[int] = (),
+    ) -> None:
+        """Flush the buffered transaction with its commit record.
+
+        An empty transaction (no mutations, no retention deltas) is
+        skipped entirely unless the counters advanced — queries stay free.
+        """
+        record: dict = {"op": "commit", "counters": dict(counters)}
+        if done:
+            record["done"] = list(done)
+        if failed:
+            record["failed"] = list(failed)
+        lines = self._pending
+        self._pending = []
+        lines.append(json.dumps(record))
+        handle = self._handle()
+        handle.write("\n".join(lines) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.commits += 1
+        self._commits_since_snapshot += 1
+
+    def abort(self) -> None:
+        """Drop buffered mutations of a failed call (nothing was written)."""
+        self._pending.clear()
+
+    @property
+    def wants_snapshot(self) -> bool:
+        return self._commits_since_snapshot >= self.snapshot_interval
+
+    def write_snapshot(self, service) -> None:
+        """Dump the service's full durable state; truncate the journal.
+
+        The snapshot lands via tmp-file + rename so a crash mid-dump
+        leaves the previous snapshot/journal pair intact.
+        """
+        facts = []
+        memory = service.memory
+        for fact in memory:
+            facts.append({"fid": memory.fid_of(fact), **fact_to_doc(fact)})
+        facts.sort(key=lambda doc: doc["fid"])
+        doc = {
+            "version": _SNAPSHOT_VERSION,
+            "fingerprint": service.config_fingerprint(),
+            "counters": service.counters(),
+            "done": service._done_tids.ids(),
+            "failed": service._failed_tids.ids(),
+            "facts": facts,
+        }
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        # Truncate: everything up to now lives in the snapshot.
+        self.close()
+        self._file = open(self.journal_path, "w", encoding="utf-8")
+        self._commits_since_snapshot = 0
+        self.snapshots += 1
+
+    # ------------------------------------------------------------------ read
+    def load(self) -> RecoveredState:
+        """Snapshot + committed journal suffix -> :class:`RecoveredState`.
+
+        Only complete transactions (terminated by a ``commit`` record)
+        are applied; a torn or uncommitted tail is counted in
+        ``discarded`` and ignored — the client never got that call's
+        response, so it will retry.
+        """
+        state = RecoveredState()
+        if self.snapshot_path.exists():
+            with open(self.snapshot_path, encoding="utf-8") as handle:
+                snap = json.load(handle)
+            if snap.get("version") != _SNAPSHOT_VERSION:
+                raise JournalError(
+                    f"unsupported snapshot version {snap.get('version')!r}"
+                )
+            state.fingerprint = snap.get("fingerprint")
+            state.counters.update(snap.get("counters", {}))
+            state.done_tids = list(snap.get("done", []))
+            state.failed_tids = list(snap.get("failed", []))
+            for doc in snap.get("facts", []):
+                state.facts[int(doc["fid"])] = fact_from_doc(doc)
+
+        if not self.journal_path.exists():
+            return state
+
+        buffered: list[dict] = []
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn write: discard from here on
+                if record.get("op") != "commit":
+                    buffered.append(record)
+                    continue
+                for mutation in buffered:
+                    fid = int(mutation["fid"])
+                    if mutation["op"] == "r":
+                        state.facts.pop(fid, None)
+                    else:  # "i" and "u" both carry the full fact state
+                        state.facts[fid] = fact_from_doc(mutation["fact"])
+                buffered = []
+                state.counters.update(record.get("counters", {}))
+                state.done_tids.extend(record.get("done", []))
+                state.failed_tids.extend(record.get("failed", []))
+                state.replayed += 1
+        state.discarded = len(buffered)
+        return state

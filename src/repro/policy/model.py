@@ -20,6 +20,7 @@ __all__ = [
     "HostPairFact",
     "ClusterAllocationFact",
     "CleanupFact",
+    "LeaseSweepFact",
     "TransferAdvice",
     "CleanupAdvice",
 ]
@@ -58,6 +59,17 @@ class PolicyConfig:
         :meth:`PolicyService.transfer_state` queries.  Bounded so a
         long-lived service does not grow without limit; the oldest ids
         are forgotten first (their state reads ``"unknown"``).
+    lease_seconds:
+        When set, every granted transfer or cleanup carries a lease
+        deadline that many seconds in the future.  An ``in_progress``
+        fact whose lease expires is reaped — marked failed, its stream
+        allocations released on both the host-pair and cluster ledgers —
+        so a crashed transfer tool can never wedge other workflows.
+        ``None`` (default) disables leasing.
+    lease_sweep_interval:
+        Minimum seconds between automatic lease sweeps piggy-backed on
+        service calls (defaults to ``lease_seconds / 4``).  Explicit
+        :meth:`PolicyService.reap_expired` calls ignore the throttle.
     adaptive / adaptive_settings:
         Enable runtime threshold adaptation from recent transfer
         performance (:mod:`repro.policy.adaptive`); greedy policy only.
@@ -74,6 +86,8 @@ class PolicyConfig:
     adaptive_settings: Optional[object] = None
     access_control: bool = False
     completed_tid_retention: int = 10_000
+    lease_seconds: Optional[float] = None
+    lease_sweep_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("greedy", "balanced", "fifo"):
@@ -93,6 +107,21 @@ class PolicyConfig:
             raise ValueError("adaptive thresholds require the greedy policy")
         if self.completed_tid_retention < 0:
             raise ValueError("completed_tid_retention must be >= 0")
+        if self.lease_seconds is not None and self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive (or None)")
+        if self.lease_sweep_interval is not None:
+            if self.lease_seconds is None:
+                raise ValueError("lease_sweep_interval requires lease_seconds")
+            if self.lease_sweep_interval < 0:
+                raise ValueError("lease_sweep_interval must be >= 0")
+
+    def sweep_interval(self) -> float:
+        """Throttle between automatic lease sweeps (0 when leasing is off)."""
+        if self.lease_seconds is None:
+            return 0.0
+        if self.lease_sweep_interval is not None:
+            return self.lease_sweep_interval
+        return self.lease_seconds / 4.0
 
     def threshold_for(self, src_host: str, dst_host: str) -> int:
         """Stream threshold between a host pair (with per-pair override)."""
@@ -150,6 +179,9 @@ class TransferFact(Fact):
         self.reason = ""
         self.wait_for: Optional[int] = None
         self.quota_charged = False
+        #: absolute clock time after which an in_progress grant may be
+        #: reaped (None when the service runs without leases)
+        self.lease_deadline: Optional[float] = None
 
 
 class StagedFileFact(Fact):
@@ -201,6 +233,22 @@ class CleanupFact(Fact):
         self.batch = batch
         self.status = "submitted"  # -> new -> (approved | skip_in_use | skip_duplicate)
         self.reason = ""
+        self.lease_deadline: Optional[float] = None
+
+
+class LeaseSweepFact(Fact):
+    """A transient reaper tick: rules expire leases older than ``now``.
+
+    Inserted by :meth:`PolicyService.reap_expired`, matched by the lease
+    rules in :mod:`repro.policy.rules_common`, and retracted by the
+    lowest-salience sweep-retirement rule before the session returns.
+    Inserting a fact (rather than reading the clock from globals) keeps
+    the incremental agenda sound: time-based expiry becomes a working
+    memory change the change log can see.
+    """
+
+    def __init__(self, now: float):
+        self.now = float(now)
 
 
 # --------------------------------------------------------------------------
@@ -227,6 +275,9 @@ class TransferAdvice:
     priority: int = 0
     reason: str = ""
     wait_for: Optional[int] = None
+    #: clock time by which the grant must be completed before the service
+    #: may reap it (None when the service runs without leases)
+    lease_deadline: Optional[float] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -245,6 +296,7 @@ class CleanupAdvice:
     url: str
     action: str  # "delete" | "skip"
     reason: str = ""
+    lease_deadline: Optional[float] = None
 
     def to_dict(self) -> dict:
         return asdict(self)

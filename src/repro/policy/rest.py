@@ -13,6 +13,7 @@ GET         /policy/transfers/<tid>              one transfer's state
 POST        /policy/staging                      staged-state of (lfn, url)
 POST        /policy/cleanups                     submit cleanup batch
 POST        /policy/cleanups/complete            report finished cleanups
+POST        /policy/staged/reconcile             adopt degraded-mode staging
 POST        /policy/priorities                   register job priorities
 POST        /policy/workflows/unregister         drop a workflow's interest
 POST        /policy/denials                      ban a host (access control)
@@ -21,7 +22,9 @@ POST        /policy/quotas                       set a workflow's byte quota
 GET         /policy/status                       service snapshot
 ==========  ===================================  ===========================
 
-Malformed payloads return 400 with ``{"error": ...}``; unknown paths 404.
+Malformed payloads return 400 with ``{"error": ...}``; unknown paths 404;
+bodies larger than ``max_request_bytes`` 413 (without reading the body);
+requests arriving while the server drains for shutdown 503.
 """
 
 from __future__ import annotations
@@ -36,8 +39,28 @@ from repro.policy.service import PolicyService
 
 __all__ = ["PolicyRestServer"]
 
+#: default cap on request bodies — far above any sane batch, far below
+#: what would let one client exhaust server memory
+DEFAULT_MAX_REQUEST_BYTES = 1024 * 1024
 
-def _make_handler(controller: PolicyController, lock: threading.Lock):
+
+class _RequestTooLarge(Exception):
+    """Body exceeds the configured cap (maps to HTTP 413)."""
+
+
+class _PolicyHTTPServer(ThreadingHTTPServer):
+    """Threading server whose handler threads don't block shutdown.
+
+    ``stop()`` drains in-flight requests explicitly (bounded by a
+    timeout), so the per-thread joins of ``block_on_close`` would only
+    add an unbounded second wait on a hung keep-alive connection.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+
+def _make_handler(controller: PolicyController, lock: threading.Lock, server_state):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -61,6 +84,13 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                 ) from exc
             if length < 0:
                 raise PolicyRequestError("Content-Length header must be >= 0")
+            if length > server_state.max_request_bytes:
+                # Refuse before reading: the declared size alone disqualifies
+                # the request, so the body bytes never enter memory.
+                raise _RequestTooLarge(
+                    f"request body of {length} bytes exceeds the "
+                    f"{server_state.max_request_bytes}-byte limit"
+                )
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 doc = json.loads(raw or b"{}")
@@ -70,8 +100,31 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                 raise PolicyRequestError("request body must be a JSON object")
             return doc
 
-        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        def _handle(self, work) -> None:
+            if not server_state.enter():
+                self.close_connection = True
+                self._reply(503, {"error": "server is shutting down"})
+                return
             try:
+                work()
+            except _RequestTooLarge as exc:
+                # The oversized body was never read — this connection
+                # cannot be reused.
+                self.close_connection = True
+                self._reply(413, {"error": str(exc)})
+            except PolicyRequestError as exc:
+                # The body may be unread (bad framing) — do not reuse the
+                # connection for a follow-up request.
+                self.close_connection = True
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # don't drop the connection on a bug
+                self.close_connection = True
+                self._reply(500, {"error": f"internal error: {exc}"})
+            finally:
+                server_state.leave()
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            def work():
                 with lock:
                     if self.path == "/policy/status":
                         self._reply(200, controller.status())
@@ -82,14 +135,8 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                         self._reply(200, controller.transfer_state(int(tid_text)))
                     else:
                         self._reply(404, {"error": f"no such endpoint {self.path!r}"})
-            except PolicyRequestError as exc:
-                # The body may be unread (bad framing) — do not reuse the
-                # connection for a follow-up request.
-                self.close_connection = True
-                self._reply(400, {"error": str(exc)})
-            except Exception as exc:  # don't drop the connection on a bug
-                self.close_connection = True
-                self._reply(500, {"error": f"internal error: {exc}"})
+
+            self._handle(work)
 
         def do_POST(self) -> None:  # noqa: N802
             routes = {
@@ -98,6 +145,7 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                 "/policy/staging": controller.staging_state,
                 "/policy/cleanups": controller.submit_cleanups,
                 "/policy/cleanups/complete": controller.complete_cleanups,
+                "/policy/staged/reconcile": controller.reconcile_staged,
                 "/policy/priorities": controller.register_priorities,
                 "/policy/workflows/unregister": controller.unregister_workflow,
                 "/policy/denials": controller.deny_host,
@@ -105,23 +153,54 @@ def _make_handler(controller: PolicyController, lock: threading.Lock):
                 "/policy/quotas": controller.set_quota,
             }
             handler = routes.get(self.path)
-            try:
+
+            def work():
                 if handler is None:
                     self._reply(404, {"error": f"no such endpoint {self.path!r}"})
                     return
                 payload = self._read_json()
                 with lock:
                     self._reply(200, handler(payload))
-            except PolicyRequestError as exc:
-                # The body may be unread (bad framing) — do not reuse the
-                # connection for a follow-up request.
-                self.close_connection = True
-                self._reply(400, {"error": str(exc)})
-            except Exception as exc:  # don't drop the connection on a bug
-                self.close_connection = True
-                self._reply(500, {"error": f"internal error: {exc}"})
+
+            self._handle(work)
 
     return Handler
+
+
+class _ServerState:
+    """In-flight request accounting for graceful drain on stop()."""
+
+    def __init__(self, max_request_bytes: int):
+        self.max_request_bytes = int(max_request_bytes)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._stopping = False
+        self._idle = threading.Event()
+        self._idle.set()
+
+    def enter(self) -> bool:
+        with self._lock:
+            if self._stopping:
+                return False
+            self._in_flight += 1
+            self._idle.clear()
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    def begin_stop(self) -> None:
+        with self._lock:
+            self._stopping = True
+            if self._in_flight == 0:
+                self._idle.set()
+
+    def drain(self, timeout: float) -> bool:
+        """Wait until in-flight requests finish; False on timeout."""
+        return self._idle.wait(timeout)
 
 
 class PolicyRestServer:
@@ -135,15 +214,31 @@ class PolicyRestServer:
         server.stop()
 
     A lock serializes requests into the (single-threaded) rule engine, so
-    concurrent clients are safe.
+    concurrent clients are safe.  Request bodies above
+    ``max_request_bytes`` are refused with 413 before being read;
+    :meth:`stop` first refuses new requests with 503, then waits up to
+    ``drain_timeout`` seconds for in-flight ones to complete.
     """
 
-    def __init__(self, service: PolicyService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: PolicyService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        drain_timeout: float = 5.0,
+    ):
+        if max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be >= 1")
+        if drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
         self.service = service
         self.controller = PolicyController(service)
+        self.drain_timeout = drain_timeout
         self._lock = threading.Lock()
-        self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(self.controller, self._lock)
+        self._state = _ServerState(max_request_bytes)
+        self._httpd = _PolicyHTTPServer(
+            (host, port), _make_handler(self.controller, self._lock, self._state)
         )
         self._thread: Optional[threading.Thread] = None
 
@@ -159,13 +254,23 @@ class PolicyRestServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self) -> bool:
+        """Stop accepting requests, drain in-flight ones, close the socket.
+
+        Returns True when every in-flight request finished within
+        ``drain_timeout``; False when the timeout expired and the server
+        closed with requests still running (their daemon threads die with
+        the process).
+        """
         if self._thread is None:
-            return
+            return True
+        self._state.begin_stop()
+        drained = self._state.drain(self.drain_timeout)
         self._httpd.shutdown()
         self._httpd.server_close()
         self._thread.join(timeout=5)
         self._thread = None
+        return drained
 
     def __enter__(self) -> "PolicyRestServer":
         return self.start()

@@ -14,6 +14,7 @@ Rule actions use :meth:`WorkingMemory.lookup` for the same reason.
 Salience tiers (higher fires first):
 
 ====  ====================================================================
+ 97   lease expiry (reaper sweeps mark stale in_progress work failed)
  95   completion/failure processing (frees streams before new allocation)
  90   acknowledge newly inserted transfers
  85   de-duplication (within batch, against staged files, against
@@ -33,6 +34,7 @@ from repro.policy.model import (
     CleanupFact,
     ClusterAllocationFact,
     HostPairFact,
+    LeaseSweepFact,
     StagedFileFact,
     TransferFact,
 )
@@ -144,6 +146,26 @@ def _remove_failed(ctx):
     ctx.retract(t)
 
 
+# -- lease actions -------------------------------------------------------------
+def _expire_transfer_lease(ctx):
+    """An in_progress transfer outlived its lease: its tool is presumed
+    dead.  Marking it failed lets the Table I failure rule release both
+    the host-pair and cluster stream ledgers and drop the staging
+    resource it owned, unwedging any workflow waiting on the file."""
+    ctx.globals.setdefault("lease_reaped_transfers", []).append(ctx.t.tid)
+    ctx.update(ctx.t, status="failed",
+               reason=f"lease expired at t={ctx.sweep.now:g}")
+
+
+def _expire_cleanup_lease(ctx):
+    ctx.globals.setdefault("lease_reaped_cleanups", []).append(ctx.c.cid)
+    ctx.retract(ctx.c)
+
+
+def _retire_sweep(ctx):
+    ctx.retract(ctx.sweep)
+
+
 # -- cleanup actions -----------------------------------------------------------
 def _ack_cleanup(ctx):
     ctx.update(ctx.c, status="new")
@@ -171,6 +193,45 @@ def _approve_cleanup(ctx):
 def common_rules() -> list[Rule]:
     """The Table I rule pack (names follow the paper's rows)."""
     return [
+        # -- lease expiry: reaper sweeps run before anything else ----------
+        Rule(
+            "Expire a transfer whose lease deadline has passed",
+            salience=97,
+            when=[
+                Pattern(LeaseSweepFact, "sweep"),
+                Pattern(
+                    TransferFact,
+                    "t",
+                    where=lambda t, b: t.status == "in_progress"
+                    and t.lease_deadline is not None
+                    and t.lease_deadline <= b["sweep"].now,
+                    keys={"status": lambda b: "in_progress"},
+                ),
+            ],
+            then=_expire_transfer_lease,
+        ),
+        Rule(
+            "Expire a cleanup whose lease deadline has passed",
+            salience=97,
+            when=[
+                Pattern(LeaseSweepFact, "sweep"),
+                Pattern(
+                    CleanupFact,
+                    "c",
+                    where=lambda c, b: c.status == "in_progress"
+                    and c.lease_deadline is not None
+                    and c.lease_deadline <= b["sweep"].now,
+                    keys={"status": lambda b: "in_progress"},
+                ),
+            ],
+            then=_expire_cleanup_lease,
+        ),
+        Rule(
+            "Retire a completed lease sweep",
+            salience=1,
+            when=[Pattern(LeaseSweepFact, "sweep")],
+            then=_retire_sweep,
+        ),
         # -- completion first: free streams before allocating new ones -----
         Rule(
             "Remove a transfer that has completed",

@@ -10,17 +10,19 @@ de-duplication and safe sharing of staged files happen.
 
 from __future__ import annotations
 
-import itertools
 import time
+from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.rules import Rule, Session, WorkingMemory
 
 from repro.policy.adaptive import AdaptiveThresholdController
+from repro.policy.journal import JournalError, PolicyJournal
 from repro.policy.model import (
     CleanupAdvice,
     CleanupFact,
     HostPairFact,
+    LeaseSweepFact,
     PolicyConfig,
     StagedFileFact,
     TransferAdvice,
@@ -53,6 +55,10 @@ class _BoundedIdSet:
         while len(ids) > self._cap:
             del ids[next(iter(ids))]
 
+    def ids(self) -> list[int]:
+        """Retained ids, oldest first (for snapshots)."""
+        return list(self._ids)
+
     def __contains__(self, value: int) -> bool:
         return value in self._ids
 
@@ -76,6 +82,10 @@ class PolicyService:
         the incremental rule agenda; ``"seed"`` keeps the original
         scan-everything engine — same advice, used as the baseline by
         ``benchmarks/bench_rules.py`` and the equivalence tests.
+    journal:
+        A :class:`~repro.policy.journal.PolicyJournal` making the policy
+        memory durable.  The journal directory must be empty/fresh here;
+        to resume after a crash use :meth:`PolicyService.recover`.
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class PolicyService:
         extra_rules: Sequence[Rule] = (),
         clock: Optional[Callable[[], float]] = None,
         engine: str = "indexed",
+        journal: Optional[PolicyJournal] = None,
     ):
         if engine not in ("indexed", "seed"):
             raise ValueError(f"engine must be 'indexed' or 'seed', got {engine!r}")
@@ -108,12 +119,15 @@ class PolicyService:
             rules += balanced_rules()
         rules += list(extra_rules)
         self._rules = rules
-        self._tid = itertools.count(1)
-        self._cid = itertools.count(1)
-        self._batch = itertools.count(1)
+        # Plain integer counters (not itertools.count) so snapshots can
+        # read the high-water marks and recovery can restore them.
+        self._tid_last = 0
+        self._cid_last = 0
+        self._batch_last = 0
         retention = self.config.completed_tid_retention
         self._done_tids = _BoundedIdSet(retention)
         self._failed_tids = _BoundedIdSet(retention)
+        self._next_sweep = float("-inf")
         self.stats = {
             "transfer_requests": 0,
             "transfers_submitted": 0,
@@ -121,12 +135,146 @@ class PolicyService:
             "transfers_skipped": 0,
             "transfers_waited": 0,
             "transfers_denied": 0,
+            "transfers_reaped": 0,
             "cleanup_requests": 0,
             "cleanups_submitted": 0,
             "cleanups_approved": 0,
             "cleanups_skipped": 0,
+            "cleanups_reaped": 0,
+            "staged_reconciled": 0,
             "rule_firings": 0,
         }
+        self.journal: Optional[PolicyJournal] = None
+        self._last_committed_counters: Optional[dict] = None
+        if journal is not None:
+            if journal.has_state():
+                raise JournalError(
+                    f"journal at {journal.dir} already holds state; "
+                    "use PolicyService.recover() to resume from it"
+                )
+            self.attach_journal(journal)
+
+    # ------------------------------------------------------------------ counters
+    def _next_tid(self) -> int:
+        self._tid_last += 1
+        return self._tid_last
+
+    def _next_cid(self) -> int:
+        self._cid_last += 1
+        return self._cid_last
+
+    def _next_batch(self) -> int:
+        self._batch_last += 1
+        return self._batch_last
+
+    def counters(self) -> dict:
+        """Durable id high-water marks (journaled with every commit)."""
+        return {
+            "tid": self._tid_last,
+            "cid": self._cid_last,
+            "batch": self._batch_last,
+            "group": self.globals["group_counter"],
+        }
+
+    def config_fingerprint(self) -> dict:
+        """Advice-relevant configuration, stored in snapshots so recovery
+        with a different policy is rejected instead of silently diverging."""
+        c = self.config
+        return {
+            "policy": c.policy,
+            "default_streams": c.default_streams,
+            "max_streams": c.max_streams,
+            "order_by": c.order_by,
+            "access_control": c.access_control,
+            "cluster_count": c.cluster_count,
+            "cluster_threshold": c.cluster_threshold,
+            "lease_seconds": c.lease_seconds,
+        }
+
+    # ------------------------------------------------------------------ journal
+    def attach_journal(self, journal: PolicyJournal) -> None:
+        """Start journaling into ``journal`` (snapshots current state first)."""
+        self.journal = journal
+        journal.write_snapshot(self)
+        self._last_committed_counters = self.counters()
+        self.memory.observer = journal.record_mutation
+
+    @contextmanager
+    def _transaction(self):
+        """Scope one service call's journal records; abort them on error."""
+        try:
+            yield
+        except BaseException:
+            if self.journal is not None:
+                self.journal.abort()
+            raise
+
+    def _commit_journal(self, done: Iterable[int] = (), failed: Iterable[int] = ()) -> None:
+        journal = self.journal
+        if journal is None:
+            return
+        done, failed = list(done), list(failed)
+        counters = self.counters()
+        if not journal._pending and not done and not failed \
+                and counters == self._last_committed_counters:
+            return  # nothing durable changed — queries stay free
+        journal.commit(counters, done, failed)
+        self._last_committed_counters = counters
+        if journal.wants_snapshot:
+            journal.write_snapshot(self)
+
+    @classmethod
+    def recover(
+        cls,
+        path,
+        config: Optional[PolicyConfig] = None,
+        extra_rules: Sequence[Rule] = (),
+        clock: Optional[Callable[[], float]] = None,
+        engine: str = "indexed",
+        snapshot_interval: int = 1000,
+        fsync: bool = False,
+    ) -> "PolicyService":
+        """Rebuild a service from its journal directory after a crash.
+
+        Loads the snapshot, replays every committed journal transaction,
+        restores the id counters and done/failed retention sets, writes a
+        fresh compaction snapshot, and resumes journaling.  Facts re-enter
+        working memory in fid order, so rule activation ordering — and
+        therefore advice — is byte-identical to an uncrashed service.
+
+        ``config`` must match what the crashed service ran with (the
+        snapshot fingerprint is checked); pass ``path`` as a directory or
+        an existing :class:`PolicyJournal`.
+        """
+        journal = path if isinstance(path, PolicyJournal) else PolicyJournal(
+            path, snapshot_interval=snapshot_interval, fsync=fsync
+        )
+        state = journal.load()
+        service = cls(config, extra_rules=extra_rules, clock=clock, engine=engine)
+        fingerprint = service.config_fingerprint()
+        if state.fingerprint is not None and state.fingerprint != fingerprint:
+            diffs = {
+                key: (state.fingerprint.get(key), fingerprint.get(key))
+                for key in fingerprint
+                if state.fingerprint.get(key) != fingerprint.get(key)
+            }
+            raise JournalError(
+                f"journal at {journal.dir} was written under a different "
+                f"configuration: {diffs}"
+            )
+        for _fid, fact in state.facts_in_fid_order():
+            service.memory.insert(fact)
+        counters = state.counters
+        service._tid_last = int(counters["tid"])
+        service._cid_last = int(counters["cid"])
+        service._batch_last = int(counters["batch"])
+        service.globals["group_counter"] = int(counters["group"])
+        for tid in state.done_tids:
+            service._done_tids.add(tid)
+        for tid in state.failed_tids:
+            service._failed_tids.add(tid)
+        service.attach_journal(journal)
+        return service
 
     # ------------------------------------------------------------------ session
     def _session(self) -> Session:
@@ -151,16 +299,28 @@ class PolicyService:
         ``priority`` and ``cluster`` (defaults to the requesting job id,
         which is the Pegasus cluster identity for clustered staging jobs).
         """
+        self._maybe_reap()
         self.stats["transfer_requests"] += 1
-        batch = next(self._batch)
+        with self._transaction():
+            return self._submit_transfers(workflow, job, transfers)
+
+    def _submit_transfers(
+        self, workflow: str, job: str, transfers: Iterable[dict]
+    ) -> list[TransferAdvice]:
+        batch = self._next_batch()
         session = self._session()
+        lease = (
+            None
+            if self.config.lease_seconds is None
+            else self.clock() + self.config.lease_seconds
+        )
         specs = list(transfers)
         if self.config.order_by == "priority":
             specs.sort(key=lambda s: -int(s.get("priority", 0)))
         facts: list[TransferFact] = []
         for spec in specs:
             fact = TransferFact(
-                tid=next(self._tid),
+                tid=self._next_tid(),
                 workflow=workflow,
                 job=job,
                 lfn=spec["lfn"],
@@ -195,9 +355,10 @@ class PolicyService:
                         group_id=fact.group_id or 0,
                         priority=fact.priority,
                         reason=fact.reason,
+                        lease_deadline=lease,
                     )
                 )
-                self.memory.update(fact, status="in_progress")
+                self.memory.update(fact, status="in_progress", lease_deadline=lease)
                 self.stats["transfers_approved"] += 1
                 if self.adaptive is not None:
                     # Open the pair's measurement epoch at first submission
@@ -249,6 +410,7 @@ class PolicyService:
                 self.memory.retract(fact)
                 self.stats["transfers_skipped"] += 1
 
+        self._commit_journal()
         return self._order_advice(advice)
 
     def _order_advice(self, advice: list[TransferAdvice]) -> list[TransferAdvice]:
@@ -268,34 +430,43 @@ class PolicyService:
         self, done: Iterable[int] = (), failed: Iterable[int] = ()
     ) -> dict:
         """Report transfer outcomes; frees streams and updates resources."""
+        self._maybe_reap()
         done, failed = list(done), list(failed)
-        session = self._session()
-        matched = 0
+        with self._transaction():
+            session = self._session()
+            matched = 0
+            done_matched: list[int] = []
+            failed_matched: list[int] = []
 
-        def in_progress(tid: int) -> Optional[TransferFact]:
-            for f in self.memory.lookup(TransferFact, tid=tid):
-                if f.status == "in_progress":
-                    return f
-            return None
+            def in_progress(tid: int) -> Optional[TransferFact]:
+                for f in self.memory.lookup(TransferFact, tid=tid):
+                    if f.status == "in_progress":
+                        return f
+                return None
 
-        completed_pairs: list[tuple[str, str, float]] = []
-        for tid in done:
-            fact = in_progress(tid)
-            if fact is not None:
-                completed_pairs.append((fact.src_host, fact.dst_host, fact.nbytes))
-                session.update(fact, status="done")
-                self._done_tids.add(tid)
-                matched += 1
-        for tid in failed:
-            fact = in_progress(tid)
-            if fact is not None:
-                session.update(fact, status="failed")
-                self._failed_tids.add(tid)
-                matched += 1
-        self._fire(session)
-        if self.adaptive is not None and completed_pairs:
-            self._adapt_thresholds(completed_pairs)
-        return {"acknowledged": matched}
+            completed_pairs: list[tuple[str, str, float]] = []
+            for tid in done:
+                fact = in_progress(tid)
+                if fact is not None:
+                    completed_pairs.append(
+                        (fact.src_host, fact.dst_host, fact.nbytes)
+                    )
+                    session.update(fact, status="done")
+                    self._done_tids.add(tid)
+                    done_matched.append(tid)
+                    matched += 1
+            for tid in failed:
+                fact = in_progress(tid)
+                if fact is not None:
+                    session.update(fact, status="failed")
+                    self._failed_tids.add(tid)
+                    failed_matched.append(tid)
+                    matched += 1
+            self._fire(session)
+            if self.adaptive is not None and completed_pairs:
+                self._adapt_thresholds(completed_pairs)
+            self._commit_journal(done=done_matched, failed=failed_matched)
+            return {"acknowledged": matched}
 
     def _adapt_thresholds(self, completed: list[tuple[str, str, float]]) -> None:
         """Feed completions to the adaptive controller; apply decisions to
@@ -315,61 +486,154 @@ class PolicyService:
         self, workflow: str, job: str, files: Iterable[tuple[str, str]]
     ) -> list[CleanupAdvice]:
         """Evaluate cleanup (deletion) requests for (lfn, url) pairs."""
+        self._maybe_reap()
         self.stats["cleanup_requests"] += 1
-        batch = next(self._batch)
-        session = self._session()
-        facts = []
-        for lfn, url in files:
-            fact = CleanupFact(
-                cid=next(self._cid), workflow=workflow, job=job, lfn=lfn, url=url,
-                batch=batch,
+        with self._transaction():
+            batch = self._next_batch()
+            session = self._session()
+            lease = (
+                None
+                if self.config.lease_seconds is None
+                else self.clock() + self.config.lease_seconds
             )
-            facts.append(fact)
-            session.insert(fact)
-        self.stats["cleanups_submitted"] += len(facts)
-        self._fire(session)
+            facts = []
+            for lfn, url in files:
+                fact = CleanupFact(
+                    cid=self._next_cid(), workflow=workflow, job=job, lfn=lfn,
+                    url=url, batch=batch,
+                )
+                facts.append(fact)
+                session.insert(fact)
+            self.stats["cleanups_submitted"] += len(facts)
+            self._fire(session)
 
-        advice = []
-        for fact in facts:
-            if fact.status == "approved":
-                advice.append(
-                    CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
-                                  action="delete", reason=fact.reason)
-                )
-                self.memory.update(fact, status="in_progress")
-                self.stats["cleanups_approved"] += 1
-            else:
-                advice.append(
-                    CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
-                                  action="skip", reason=fact.reason)
-                )
-                self.memory.retract(fact)
-                self.stats["cleanups_skipped"] += 1
-        return advice
+            advice = []
+            for fact in facts:
+                if fact.status == "approved":
+                    advice.append(
+                        CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
+                                      action="delete", reason=fact.reason,
+                                      lease_deadline=lease)
+                    )
+                    self.memory.update(
+                        fact, status="in_progress", lease_deadline=lease
+                    )
+                    self.stats["cleanups_approved"] += 1
+                else:
+                    advice.append(
+                        CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
+                                      action="skip", reason=fact.reason)
+                    )
+                    self.memory.retract(fact)
+                    self.stats["cleanups_skipped"] += 1
+            self._commit_journal()
+            return advice
 
     def complete_cleanups(self, ids: Iterable[int]) -> dict:
         """Report finished deletions; drops resource state for those files."""
+        self._maybe_reap()
         ids = set(ids)
-        matched = 0
-        for fact in list(self.memory.facts_of(CleanupFact)):
-            if fact.cid in ids and fact.status == "in_progress":
-                for resource in list(
-                    self.memory.lookup(StagedFileFact, dst_url=fact.url)
-                ):
-                    self.memory.retract(resource)
-                self.memory.retract(fact)
-                matched += 1
-        return {"acknowledged": matched}
+        with self._transaction():
+            matched = 0
+            for fact in list(self.memory.facts_of(CleanupFact)):
+                if fact.cid in ids and fact.status == "in_progress":
+                    for resource in list(
+                        self.memory.lookup(StagedFileFact, dst_url=fact.url)
+                    ):
+                        self.memory.retract(resource)
+                    self.memory.retract(fact)
+                    matched += 1
+            self._commit_journal()
+            return {"acknowledged": matched}
+
+    # ------------------------------------------------------------------ leases
+    def _maybe_reap(self) -> None:
+        """Throttled lease sweep piggy-backed on ordinary service calls."""
+        if self.config.lease_seconds is None:
+            return
+        now = self.clock()
+        if now < self._next_sweep:
+            return
+        self._next_sweep = now + self.config.sweep_interval()
+        self._reap(now)
+
+    def reap_expired(self, now: Optional[float] = None) -> dict:
+        """Reap every in-progress grant whose lease deadline has passed.
+
+        Expired transfers are marked failed — which releases their stream
+        allocations on both the host-pair and cluster ledgers via the
+        ordinary failure rules — and their ids enter the failed retention
+        set so ``transfer_state`` answers ``"failed"``.  Expired cleanups
+        are simply dropped.  Ignores the sweep-interval throttle.
+        """
+        if now is None:
+            now = self.clock()
+        return self._reap(float(now))
+
+    def _reap(self, now: float) -> dict:
+        with self._transaction():
+            session = self._session()
+            session.insert(LeaseSweepFact(now))
+            self._fire(session)
+            reaped_tids = self.globals.pop("lease_reaped_transfers", [])
+            reaped_cids = self.globals.pop("lease_reaped_cleanups", [])
+            for tid in reaped_tids:
+                self._failed_tids.add(tid)
+            self.stats["transfers_reaped"] += len(reaped_tids)
+            self.stats["cleanups_reaped"] += len(reaped_cids)
+            self._commit_journal(failed=reaped_tids)
+            return {"transfers": list(reaped_tids), "cleanups": list(reaped_cids)}
+
+    # ------------------------------------------------------------------ reconcile
+    def reconcile_staged(
+        self, workflow: str, files: Iterable[tuple[str, str]]
+    ) -> dict:
+        """Adopt files a client staged while the service was unreachable.
+
+        A transfer tool running in degraded (policy-free) mode stages
+        files without the service knowing; once the service is back the
+        tool reports them here so the shared policy memory regains its
+        resource facts — otherwise later workflows would re-transfer files
+        that already exist, and cleanup could never delete them.
+        """
+        with self._transaction():
+            registered = joined = 0
+            for lfn, url in files:
+                existing = None
+                for r in self.memory.lookup(StagedFileFact, lfn=lfn, dst_url=url):
+                    existing = r
+                    break
+                if existing is not None:
+                    changes: dict = {}
+                    if existing.status != "staged":
+                        changes["status"] = "staged"
+                    if workflow not in existing.users:
+                        changes["users"] = existing.users | {workflow}
+                    if changes:
+                        self.memory.update(existing, **changes)
+                    joined += 1
+                else:
+                    resource = StagedFileFact(
+                        lfn=lfn, dst_url=url, owner_tid=0, workflow=workflow
+                    )
+                    self.memory.insert(resource)
+                    self.memory.update(resource, status="staged")
+                    registered += 1
+            self.stats["staged_reconciled"] += registered + joined
+            self._commit_journal()
+            return {"registered": registered, "joined": joined}
 
     # ------------------------------------------------------------------ queries
     def staging_state(self, lfn: str, dst_url: str) -> str:
         """``"staged"`` / ``"staging"`` / ``"unknown"`` for a file at a URL."""
+        self._maybe_reap()
         for r in self.memory.lookup(StagedFileFact, lfn=lfn, dst_url=dst_url):
             return r.status
         return "unknown"
 
     def transfer_state(self, tid: int) -> str:
         """``"in_progress"`` / ``"done"`` / ``"failed"`` / ``"unknown"``."""
+        self._maybe_reap()
         for f in self.memory.lookup(TransferFact, tid=tid):
             return f.status
         if tid in self._done_tids:
@@ -383,34 +647,42 @@ class PolicyService:
         """Administratively ban transfers involving ``host`` (access pack)."""
         if not self.config.access_control:
             raise RuntimeError("access control is not enabled on this service")
-        self.memory.insert(HostDenialFact(host, direction, reason))
+        with self._transaction():
+            self.memory.insert(HostDenialFact(host, direction, reason))
+            self._commit_journal()
 
     def allow_host(self, host: str) -> int:
         """Lift all denials of ``host``; returns how many were removed."""
-        removed = 0
-        for fact in list(self.memory.facts_of(HostDenialFact)):
-            if fact.host == host:
-                self.memory.retract(fact)
-                removed += 1
-        return removed
+        with self._transaction():
+            removed = 0
+            for fact in list(self.memory.facts_of(HostDenialFact)):
+                if fact.host == host:
+                    self.memory.retract(fact)
+                    removed += 1
+            self._commit_journal()
+            return removed
 
     def set_quota(self, workflow: str, max_bytes: float) -> None:
         """Set (or replace) a workflow's staging byte quota (access pack)."""
         if not self.config.access_control:
             raise RuntimeError("access control is not enabled on this service")
-        for fact in list(self.memory.facts_of(WorkflowQuotaFact)):
-            if fact.workflow == workflow:
-                self.memory.retract(fact)
-        self.memory.insert(WorkflowQuotaFact(workflow, max_bytes))
+        with self._transaction():
+            for fact in list(self.memory.facts_of(WorkflowQuotaFact)):
+                if fact.workflow == workflow:
+                    self.memory.retract(fact)
+            self.memory.insert(WorkflowQuotaFact(workflow, max_bytes))
+            self._commit_journal()
 
     # ------------------------------------------------------------------ workflows
     def register_priorities(self, workflow: str, priorities: dict) -> int:
         """Register structure-based job priorities for a workflow."""
-        count = 0
-        for job, priority in priorities.items():
-            self.memory.insert(JobPriorityFact(workflow, job, priority))
-            count += 1
-        return count
+        with self._transaction():
+            count = 0
+            for job, priority in priorities.items():
+                self.memory.insert(JobPriorityFact(workflow, job, priority))
+                count += 1
+            self._commit_journal()
+            return count
 
     def unregister_workflow(self, workflow: str, retain_staged: bool = False) -> None:
         """Drop a finished workflow's interest in staged files/priorities.
@@ -423,16 +695,18 @@ class PolicyService:
         retained facts keep their empty ``users`` set until a cleanup or
         a later sharing workflow picks them up.
         """
-        for r in list(self.memory.facts_of(StagedFileFact)):
-            if workflow in r.users:
-                remaining = r.users - {workflow}
-                if remaining or retain_staged:
-                    self.memory.update(r, users=remaining)
-                else:
-                    self.memory.retract(r)
-        for p in list(self.memory.facts_of(JobPriorityFact)):
-            if p.workflow == workflow:
-                self.memory.retract(p)
+        with self._transaction():
+            for r in list(self.memory.facts_of(StagedFileFact)):
+                if workflow in r.users:
+                    remaining = r.users - {workflow}
+                    if remaining or retain_staged:
+                        self.memory.update(r, users=remaining)
+                    else:
+                        self.memory.retract(r)
+            for p in list(self.memory.facts_of(JobPriorityFact)):
+                if p.workflow == workflow:
+                    self.memory.retract(p)
+            self._commit_journal()
 
     # ------------------------------------------------------------------ status
     def snapshot(self) -> dict:

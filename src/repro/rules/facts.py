@@ -84,6 +84,9 @@ class WorkingMemory:
         self._clock = 0
         self._type_clock: dict[type, int] = {}
         self._indexed = bool(indexed)
+        #: optional ``observer(fact, fid, op)`` invoked after every mutation
+        #: has been applied — the hook the policy journal records through.
+        self.observer: Optional[Any] = None
         # (fact type, sorted attr names) -> key tuple -> {id(fact): fact}
         self._indexes: dict[tuple[type, tuple[str, ...]], dict[tuple, dict[int, Fact]]] = {}
         # (clock, fid, fact, op) log feeding incremental agendas.  A plain
@@ -111,6 +114,8 @@ class WorkingMemory:
         log.append((self._clock, fid, fact, op))
         if len(log) > _CHANGELOG_CAP:
             del log[: len(log) // 2]
+        if self.observer is not None:
+            self.observer(fact, fid, op)
 
     def stamp(self, types: tuple[type, ...]) -> int:
         """Monotonic change stamp over a set of fact types.

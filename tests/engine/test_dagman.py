@@ -164,3 +164,110 @@ def test_validation():
         DAGMan(env, plan, {JobKind.COMPUTE: runner}, retries=-1)
     with pytest.raises(ValueError):
         DAGMan(env, plan, {JobKind.COMPUTE: runner}, throttles={JobKind.COMPUTE: 0})
+
+
+def test_retry_backoff_spaces_out_attempts():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    starts = []
+
+    def runner(workflow_id, job):
+        if job.id == "a":
+            starts.append(env.now)
+        yield env.timeout(1.0)
+        if job.id == "a" and len(starts) <= 2:
+            raise RuntimeError("flaky")
+
+    dagman = DAGMan(
+        env, plan, {JobKind.COMPUTE: runner}, retries=5, retry_backoff=10.0, rng=None
+    )
+    result = run_dagman(env, dagman)
+    assert result.success
+    # Attempt 1 at t=0 fails at t=1, waits 10; attempt 2 at t=11 fails at
+    # t=12, waits 20; attempt 3 at t=32 succeeds.
+    assert starts == [0.0, 11.0, 32.0]
+    assert result.records["b"].t_start == 33.0
+
+
+def test_retry_backoff_is_capped():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    starts = []
+
+    def runner(workflow_id, job):
+        if job.id == "a":
+            starts.append(env.now)
+        yield env.timeout(1.0)
+        if job.id == "a" and len(starts) <= 3:
+            raise RuntimeError("flaky")
+
+    dagman = DAGMan(
+        env,
+        plan,
+        {JobKind.COMPUTE: runner},
+        retries=5,
+        retry_backoff=10.0,
+        retry_backoff_max=15.0,
+        rng=None,
+    )
+    result = run_dagman(env, dagman)
+    assert result.success
+    # Delays: 10, 15 (capped from 20), 15 (capped from 40).
+    assert starts == [0.0, 11.0, 27.0, 43.0]
+
+
+def test_retry_jitter_inflates_delay():
+    import random
+
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    starts = []
+
+    def runner(workflow_id, job):
+        if job.id == "a":
+            starts.append(env.now)
+        yield env.timeout(1.0)
+        if job.id == "a" and len(starts) == 1:
+            raise RuntimeError("flaky")
+
+    dagman = DAGMan(
+        env,
+        plan,
+        {JobKind.COMPUTE: runner},
+        retries=5,
+        retry_backoff=10.0,
+        retry_jitter=0.5,
+        rng=random.Random(3),
+    )
+    result = run_dagman(env, dagman)
+    assert result.success
+    delay = starts[1] - 1.0
+    assert 10.0 <= delay <= 15.0
+    assert delay != 10.0  # jitter actually moved it
+
+
+def test_zero_backoff_retries_immediately():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    starts = []
+
+    def runner(workflow_id, job):
+        if job.id == "a":
+            starts.append(env.now)
+        yield env.timeout(1.0)
+        if job.id == "a" and len(starts) == 1:
+            raise RuntimeError("flaky")
+
+    result = run_dagman(env, DAGMan(env, plan, {JobKind.COMPUTE: runner}, retries=5))
+    assert result.success
+    assert starts == [0.0, 1.0]  # default keeps the seed's immediate-retry behavior
+
+
+def test_backoff_validation():
+    env = Environment()
+    plan = make_plan([("a", "b")])
+    runner = timed_runner(env, {})
+    with pytest.raises(ValueError):
+        DAGMan(env, plan, {JobKind.COMPUTE: runner}, retry_backoff=-1.0)
+    with pytest.raises(ValueError):
+        DAGMan(env, plan, {JobKind.COMPUTE: runner}, retry_jitter=2.0)

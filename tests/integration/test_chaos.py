@@ -1,0 +1,91 @@
+"""Chaos Montage: the workflow survives a mid-run Policy Service crash.
+
+The acceptance bar from the robustness work: with journaling, leases, and
+a degrading client, a Montage run that loses its Policy Service mid-flight
+finishes with the **byte-identical staged file set** of a clean run, and
+policy memory holds no leaked in-progress facts afterwards.
+"""
+
+import pytest
+
+from repro.des.faults import FaultPlan, GridFTPStorm, RpcDropWindow, ServiceOutage
+from repro.experiments.chaos import compare_with_faultless, run_chaos_montage
+from repro.experiments.runner import ExperimentConfig
+
+
+def chaos_config(**overrides):
+    defaults = dict(
+        policy="greedy",
+        n_images=10,
+        threshold=20,
+        lease_seconds=600.0,
+        retries=5,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def test_clean_run_baseline():
+    result = run_chaos_montage(chaos_config())
+    assert result.metrics.success
+    assert result.staged_files  # something was staged
+    assert result.degraded_transfers == 0
+    assert result.leaked_in_progress == 0
+    assert result.fault_log == []
+
+
+def test_crash_and_journal_restart_preserves_staged_set(tmp_path):
+    plan = FaultPlan.single_crash(at=60.0, duration=120.0)
+    outcome = compare_with_faultless(
+        chaos_config(), plan, journal_dir=tmp_path / "journal"
+    )
+    assert outcome["both_succeeded"]
+    assert outcome["staged_sets_equal"]
+    chaotic = outcome["chaotic"]
+    assert chaotic.leaked_in_progress == 0
+    assert chaotic.journal_commits > 0
+    assert any("crashed" in msg for _, msg in chaotic.fault_log)
+    assert any("recovered" in msg for _, msg in chaotic.fault_log)
+
+
+def test_early_crash_forces_degraded_mode_then_reconciles(tmp_path):
+    # Crash almost immediately, before most staging begins: the tool must
+    # stage policy-free and adopt the files once the service is back.
+    plan = FaultPlan.single_crash(at=5.0, duration=120.0)
+    outcome = compare_with_faultless(
+        chaos_config(), plan, journal_dir=tmp_path / "journal"
+    )
+    assert outcome["both_succeeded"]
+    assert outcome["staged_sets_equal"]
+    assert outcome["chaotic"].leaked_in_progress == 0
+
+
+def test_outage_without_journal_still_completes():
+    # No journal: the outage models a hang; the same process resumes with
+    # memory intact. The run must still complete and stay leak-free.
+    plan = FaultPlan.single_crash(at=60.0, duration=90.0)
+    result = run_chaos_montage(chaos_config(), plan=plan)
+    assert result.metrics.success
+    assert result.leaked_in_progress == 0
+    assert result.journal_commits == 0
+
+
+def test_rpc_drops_and_storm_with_backoff():
+    plan = FaultPlan(
+        rpc_drops=(RpcDropWindow(at=30.0, duration=30.0, rate=0.5),),
+        storms=(GridFTPStorm(at=20.0, duration=60.0, failure_rate=0.3),),
+    )
+    result = run_chaos_montage(
+        chaos_config(retry_backoff=2.0), plan=plan
+    )
+    assert result.metrics.success
+    assert result.leaked_in_progress == 0
+
+
+def test_balanced_policy_survives_crash(tmp_path):
+    cfg = chaos_config(policy="balanced", cluster_factor=2)
+    plan = FaultPlan.single_crash(at=60.0, duration=120.0)
+    outcome = compare_with_faultless(cfg, plan, journal_dir=tmp_path / "journal")
+    assert outcome["both_succeeded"]
+    assert outcome["staged_sets_equal"]
+    assert outcome["chaotic"].leaked_in_progress == 0
