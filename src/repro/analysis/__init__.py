@@ -1,0 +1,26 @@
+"""Static analysis of policy rule sets and staged execution plans.
+
+Two analyzers over a shared findings model:
+
+* :mod:`repro.analysis.rulelint` — checks built rule sets for unsound
+  ``keys`` hints, unknown fact attributes, salience ties/shadowing,
+  divergence risk, unreachable rules, and dependency cycles.
+* :mod:`repro.analysis.planlint` — checks planner output DAGs for cycles,
+  useless stage-ins, premature cleanup, and unproduced inputs.
+
+Run both from the command line with ``python -m repro lint``.
+"""
+
+from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.planlint import lint_plan
+from repro.analysis.rulelint import lint_rule_set, lint_rules, shipped_rule_sets
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Severity",
+    "lint_plan",
+    "lint_rule_set",
+    "lint_rules",
+    "shipped_rule_sets",
+]

@@ -1,0 +1,316 @@
+"""Probing substrate shared by the rule-set linter's dynamic checks.
+
+Two capabilities live here:
+
+* **Randomized fact synthesis** — :class:`FactFactory` builds instances of
+  arbitrary :class:`~repro.rules.facts.Fact` subclasses from their
+  ``__init__`` signatures, then randomly perturbs attributes.  The value
+  pools are seeded from the string/number constants harvested out of the
+  rule set's own guard bytecode (so ``status`` really does take values
+  like ``"new"`` and ``"in_progress"`` that the guards compare against),
+  plus name-based heuristics for urls/hosts/ids.
+
+* **Bytecode attribute scanning** — :func:`guard_attribute_refs` walks a
+  guard's compiled code with a tiny symbolic stack and reports which
+  attributes it reads off which bound fact (the guard parameter itself,
+  ``b["name"]`` subscripts of the bindings dict, and locals assigned from
+  either).  The scanner is deliberately conservative: anything it cannot
+  follow is dropped, so it under-reports rather than inventing references.
+"""
+
+from __future__ import annotations
+
+import dis
+import inspect
+import random
+from typing import Any, Callable, Iterable, Optional, Type
+
+from repro.rules.facts import Fact
+
+__all__ = [
+    "harvest_constants",
+    "fact_schema",
+    "FactFactory",
+    "guard_attribute_refs",
+    "callable_names",
+    "referenced_fact_types",
+]
+
+
+# --------------------------------------------------------------------------
+# Constant harvesting
+# --------------------------------------------------------------------------
+def _walk_code(code) -> Iterable[Any]:
+    for const in code.co_consts:
+        if inspect.iscode(const):
+            yield from _walk_code(const)
+        else:
+            yield const
+
+
+def harvest_constants(functions: Iterable[Callable]) -> dict[str, list]:
+    """Collect literal constants from the given callables' bytecode.
+
+    Returns pools keyed by kind: ``"str"``, ``"int"``, ``"float"`` —
+    the raw material for randomized fact attributes.
+    """
+    strings: set[str] = set()
+    ints: set[int] = set()
+    floats: set[float] = set()
+    for func in functions:
+        code = getattr(func, "__code__", None)
+        if code is None:
+            continue
+        for const in _walk_code(code):
+            if isinstance(const, str):
+                if const and len(const) <= 32 and "\n" not in const:
+                    strings.add(const)
+            elif isinstance(const, bool):
+                continue
+            elif isinstance(const, int):
+                if -1000 <= const <= 1000:
+                    ints.add(const)
+            elif isinstance(const, float):
+                floats.add(const)
+    return {
+        "str": sorted(strings),
+        "int": sorted(ints),
+        "float": sorted(floats),
+    }
+
+
+# --------------------------------------------------------------------------
+# Fact construction
+# --------------------------------------------------------------------------
+_HOSTS = ["alpha-host", "beta-host"]
+_LFNS = ["f1.dat", "f2.dat", "f3.dat"]
+_WORKFLOWS = ["wf-a", "wf-b"]
+_JOBS = ["job1", "job2"]
+
+
+def fact_schema(fact_type: Type[Fact], factory: "FactFactory") -> set[str]:
+    """Attribute names an instance of ``fact_type`` carries.
+
+    Derived by building a sample instance (instance ``__dict__``) plus any
+    non-callable class attributes — the set a guard may legally reference.
+    """
+    sample = factory.make(fact_type)
+    attrs: set[str] = set()
+    if sample is not None:
+        attrs.update(vars(sample))
+    for klass in fact_type.__mro__:
+        if klass in (object, Fact):
+            continue
+        for name, value in vars(klass).items():
+            if not name.startswith("_") and not callable(value):
+                attrs.add(name)
+    return attrs
+
+
+class FactFactory:
+    """Randomized constructor/perturber for Fact subclasses."""
+
+    def __init__(self, rng: random.Random, pools: Optional[dict[str, list]] = None):
+        self.rng = rng
+        pools = pools or {"str": [], "int": [], "float": []}
+        self.str_pool = list(pools.get("str", [])) or ["x"]
+        self.int_pool = sorted(set(pools.get("int", [])) | {0, 1, 2, 5})
+        self.float_pool = sorted(set(pools.get("float", [])) | {0.0, 1.0, 10.0})
+
+    # -- constructor argument synthesis ------------------------------------
+    def _value_for(self, name: str, attempt: int) -> Any:
+        rng = self.rng
+        lname = name.lower()
+        if "url" in lname:
+            return f"gsiftp://{rng.choice(_HOSTS)}/scratch/{rng.choice(_LFNS)}"
+        if "host" in lname:
+            return rng.choice(_HOSTS)
+        if "direction" in lname:
+            return rng.choice(["src", "dst", "any"])
+        if "workflow" in lname:
+            return rng.choice(_WORKFLOWS)
+        if "job" in lname:
+            return rng.choice(_JOBS)
+        if "lfn" in lname or "file" in lname:
+            return rng.choice(_LFNS)
+        if "cluster" in lname:
+            return rng.choice(["c0", "c1"])
+        if "status" in lname or "reason" in lname or "note" in lname or "item" in lname:
+            return rng.choice(self.str_pool)
+        if "bytes" in lname or "size" in lname or "now" in lname or "level" in lname:
+            return abs(rng.choice(self.float_pool)) + rng.random()
+        if "streams" in lname or "count" in lname or "threshold" in lname:
+            return rng.randint(1, 8)
+        if (
+            lname.endswith("id")
+            or lname in ("tid", "cid", "oid", "priority", "batch", "qty", "value")
+        ):
+            return rng.randint(0, 9)
+        # Fallback ladder: plain values most constructors tolerate.
+        return [0, "x", 1.0, None][attempt % 4]
+
+    def make(self, fact_type: Type[Fact], attempts: int = 8) -> Optional[Fact]:
+        """Build one instance, or None if no argument synthesis succeeds."""
+        try:
+            signature = inspect.signature(fact_type)
+        except (TypeError, ValueError):
+            return None
+        for attempt in range(attempts):
+            kwargs = {}
+            for name, param in signature.parameters.items():
+                if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                    continue
+                if param.default is not param.empty and self.rng.random() < 0.4:
+                    continue  # sometimes rely on the default
+                kwargs[name] = self._value_for(name, attempt)
+            try:
+                return fact_type(**kwargs)
+            except Exception:
+                continue
+        return None
+
+    # -- perturbation -------------------------------------------------------
+    def perturb(self, fact: Fact, rate: float = 0.6) -> Fact:
+        """Randomly reassign instance attributes from the value pools."""
+        rng = self.rng
+        for name, value in list(vars(fact).items()):
+            if rng.random() > rate:
+                continue
+            if isinstance(value, bool):
+                setattr(fact, name, rng.random() < 0.5)
+            elif isinstance(value, set):
+                population = _WORKFLOWS + self.str_pool[:2]
+                size = rng.randint(0, min(2, len(population)))
+                setattr(fact, name, set(rng.sample(population, size)))
+            elif isinstance(value, str):
+                setattr(fact, name, rng.choice(self.str_pool))
+            elif isinstance(value, float):
+                setattr(fact, name, abs(rng.choice(self.float_pool)))
+            elif isinstance(value, int):
+                setattr(fact, name, rng.choice(self.int_pool))
+            elif value is None:
+                # Optional slots: occasionally fill with a small number so
+                # guards over lease deadlines / stream counts see both arms.
+                if rng.random() < 0.5:
+                    setattr(fact, name, rng.choice([1, 2.5, 4]))
+        return fact
+
+    def make_random(self, fact_type: Type[Fact]) -> Optional[Fact]:
+        fact = self.make(fact_type)
+        if fact is None:
+            return None
+        return self.perturb(fact)
+
+
+# --------------------------------------------------------------------------
+# Bytecode attribute scanning
+# --------------------------------------------------------------------------
+_ATTR_OPS = {"LOAD_ATTR", "LOAD_METHOD", "STORE_ATTR"}
+
+
+def guard_attribute_refs(
+    func: Callable, fact_param_tag: Optional[str], bindings_param: Optional[str]
+) -> set[tuple[str, str]]:
+    """``(binding_tag, attribute)`` pairs a guard reads.
+
+    ``fact_param_tag`` names the tag to report for attribute reads on the
+    guard's first parameter (the candidate fact); ``bindings_param`` is
+    the name of the bindings-dict parameter whose string subscripts yield
+    previously bound facts.  Locals assigned from either are followed one
+    step (``t = b["t"]; t.lfn``).
+    """
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return set()
+    varnames = code.co_varnames
+    param_names = varnames[: code.co_argcount]
+    tags: dict[str, Optional[str]] = {}
+    if fact_param_tag is not None and param_names:
+        tags[param_names[0]] = fact_param_tag
+    bindings_name = None
+    if bindings_param is not None and bindings_param in param_names:
+        bindings_name = bindings_param
+
+    refs: set[tuple[str, str]] = set()
+    cur: Optional[str] = None          # tag of the symbolic top of stack
+    cur_is_bindings = False
+    pending_const: Optional[str] = None
+
+    for instr in dis.get_instructions(code):
+        op = instr.opname
+        if op in ("LOAD_FAST", "LOAD_FAST_CHECK", "LOAD_FAST_AND_CLEAR"):
+            cur = tags.get(instr.argval)
+            cur_is_bindings = instr.argval == bindings_name
+            pending_const = None
+        elif op == "LOAD_CONST":
+            pending_const = instr.argval if isinstance(instr.argval, str) else None
+            # the const is pushed above the current value; keep cur for
+            # the BINARY_SUBSCR case
+        elif op == "BINARY_SUBSCR":
+            if cur_is_bindings and pending_const is not None:
+                cur = f"binding:{pending_const}"
+            else:
+                cur = None
+            cur_is_bindings = False
+            pending_const = None
+        elif op in _ATTR_OPS:
+            if cur is not None:
+                refs.add((cur, instr.argval))
+            cur = None
+            cur_is_bindings = False
+            pending_const = None
+        elif op == "STORE_FAST":
+            tags[instr.argval] = cur
+            cur = None
+            cur_is_bindings = False
+            pending_const = None
+        elif op in ("COPY", "NOP", "RESUME", "CACHE", "PRECALL"):
+            continue
+        else:
+            cur = None
+            cur_is_bindings = False
+            if op not in ("COMPARE_OP",):
+                pending_const = None
+    return refs
+
+
+def callable_names(func: Callable, depth: int = 2) -> set[str]:
+    """All names referenced by ``func``'s code, nested code objects, and
+    module-level functions it calls (followed ``depth`` levels)."""
+    names: set[str] = set()
+    seen: set[int] = set()
+
+    def visit(f: Callable, level: int) -> None:
+        code = getattr(f, "__code__", None)
+        if code is None or id(code) in seen:
+            return
+        seen.add(id(code))
+
+        def collect(c) -> None:
+            names.update(c.co_names)
+            for const in c.co_consts:
+                if inspect.iscode(const):
+                    collect(const)
+
+        collect(code)
+        if level <= 0:
+            return
+        module_globals = getattr(f, "__globals__", {})
+        for name in list(code.co_names):
+            target = module_globals.get(name)
+            if callable(target) and getattr(target, "__code__", None) is not None:
+                visit(target, level - 1)
+
+    visit(func, depth)
+    return names
+
+
+def referenced_fact_types(func: Callable, depth: int = 2) -> set[Type[Fact]]:
+    """Fact subclasses a callable (or its callees) references by name."""
+    module_globals = getattr(func, "__globals__", {})
+    types: set[Type[Fact]] = set()
+    for name in callable_names(func, depth):
+        target = module_globals.get(name)
+        if isinstance(target, type) and issubclass(target, Fact):
+            types.add(target)
+    return types

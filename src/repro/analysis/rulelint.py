@@ -1,0 +1,663 @@
+"""Rule-set linter: static + probing checks over built rule sets.
+
+Checks (stable ids; see ``docs/analysis.md``):
+
+========  ========  ==========================================================
+R001      error     ``keys`` hint not implied by the guard — a keyed
+                    :meth:`~repro.rules.facts.WorkingMemory.lookup` missed a
+                    fact the guard accepts, so matches are silently lost.
+R002      error     guard/key/Test references an attribute that does not
+                    exist on the bound ``Fact`` class.
+R003      warning   ambiguous salience tie — two equal-salience rules
+                    activated on the same fact tuple; only definition order
+                    decides which fires first.
+R004      warning   shadowing — every probed activation of a lower-salience
+                    rule is claimed by a higher-salience rule that consumes
+                    (updates/retracts) the shared facts.
+R005      error     divergence — the rule re-fires without bound when run
+                    alone on a random memory (``update`` of a matched type
+                    without ``no_loop`` or a guard flip).
+R006      warning   unreachable — a positive condition type is never
+                    inserted by any rule action or service entry point.
+R007      info      rule→fact read/write dependency cycle (feedback loop
+                    across rules; usually intentional, always worth knowing).
+R008      warning   salience is not a named tier from
+                    :mod:`repro.policy.salience` (magic number), or —
+                    error — the tier ordering invariants are broken.
+========  ========  ==========================================================
+
+Dynamic checks (R001/R003/R004/R005) probe the rule set against randomized
+working memories built from the declared fact schemas, with value pools
+harvested from the guards' own constants (:mod:`repro.analysis.probing`).
+The probing is seeded and deterministic per (seed, trials) so CI runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterable, Optional, Sequence, Type
+
+import networkx as nx
+
+from repro.analysis.findings import Report, Severity, location_of
+from repro.analysis.probing import (
+    FactFactory,
+    fact_schema,
+    guard_attribute_refs,
+    harvest_constants,
+    referenced_fact_types,
+)
+from repro.policy import salience
+from repro.rules.engine import Rule, RuleEngineError, Session
+from repro.rules.facts import Fact, WorkingMemory
+from repro.rules.patterns import Absent, Collect, Exists, Pattern, Test, _TypedElement
+
+__all__ = ["lint_rules", "lint_rule_set", "shipped_rule_sets", "SERVICE_ENTRY_TYPES"]
+
+
+def _guard_accepts(guard, fact, bindings) -> bool:
+    """Engine guard semantics, hardened for synthetic facts: AttributeError
+    means "no match" (as in ``patterns._check``); any other exception from a
+    randomized value also counts as no match rather than a linter crash."""
+    if guard is None:
+        return True
+    try:
+        return bool(guard(fact, bindings))
+    except Exception:
+        return False
+
+
+# --------------------------------------------------------------------------
+# Shipped rule sets (mirrors PolicyService composition)
+# --------------------------------------------------------------------------
+#: fact types the service inserts directly from its entry points
+#: (request_transfers, request_cleanups, reap_expired, reconcile_staged,
+#: deny_host, set_quota, register_priorities)
+def _service_entry_types() -> tuple[Type[Fact], ...]:
+    from repro.policy.model import (
+        CleanupFact,
+        LeaseSweepFact,
+        StagedFileFact,
+        TransferFact,
+    )
+    from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact
+    from repro.policy.rules_priority import JobPriorityFact
+
+    return (
+        TransferFact,
+        CleanupFact,
+        LeaseSweepFact,
+        StagedFileFact,
+        HostDenialFact,
+        WorkflowQuotaFact,
+        JobPriorityFact,
+    )
+
+
+SERVICE_ENTRY_TYPES: Callable[[], tuple[Type[Fact], ...]] = _service_entry_types
+
+
+def shipped_rule_sets() -> dict[str, tuple[list[Rule], dict]]:
+    """name -> (rules, session globals), matching PolicyService composition."""
+    from repro.policy.model import PolicyConfig
+    from repro.policy.rules_access import access_rules
+    from repro.policy.rules_balanced import balanced_rules
+    from repro.policy.rules_common import common_rules
+    from repro.policy.rules_greedy import greedy_rules
+    from repro.policy.rules_priority import priority_rules
+
+    def build(config, *packs):
+        rules = list(common_rules()) + list(priority_rules())
+        for pack in packs:
+            rules += list(pack())
+        return rules, {"config": config, "group_counter": 1}
+
+    return {
+        "fifo": build(PolicyConfig(policy="fifo")),
+        "greedy": build(PolicyConfig(policy="greedy"), greedy_rules),
+        "balanced": build(
+            PolicyConfig(policy="balanced", cluster_count=2), balanced_rules
+        ),
+        "access": build(
+            PolicyConfig(policy="greedy", access_control=True),
+            access_rules,
+            greedy_rules,
+        ),
+        "priority": build(
+            PolicyConfig(policy="greedy", order_by="priority"), greedy_rules
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# Static structure helpers
+# --------------------------------------------------------------------------
+def _condition_types(rule: Rule) -> set[Type[Fact]]:
+    return {e.fact_type for e in rule.when if isinstance(e, _TypedElement)}
+
+
+def _positive_types(rule: Rule) -> set[Type[Fact]]:
+    """Types a rule needs at least one live fact of to ever activate."""
+    return {
+        e.fact_type
+        for e in rule.when
+        if isinstance(e, (Pattern, Exists))
+        or (isinstance(e, Collect) and e.min_count > 0)
+    }
+
+
+def _bound_types(rule: Rule) -> dict[str, Type[Fact]]:
+    """binding name -> fact type for Pattern bindings (Collect binds lists)."""
+    bound: dict[str, Type[Fact]] = {}
+    for element in rule.when:
+        if isinstance(element, Pattern) and element.binding:
+            bound[element.binding] = element.fact_type
+    return bound
+
+
+def _action_writes(rule: Rule) -> set[Type[Fact]]:
+    """Over-approximate fact types a rule's action may insert or mutate:
+    Fact classes its action references, plus — when the action calls
+    ``update``/``retract`` — every type the rule binds."""
+    from repro.analysis.probing import callable_names
+
+    writes = set(referenced_fact_types(rule.then))
+    names = callable_names(rule.then)
+    if {"update", "retract", "insert"} & names:
+        writes |= _condition_types(rule)
+    return writes
+
+
+def _rule_signature(rule: Rule) -> tuple[str, ...]:
+    return tuple(sorted(t.__name__ for t in _condition_types(rule)))
+
+
+def _activation_fids(memory: WorkingMemory, bindings: dict) -> tuple[int, ...]:
+    fids = []
+    for value in bindings.values():
+        if isinstance(value, Fact) and memory.contains(value):
+            fids.append(memory.fid_of(value))
+        elif isinstance(value, list):
+            fids.extend(
+                memory.fid_of(f)
+                for f in value
+                if isinstance(f, Fact) and memory.contains(f)
+            )
+    return tuple(sorted(fids))
+
+
+# --------------------------------------------------------------------------
+# R002: unknown attribute references
+# --------------------------------------------------------------------------
+def _known_attrs(fact_type: Type[Fact], factory: FactFactory, cache: dict) -> set[str]:
+    attrs = cache.get(fact_type)
+    if attrs is None:
+        attrs = fact_schema(fact_type, factory)
+        attrs |= {n for n in dir(fact_type) if not n.startswith("_")}
+        cache[fact_type] = attrs
+    return attrs
+
+
+def _check_attribute_refs(rule: Rule, factory: FactFactory, report: Report) -> None:
+    cache: dict = {}
+    bound = _bound_types(rule)
+
+    def verify(func, fact_type: Optional[Type[Fact]], bindings_param, where: str):
+        tag = "self" if fact_type is not None else None
+        for owner, attr in guard_attribute_refs(func, tag, bindings_param):
+            if owner == "self":
+                target = fact_type
+            elif owner.startswith("binding:"):
+                target = bound.get(owner.split(":", 1)[1])
+            else:
+                target = None
+            if target is None:
+                continue
+            if attr not in _known_attrs(target, factory, cache):
+                report.add(
+                    "R002",
+                    Severity.ERROR,
+                    rule.name,
+                    f"{where} references {target.__name__}.{attr}, "
+                    f"which does not exist on the fact class",
+                    location=location_of(func),
+                    attribute=attr,
+                    fact_type=target.__name__,
+                )
+
+    for position, element in enumerate(rule.when):
+        if isinstance(element, Test):
+            verify(element.predicate, None, _first_param(element.predicate),
+                   f"Test predicate (condition {position})")
+            continue
+        if not isinstance(element, _TypedElement):
+            continue
+        if element.where is not None:
+            verify(element.where, element.fact_type, _second_param(element.where),
+                   f"guard (condition {position})")
+        if element.keys:
+            known = _known_attrs(element.fact_type, factory, cache)
+            for attr, fn in element.keys.items():
+                if attr not in known:
+                    report.add(
+                        "R002",
+                        Severity.ERROR,
+                        rule.name,
+                        f"keys hint names {element.fact_type.__name__}.{attr}, "
+                        f"which does not exist on the fact class",
+                        location=location_of(fn),
+                        attribute=attr,
+                        fact_type=element.fact_type.__name__,
+                    )
+                verify(fn, None, _first_param(fn),
+                       f"keys[{attr!r}] (condition {position})")
+
+
+def _first_param(func) -> Optional[str]:
+    code = getattr(func, "__code__", None)
+    if code is None or code.co_argcount < 1:
+        return None
+    return code.co_varnames[0]
+
+
+def _second_param(func) -> Optional[str]:
+    code = getattr(func, "__code__", None)
+    if code is None or code.co_argcount < 2:
+        return None
+    return code.co_varnames[1]
+
+
+# --------------------------------------------------------------------------
+# Randomized memory construction
+# --------------------------------------------------------------------------
+def _rule_set_functions(rules: Sequence[Rule]) -> list[Callable]:
+    funcs: list[Callable] = []
+    for rule in rules:
+        funcs.append(rule.then)
+        for element in rule.when:
+            if isinstance(element, Test):
+                funcs.append(element.predicate)
+            elif isinstance(element, _TypedElement):
+                if element.where is not None:
+                    funcs.append(element.where)
+                if element.keys:
+                    funcs.extend(element.keys.values())
+    return funcs
+
+
+def _universe(rules: Sequence[Rule]) -> list[Type[Fact]]:
+    types: set[Type[Fact]] = set()
+    for rule in rules:
+        types |= _condition_types(rule)
+    return sorted(types, key=lambda t: t.__name__)
+
+
+def _random_memory(
+    universe: Sequence[Type[Fact]], factory: FactFactory, per_type: int = 4
+) -> WorkingMemory:
+    memory = WorkingMemory(indexed=True)
+    for fact_type in universe:
+        for _ in range(factory.rng.randint(1, per_type)):
+            fact = factory.make_random(fact_type)
+            if fact is not None:
+                memory.insert(fact)
+    return memory
+
+
+# --------------------------------------------------------------------------
+# R001: keys-vs-guard soundness
+# --------------------------------------------------------------------------
+def _check_keys_soundness(
+    rule: Rule,
+    position: int,
+    element: _TypedElement,
+    memory: WorkingMemory,
+    bindings: dict,
+    report: Report,
+    reported: set,
+) -> None:
+    marker = (rule.name, position)
+    if marker in reported or not element.keys:
+        return
+    try:
+        values = {attr: fn(bindings) for attr, fn in element.keys.items()}
+    except AttributeError:
+        return  # engine falls back to a full scan: sound by construction
+    except Exception as exc:
+        reported.add(marker)
+        report.add(
+            "R001",
+            Severity.ERROR,
+            rule.name,
+            f"keys hint on condition {position} "
+            f"({element.fact_type.__name__}) raised {exc!r}; the engine only "
+            f"tolerates AttributeError",
+            location=location_of(next(iter(element.keys.values()))),
+            position=position,
+        )
+        return
+    keyed_ids = {id(f) for f in memory.lookup(element.fact_type, **values)}
+    for fact in memory.facts_of(element.fact_type):
+        if id(fact) in keyed_ids:
+            continue
+        if _guard_accepts(element.where, fact, bindings):
+            reported.add(marker)
+            report.add(
+                "R001",
+                Severity.ERROR,
+                rule.name,
+                f"keys hint on condition {position} "
+                f"({element.fact_type.__name__}) is not implied by the guard: "
+                f"keyed lookup {values!r} misses a guard-accepted fact "
+                f"({fact.describe()}) — matches would be silently lost",
+                location=location_of(next(iter(element.keys.values()))),
+                position=position,
+                key_values={k: repr(v) for k, v in values.items()},
+            )
+            return
+
+
+def _probe_rule(
+    rule: Rule,
+    memory: WorkingMemory,
+    seed_bindings: dict,
+    report: Report,
+    reported: set,
+) -> None:
+    """Guard-only walk of the LHS, probing every keyed element's soundness
+    against every reachable binding environment."""
+    frontier: list[dict] = [dict(seed_bindings)]
+    for position, element in enumerate(rule.when):
+        if isinstance(element, Test):
+            kept = []
+            for bindings in frontier:
+                try:
+                    if element.predicate(bindings):
+                        kept.append(bindings)
+                except Exception:
+                    pass
+            frontier = kept
+            continue
+        if not isinstance(element, _TypedElement):
+            continue
+        if element.keys:
+            for bindings in frontier:
+                _check_keys_soundness(
+                    rule, position, element, memory, bindings, report, reported
+                )
+        next_frontier: list[dict] = []
+        for bindings in frontier:
+            accepted = [
+                f
+                for f in memory.facts_of(element.fact_type)
+                if _guard_accepts(element.where, f, bindings)
+            ]
+            if isinstance(element, Pattern):
+                for fact in accepted:
+                    new = dict(bindings)
+                    if element.binding:
+                        new[element.binding] = fact
+                    next_frontier.append(new)
+            elif isinstance(element, Absent):
+                if not accepted:
+                    next_frontier.append(dict(bindings))
+            elif isinstance(element, Exists):
+                if accepted:
+                    next_frontier.append(dict(bindings))
+            elif isinstance(element, Collect):
+                if len(accepted) >= element.min_count:
+                    new = dict(bindings)
+                    new[element.binding] = accepted
+                    next_frontier.append(new)
+        frontier = next_frontier
+        if not frontier:
+            return
+
+
+# --------------------------------------------------------------------------
+# R005: divergence probe
+# --------------------------------------------------------------------------
+def _probe_divergence(
+    rule: Rule,
+    universe: Sequence[Type[Fact]],
+    factory: FactFactory,
+    session_globals: dict,
+    report: Report,
+) -> None:
+    memory = _random_memory(universe, factory)
+    probe_globals = dict(session_globals)
+    session = Session(
+        [rule], memory=memory, globals=probe_globals, max_firings=500, incremental=True
+    )
+    try:
+        session.fire_all()
+    except RuleEngineError:
+        report.add(
+            "R005",
+            Severity.ERROR,
+            rule.name,
+            "rule re-fires without bound when run alone on a random memory "
+            "(updates a matched fact type without no_loop, or a guard that "
+            "its own action never falsifies)",
+            location=location_of(rule.then),
+        )
+    except Exception:
+        # The action choked on synthetic fact values — inconclusive, and the
+        # engine would surface a genuine action bug at runtime anyway.
+        pass
+
+
+# --------------------------------------------------------------------------
+# R006 / R007: reachability and dependency cycles
+# --------------------------------------------------------------------------
+def _check_reachability(
+    rules: Sequence[Rule], entry_types: Iterable[Type[Fact]], report: Report
+) -> None:
+    insertable: set[Type[Fact]] = set(entry_types)
+    for rule in rules:
+        insertable |= _action_writes(rule)
+    for rule in rules:
+        missing = [
+            t.__name__ for t in sorted(_positive_types(rule), key=lambda t: t.__name__)
+            if not any(issubclass(i, t) for i in insertable)
+        ]
+        if missing:
+            report.add(
+                "R006",
+                Severity.WARNING,
+                rule.name,
+                f"unreachable: no rule action or service entry point ever "
+                f"inserts {', '.join(missing)}, so this rule can never "
+                f"activate",
+                location=location_of(rule.then),
+                missing_types=missing,
+            )
+
+
+def _check_dependency_cycles(rules: Sequence[Rule], report: Report) -> None:
+    graph = nx.DiGraph()
+    writes: dict[str, set[Type[Fact]]] = {}
+    reads: dict[str, set[Type[Fact]]] = {}
+    for rule in rules:
+        graph.add_node(rule.name)
+        reads[rule.name] = _condition_types(rule)
+        writes[rule.name] = _action_writes(rule)
+    for a, b in itertools.permutations(rules, 2):
+        if writes[a.name] & reads[b.name]:
+            graph.add_edge(a.name, b.name)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) < 2:
+            continue
+        members = sorted(component)
+        shared = set()
+        for name in members:
+            shared |= writes[name] & set().union(*(reads[m] for m in members))
+        preview = " -> ".join(members[:3])
+        if len(members) > 3:
+            preview += f" -> ... ({len(members) - 3} more)"
+        report.add(
+            "R007",
+            Severity.INFO,
+            members[0],
+            f"{len(members)} rules form a read/write dependency cycle "
+            f"through fact type(s) "
+            f"{', '.join(sorted(t.__name__ for t in shared))}: {preview}",
+            rules=members,
+        )
+
+
+# --------------------------------------------------------------------------
+# R008: salience hygiene
+# --------------------------------------------------------------------------
+def _check_salience_names(rules: Sequence[Rule], report: Report) -> None:
+    try:
+        salience.validate_ordering()
+    except ValueError as exc:
+        report.add(
+            "R008",
+            Severity.ERROR,
+            "salience",
+            str(exc),
+            location=location_of(salience.validate_ordering),
+        )
+    named = set(salience.TIERS.values()) | {0}
+    for rule in rules:
+        if rule.salience not in named:
+            report.add(
+                "R008",
+                Severity.WARNING,
+                rule.name,
+                f"salience {rule.salience} is not a named tier in "
+                f"repro.policy.salience (magic number)",
+                location=location_of(rule.then),
+                salience=rule.salience,
+            )
+
+
+# --------------------------------------------------------------------------
+# R003 / R004: ties and shadowing
+# --------------------------------------------------------------------------
+class _ActivationLog:
+    """Per-rule activation fid tuples accumulated across probe trials."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.tuples: dict[str, set[tuple]] = {r.name: set() for r in rules}
+
+    def record(
+        self, trial: int, rules: Sequence[Rule], memory: WorkingMemory, seed: dict
+    ) -> None:
+        # Fact ids restart for every probe memory, so tuples are tagged
+        # with the trial index — overlap must happen within one memory.
+        for rule in rules:
+            try:
+                matches = rule.matches(memory, dict(seed))
+            except Exception:
+                continue
+            for bindings in matches:
+                fids = _activation_fids(memory, bindings)
+                if fids:
+                    self.tuples[rule.name].add((trial, fids))
+
+
+def _check_ties_and_shadowing(
+    rules: Sequence[Rule], log: _ActivationLog, report: Report
+) -> None:
+    by_signature: dict[tuple, list[Rule]] = {}
+    for rule in rules:
+        by_signature.setdefault(_rule_signature(rule), []).append(rule)
+    from repro.analysis.probing import callable_names
+
+    for group in by_signature.values():
+        for a, b in itertools.combinations(group, 2):
+            shared = log.tuples[a.name] & log.tuples[b.name]
+            if a.salience == b.salience:
+                if shared:
+                    report.add(
+                        "R003",
+                        Severity.WARNING,
+                        a.name,
+                        f"ambiguous salience tie with {b.name!r} (both "
+                        f"{a.salience}): probing activated both rules on the "
+                        f"same fact tuple; only definition order decides "
+                        f"which fires first",
+                        location=location_of(a.then),
+                        other=b.name,
+                        salience=a.salience,
+                    )
+                continue
+            high, low = (a, b) if a.salience > b.salience else (b, a)
+            low_tuples = log.tuples[low.name]
+            if not low_tuples or not low_tuples <= log.tuples[high.name]:
+                continue
+            if {"retract", "update"} & callable_names(high.then):
+                report.add(
+                    "R004",
+                    Severity.WARNING,
+                    low.name,
+                    f"shadowed by {high.name!r} (salience {high.salience} > "
+                    f"{low.salience}): every probed activation of this rule "
+                    f"is also claimed by the higher rule, whose action "
+                    f"consumes the shared facts",
+                    location=location_of(low.then),
+                    shadowed_by=high.name,
+                )
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+def lint_rules(
+    name: str,
+    rules: Sequence[Rule],
+    session_globals: Optional[dict] = None,
+    entry_types: Optional[Iterable[Type[Fact]]] = None,
+    seed: int = 0,
+    trials: int = 25,
+) -> Report:
+    """Run every rule-set check over ``rules``; returns a :class:`Report`."""
+    report = Report(f"rules:{name}")
+    session_globals = dict(session_globals or {})
+    if entry_types is None:
+        entry_types = _service_entry_types()
+
+    rng = random.Random(seed)
+    pools = harvest_constants(_rule_set_functions(rules))
+    factory = FactFactory(rng, pools)
+    universe = _universe(rules)
+    seed_bindings = {"_globals": session_globals}
+
+    # Static checks first (no probing required).
+    for rule in rules:
+        _check_attribute_refs(rule, factory, report)
+    _check_reachability(rules, entry_types, report)
+    _check_dependency_cycles(rules, report)
+    _check_salience_names(rules, report)
+
+    # Probing: keys soundness + activation log for ties/shadowing.
+    keys_reported: set = set()
+    log = _ActivationLog(rules)
+    for _trial in range(trials):
+        memory = _random_memory(universe, factory)
+        for rule in rules:
+            _probe_rule(rule, memory, seed_bindings, report, keys_reported)
+        log.record(_trial, rules, memory, seed_bindings)
+    _check_ties_and_shadowing(rules, log, report)
+
+    # Divergence: each rule alone against its own random memories.
+    for rule in rules:
+        _probe_divergence(rule, universe, factory, session_globals, report)
+
+    return report
+
+
+def lint_rule_set(name: str, seed: int = 0, trials: int = 25) -> Report:
+    """Lint one shipped rule set by name (see :func:`shipped_rule_sets`)."""
+    sets = shipped_rule_sets()
+    if name not in sets:
+        raise ValueError(
+            f"unknown rule set {name!r}; shipped sets: {sorted(sets)}"
+        )
+    rules, session_globals = sets[name]
+    return lint_rules(name, rules, session_globals, seed=seed, trials=trials)

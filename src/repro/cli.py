@@ -7,6 +7,7 @@ Subcommands::
     repro figure {5,6,7,8,9} [...]    regenerate one of the paper's figures
     repro campaign [...]              run a steady staging campaign
     repro serve [...]                 start the RESTful Policy Service
+    repro lint [...]                  statically verify rule sets and plans
 
 (`python -m repro ...` works identically.)
 """
@@ -78,6 +79,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cluster-count", type=int, default=None)
     serve.add_argument("--access-control", action="store_true",
                        help="enable host denials and staging quotas")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify policy rule sets and staged plans",
+        description=(
+            "Run the repro.analysis checkers: the rule-set linter over "
+            "shipped (or all) rule sets and the plan validator over a "
+            "planned Montage workflow.  Exits 1 when any error-severity "
+            "finding survives suppression."
+        ),
+    )
+    lint.add_argument("--all", action="store_true",
+                      help="lint every shipped rule set and a Montage plan")
+    lint.add_argument("--rules", default=None, metavar="SET[,SET...]",
+                      help="comma-separated rule sets to lint "
+                           "(fifo, greedy, balanced, access, priority)")
+    lint.add_argument("--plan", choices=["montage"], default=None,
+                      help="also lint a freshly planned workflow")
+    lint.add_argument("--images", type=int, default=20,
+                      help="Montage input images for --plan (default 20)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="probing RNG seed (results are deterministic)")
+    lint.add_argument("--trials", type=int, default=25,
+                      help="randomized probe memories per rule set")
+    lint.add_argument("--suppress", action="append", default=[],
+                      metavar="CHECK[:substring]",
+                      help="suppress findings of a check id, optionally "
+                           "only for subjects containing the substring "
+                           "(repeatable)")
 
     return parser
 
@@ -205,6 +236,74 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _lint_montage_plan(n_images: int):
+    """Plan a Montage workflow against the paper's catalog trio."""
+    from repro.catalogs import ReplicaCatalog, SiteCatalog, SiteEntry
+    from repro.planner import Planner, PlanOptions
+    from repro.workflow.montage import (
+        EXTRA_FILE_PREFIX,
+        MontageConfig,
+        montage_transformations,
+        montage_workflow,
+    )
+
+    sites = SiteCatalog()
+    sites.add(SiteEntry(name="isi", storage_host="obelix",
+                        scratch_dir="/nfs/scratch", nodes=9, cores_per_node=6))
+    sites.add(SiteEntry(name="archive", storage_host="archive-host",
+                        scratch_dir="/archive"))
+    replicas = ReplicaCatalog()
+    workflow = montage_workflow(MontageConfig(n_images=n_images))
+    for f in workflow.input_files():
+        if f.lfn.startswith(EXTRA_FILE_PREFIX):
+            replicas.register(f.lfn, "futuregrid", f"gsiftp://fg-vm/data/{f.lfn}")
+        else:
+            replicas.register(f.lfn, "isi-web", f"http://web-isi/images/{f.lfn}")
+    planner = Planner(sites, montage_transformations(), replicas)
+    return planner.plan(workflow, "isi", PlanOptions(output_site="archive"))
+
+
+def _cmd_lint(args, out) -> int:
+    import json
+
+    from repro.analysis import lint_plan, lint_rule_set, shipped_rule_sets
+
+    rule_sets: list[str] = []
+    if args.rules:
+        rule_sets = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = sorted(set(rule_sets) - set(shipped_rule_sets()))
+        if unknown:
+            print(f"unknown rule set(s): {', '.join(unknown)}", file=out)
+            return 2
+    plan_targets = [args.plan] if args.plan else []
+    if args.all:
+        rule_sets = sorted(shipped_rule_sets())
+        plan_targets = ["montage"]
+    if not rule_sets and not plan_targets:
+        print("nothing to lint: pass --all, --rules, or --plan", file=out)
+        return 2
+
+    reports = []
+    for name in rule_sets:
+        reports.append(lint_rule_set(name, seed=args.seed, trials=args.trials))
+    for target in plan_targets:
+        reports.append(lint_plan(_lint_montage_plan(args.images)))
+    for report in reports:
+        report.suppress(args.suppress)
+
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2), file=out)
+    else:
+        for report in reports:
+            print(report.render_text(), file=out)
+            print(file=out)
+        errors = sum(len(r.errors()) for r in reports)
+        warnings = sum(len(r.by_severity("warning")) for r in reports)
+        print(f"{len(reports)} target(s) linted: "
+              f"{errors} error(s), {warnings} warning(s)", file=out)
+    return 1 if any(r.errors() for r in reports) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -215,6 +314,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "figure": lambda: _cmd_figure(args, out),
         "campaign": lambda: _cmd_campaign(args, out),
         "serve": lambda: _cmd_serve(args, out),
+        "lint": lambda: _cmd_lint(args, out),
     }
     return handlers[args.command]()
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-import numpy as np
 
 from repro.catalogs import ReplicaCatalog, SiteCatalog, SiteEntry, TransformationCatalog
 from repro.des import Environment, RngRegistry

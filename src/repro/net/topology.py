@@ -11,7 +11,7 @@ Convention: capacities are **bytes per second**, sizes bytes, times seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["Site", "Host", "Link", "Route", "Network", "MB", "GB", "mbit"]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Optional
+from typing import Optional
 
 import networkx as nx
 
@@ -55,6 +55,12 @@ class ExecutableJob:
     cleanup jobs.  ``priority`` is filled when the plan options request a
     structure-based priority algorithm; staging jobs inherit the priority
     of the compute job they feed.
+
+    ``input_files`` lists the (lfn, size) pairs a compute job reads from
+    the execution site's scratch space — its workflow inputs minus those
+    satisfied by a pre-existing local replica.  The planner fills it so
+    plan-level data-flow analysis (:mod:`repro.analysis.planlint`) can
+    match consumers to producers/stage-ins exactly.
     """
 
     id: str
@@ -64,6 +70,7 @@ class ExecutableJob:
     transfers: list[TransferSpec] = field(default_factory=list)
     cleanup_files: list[tuple[str, str]] = field(default_factory=list)
     output_files: list[tuple[str, float]] = field(default_factory=list)
+    input_files: list[tuple[str, float]] = field(default_factory=list)
     priority: int = 0
     source_jobs: tuple[str, ...] = ()
 

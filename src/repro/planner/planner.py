@@ -20,7 +20,7 @@ Mirrors the Pegasus planning phase as the paper exercises it:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.catalogs.replica import ReplicaCatalog
@@ -123,6 +123,14 @@ class Planner:
         # -- compute + stage-in jobs --------------------------------------
         for job_id in workflow.topological_order():
             job = workflow.jobs[job_id]
+            # Inputs read from site scratch: everything except files a
+            # pre-existing local replica satisfies without any staging.
+            input_files = [
+                (f.lfn, f.size)
+                for f in job.inputs
+                if f.lfn in produced
+                or not self.replicas.has(f.lfn, site=execution_site)
+            ]
             compute = ExecutableJob(
                 id=job_id,
                 kind=JobKind.COMPUTE,
@@ -131,6 +139,7 @@ class Planner:
                 priority=priorities.get(job_id, 0),
                 source_jobs=(job_id,),
                 output_files=[(f.lfn, f.size) for f in job.outputs],
+                input_files=input_files,
             )
             plan.add_job(compute)
 

@@ -20,13 +20,10 @@ from __future__ import annotations
 
 from repro.rules import Fact, Pattern, Rule
 
+from repro.policy import salience
 from repro.policy.model import TransferFact
 
 __all__ = ["HostDenialFact", "WorkflowQuotaFact", "access_rules"]
-
-#: fires after insertion-ack (90) and before de-duplication (85):
-#: denied transfers never claim resources or streams.
-_ACCESS_SALIENCE = 88
 
 
 class HostDenialFact(Fact):
@@ -98,7 +95,7 @@ def access_rules() -> list[Rule]:
     return [
         Rule(
             "Refund a failed transfer's quota charge",
-            salience=96,  # before the Table I failure-removal rule (95)
+            salience=salience.QUOTA_REFUND,
             when=[
                 Pattern(
                     TransferFact,
@@ -117,7 +114,7 @@ def access_rules() -> list[Rule]:
         ),
         Rule(
             "Deny transfers that involve an administratively denied host",
-            salience=_ACCESS_SALIENCE,
+            salience=salience.ACCESS_DENY_HOST,
             when=[
                 Pattern(
                     TransferFact,
@@ -131,7 +128,7 @@ def access_rules() -> list[Rule]:
         ),
         Rule(
             "Deny transfers that would exceed their workflow's staging quota",
-            salience=_ACCESS_SALIENCE - 1,
+            salience=salience.ACCESS_DENY_QUOTA,
             when=[
                 Pattern(
                     TransferFact,
@@ -154,7 +151,7 @@ def access_rules() -> list[Rule]:
         ),
         Rule(
             "Charge an admitted transfer against its workflow's quota",
-            salience=_ACCESS_SALIENCE - 2,
+            salience=salience.ACCESS_CHARGE_QUOTA,
             when=[
                 Pattern(
                     TransferFact,

@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from repro.rules import Absent, Pattern, Rule
 
+from repro.policy import salience
 from repro.policy.model import ClusterAllocationFact, TransferFact
 
 __all__ = ["balanced_rules"]
-
-_ALLOC_SALIENCE = 40
 
 
 def _needs_allocation(t, bindings) -> bool:
@@ -90,7 +89,7 @@ def balanced_rules() -> list[Rule]:
         Rule(
             "Retrieve the parallel streams threshold defined for a single "
             "cluster between a source and destination host",
-            salience=_ALLOC_SALIENCE + 1,
+            salience=salience.THRESHOLD_RETRIEVE,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Absent(ClusterAllocationFact, where=_cluster_of, keys=_cluster_keys()),
@@ -100,7 +99,7 @@ def balanced_rules() -> list[Rule]:
         Rule(
             "Enforce the max number of parallel streams on a transfer that "
             "fits within its cluster's share",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
@@ -117,7 +116,7 @@ def balanced_rules() -> list[Rule]:
             "Enforce the max number of parallel streams on a transfer that "
             "violates the number of available streams below the threshold on "
             "its cluster",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
@@ -134,7 +133,7 @@ def balanced_rules() -> list[Rule]:
         Rule(
             "Record the number of parallel streams used by a transfer against "
             "the defined cluster threshold (share exhausted: single stream)",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(

@@ -11,25 +11,18 @@ for host-pair joins — so candidate facts come from the working memory's
 hash indexes instead of full type scans; the guards remain authoritative.
 Rule actions use :meth:`WorkingMemory.lookup` for the same reason.
 
-Salience tiers (higher fires first):
-
-====  ====================================================================
- 97   lease expiry (reaper sweeps mark stale in_progress work failed)
- 95   completion/failure processing (frees streams before new allocation)
- 90   acknowledge newly inserted transfers
- 85   de-duplication (within batch, against staged files, against
-      in-flight transfers)
- 70   resource (staged-file) creation / association
- 60   host-pair group id generation / assignment
- 50   default + minimum stream levels
- 40   (allocation packs: greedy / balanced)
-====  ====================================================================
+Salience values come from the named tiers in :mod:`repro.policy.salience`,
+which asserts the cross-file ordering invariants (lease expiry before
+completion, completion before acknowledgement, de-duplication before
+resource creation, ...) at import time; the rule-set linter
+(``python -m repro lint``) re-checks them and flags unregistered values.
 """
 
 from __future__ import annotations
 
 from repro.rules import Absent, Pattern, Rule
 
+from repro.policy import salience
 from repro.policy.model import (
     CleanupFact,
     ClusterAllocationFact,
@@ -196,7 +189,7 @@ def common_rules() -> list[Rule]:
         # -- lease expiry: reaper sweeps run before anything else ----------
         Rule(
             "Expire a transfer whose lease deadline has passed",
-            salience=97,
+            salience=salience.LEASE_EXPIRY,
             when=[
                 Pattern(LeaseSweepFact, "sweep"),
                 Pattern(
@@ -212,7 +205,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Expire a cleanup whose lease deadline has passed",
-            salience=97,
+            salience=salience.LEASE_EXPIRY,
             when=[
                 Pattern(LeaseSweepFact, "sweep"),
                 Pattern(
@@ -228,14 +221,14 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Retire a completed lease sweep",
-            salience=1,
+            salience=salience.SWEEP_RETIRE,
             when=[Pattern(LeaseSweepFact, "sweep")],
             then=_retire_sweep,
         ),
         # -- completion first: free streams before allocating new ones -----
         Rule(
             "Remove a transfer that has completed",
-            salience=95,
+            salience=salience.COMPLETION,
             when=[
                 Pattern(
                     TransferFact,
@@ -248,7 +241,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Remove a transfer that has failed",
-            salience=95,
+            salience=salience.COMPLETION,
             when=[
                 Pattern(
                     TransferFact,
@@ -262,7 +255,7 @@ def common_rules() -> list[Rule]:
         # -- insertion acknowledgement --------------------------------------
         Rule(
             "Insert new transfers into policy memory",
-            salience=90,
+            salience=salience.ACK,
             when=[
                 Pattern(
                     TransferFact,
@@ -276,7 +269,7 @@ def common_rules() -> list[Rule]:
         # -- de-duplication ---------------------------------------------------
         Rule(
             "Remove duplicate transfers from the transfer list",
-            salience=85,
+            salience=salience.DEDUP_BATCH,
             when=[
                 Pattern(
                     TransferFact,
@@ -298,7 +291,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Remove transfers whose file is already staged",
-            salience=84,
+            salience=salience.DEDUP_STAGED,
             when=[
                 Pattern(
                     TransferFact,
@@ -319,7 +312,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Remove transfers from the transfer list that are already in progress",
-            salience=83,
+            salience=salience.DEDUP_IN_FLIGHT,
             when=[
                 Pattern(
                     TransferFact,
@@ -348,7 +341,7 @@ def common_rules() -> list[Rule]:
         # -- staged-file resources ---------------------------------------------
         Rule(
             "Create a resource for a new transfer to track the resulting staged file",
-            salience=70,
+            salience=salience.RESOURCE_CREATE,
             when=[
                 Pattern(
                     TransferFact,
@@ -368,7 +361,7 @@ def common_rules() -> list[Rule]:
         Rule(
             "Associate a transfer with a resource to track the number of "
             "workflows using the staged file",
-            salience=65,
+            salience=salience.RESOURCE_ASSOCIATE,
             when=[
                 Pattern(
                     TransferFact,
@@ -390,7 +383,7 @@ def common_rules() -> list[Rule]:
         # -- grouping -------------------------------------------------------------
         Rule(
             "Generate a unique group ID for a source and destination host pair",
-            salience=60,
+            salience=salience.GROUP_CREATE,
             when=[
                 Pattern(
                     TransferFact,
@@ -410,7 +403,7 @@ def common_rules() -> list[Rule]:
         Rule(
             "Assign the group ID to a transfer based on its source and "
             "destination host pair",
-            salience=55,
+            salience=salience.GROUP_ASSIGN,
             when=[
                 Pattern(
                     TransferFact,
@@ -431,7 +424,7 @@ def common_rules() -> list[Rule]:
         # -- stream defaults ----------------------------------------------------------
         Rule(
             "Assign a default level of parallel streams to a transfer",
-            salience=50,
+            salience=salience.STREAMS_DEFAULT,
             when=[
                 Pattern(
                     TransferFact,
@@ -445,7 +438,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Ensure each transfer has at least one parallel stream assigned",
-            salience=49,
+            salience=salience.STREAMS_MINIMUM,
             when=[
                 Pattern(
                     TransferFact,
@@ -461,7 +454,7 @@ def common_rules() -> list[Rule]:
         # -- cleanups ---------------------------------------------------------------
         Rule(
             "Insert new cleanups into policy memory",
-            salience=90,
+            salience=salience.ACK,
             when=[
                 Pattern(
                     CleanupFact,
@@ -474,7 +467,7 @@ def common_rules() -> list[Rule]:
         ),
         Rule(
             "Remove duplicate cleanup requests that are in progress or completed",
-            salience=85,
+            salience=salience.DEDUP_BATCH,
             when=[
                 Pattern(
                     CleanupFact,
@@ -496,7 +489,7 @@ def common_rules() -> list[Rule]:
         Rule(
             "Detach a transfer from the resource when it requests to cleanup "
             "the resource's staged file",
-            salience=80,
+            salience=salience.CLEANUP_DETACH,
             when=[
                 Pattern(
                     CleanupFact,
@@ -517,7 +510,7 @@ def common_rules() -> list[Rule]:
         Rule(
             "Remove cleanups from the cleanup list that specify resources that "
             "have other transfers using the staged files",
-            salience=70,
+            salience=salience.CLEANUP_SKIP_IN_USE,
             when=[
                 Pattern(
                     CleanupFact,
@@ -536,7 +529,7 @@ def common_rules() -> list[Rule]:
         Rule(
             "Insert new cleanups into policy memory for resources that no "
             "longer have transfers using their staged files",
-            salience=60,
+            salience=salience.CLEANUP_APPROVE,
             when=[
                 Pattern(
                     CleanupFact,

@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from repro.rules import Pattern, Rule
 
+from repro.policy import salience
 from repro.policy.model import HostPairFact, TransferFact
 
 __all__ = ["greedy_rules"]
-
-_ALLOC_SALIENCE = 40
 
 
 def _needs_allocation(t, bindings) -> bool:
@@ -82,7 +81,7 @@ def greedy_rules() -> list[Rule]:
         Rule(
             "Retrieve the parallel streams threshold defined between a source "
             "and destination host",
-            salience=_ALLOC_SALIENCE + 1,
+            salience=salience.THRESHOLD_RETRIEVE,
             when=[
                 Pattern(HostPairFact, "pair", where=lambda p, b: p.threshold is None),
             ],
@@ -90,7 +89,7 @@ def greedy_rules() -> list[Rule]:
         ),
         Rule(
             "Enforce the maximum number of parallel streams on a transfer",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
@@ -108,7 +107,7 @@ def greedy_rules() -> list[Rule]:
             "If the number of requested streams would exceed the maximum "
             "streams threshold, then allocate only the number of streams that "
             "does not exceed the threshold",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(
@@ -126,7 +125,7 @@ def greedy_rules() -> list[Rule]:
         Rule(
             "If the threshold has been reached or exceeded, allocate one "
             "stream for the new transfer",
-            salience=_ALLOC_SALIENCE,
+            salience=salience.ALLOCATION,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
                 Pattern(

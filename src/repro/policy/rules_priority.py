@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.rules import Fact, Pattern, Rule
 
+from repro.policy import salience
 from repro.policy.model import TransferFact
 
 __all__ = ["JobPriorityFact", "priority_rules"]
@@ -34,7 +35,7 @@ def priority_rules() -> list[Rule]:
     return [
         Rule(
             "Assign the registered structure-based priority to a transfer",
-            salience=52,  # before stream allocation, after dedup
+            salience=salience.PRIORITY_STAMP,
             when=[
                 Pattern(
                     TransferFact,

@@ -45,7 +45,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.rules.facts import Fact, WorkingMemory
-from repro.rules.patterns import Absent, Collect, ConditionElement, Pattern
+from repro.rules.patterns import Absent, ConditionElement, Pattern
 
 __all__ = ["Rule", "Session", "RuleEngineError", "ActivationContext"]
 

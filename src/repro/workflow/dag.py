@@ -9,7 +9,7 @@ producers per file, and consistent file sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 import networkx as nx
 

@@ -1,0 +1,8 @@
+"""Re-use the planner fixtures (catalog trio) for plan-lint tests."""
+
+from tests.planner.conftest import (  # noqa: F401
+    planner,
+    replicas,
+    sites,
+    transformations,
+)

@@ -1,0 +1,242 @@
+"""Seeded-defect fixtures: rule sets and plans that each checker must flag.
+
+Every builder returns an artifact carrying exactly one planted defect, so
+the analyzer tests can assert each check fires on its target and stays
+quiet otherwise.
+"""
+
+from repro.planner.executable import (
+    ExecutableJob,
+    ExecutableWorkflow,
+    JobKind,
+    TransferSpec,
+)
+from repro.rules import Fact, Pattern, Rule
+
+
+class ProbeFact(Fact):
+    """A small fact with the attribute shapes the factory understands."""
+
+    def __init__(self, tid: int, status: str, lfn: str):
+        self.tid = tid
+        self.status = status
+        self.lfn = lfn
+
+
+class CounterFact(Fact):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class OrphanFact(Fact):
+    """Never inserted by any action or service entry point."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+class PingFact(Fact):
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+class PongFact(Fact):
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+def _noop(ctx):
+    pass
+
+
+# -- rule-set defects -------------------------------------------------------
+def bad_key_hint_rules():
+    """R001: the keys hint filters on 'submitted' while the guard accepts
+    'new' — every keyed lookup silently misses the guard's matches."""
+    return [
+        Rule(
+            "Probe new transfers with a stale key hint",
+            when=[
+                Pattern(
+                    ProbeFact,
+                    "t",
+                    where=lambda t, b: t.status == "new",
+                    keys={"status": lambda b: "submitted"},
+                )
+            ],
+            then=_noop,
+        )
+    ]
+
+
+def unknown_attribute_rules():
+    """R002: the guard probes an attribute ProbeFact does not define."""
+    return [
+        Rule(
+            "Probe a misspelled status attribute",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.statuss == "new")],
+            then=_noop,
+        )
+    ]
+
+
+def salience_tie_rules():
+    """R003: two equal-salience rules activate on the same facts."""
+    return [
+        Rule("First unguarded probe", when=[Pattern(ProbeFact, "t")], then=_noop,
+             salience=10),
+        Rule("Second unguarded probe", when=[Pattern(ProbeFact, "t")], then=_noop,
+             salience=10),
+    ]
+
+
+def shadowing_rules():
+    """R004: the high-salience rule retracts every fact the low one needs."""
+
+    def _consume(ctx):
+        ctx.retract(ctx.t)
+
+    return [
+        Rule("Consume every probe fact", when=[Pattern(ProbeFact, "t")],
+             then=_consume, salience=20),
+        Rule("Starved low-salience probe", when=[Pattern(ProbeFact, "t")],
+             then=_noop, salience=5),
+    ]
+
+
+def divergent_rules():
+    """R005: updates its own matched fact without no_loop and with a guard
+    its action never falsifies — classic max_firings divergence."""
+
+    def _bump(ctx):
+        ctx.update(ctx.c, value=ctx.c.value + 1)
+
+    return [
+        Rule(
+            "Increment a counter forever",
+            when=[Pattern(CounterFact, "c", where=lambda c, b: c.value >= 0)],
+            then=_bump,
+        )
+    ]
+
+
+def unreachable_rules():
+    """R006: OrphanFact is never inserted by anything."""
+    return [
+        Rule("Wait for a fact that never arrives",
+             when=[Pattern(OrphanFact, "o")], then=_noop)
+    ]
+
+
+def dependency_cycle_rules():
+    """R007: ping inserts pong, pong inserts ping."""
+
+    def _ping(ctx):
+        ctx.retract(ctx.p)
+        ctx.insert(PongFact(ctx.p.tid))
+
+    def _pong(ctx):
+        ctx.retract(ctx.q)
+        ctx.insert(PingFact(ctx.q.tid + 1))
+
+    return [
+        Rule("Ping", when=[Pattern(PingFact, "p")], then=_ping),
+        Rule("Pong", when=[Pattern(PongFact, "q")], then=_pong),
+    ]
+
+
+def magic_salience_rules():
+    """R008: salience 77 is not a named tier in repro.policy.salience."""
+    return [
+        Rule("Fires at an unregistered tier", when=[Pattern(ProbeFact, "t")],
+             then=_noop, salience=77)
+    ]
+
+
+# -- plan defects -----------------------------------------------------------
+def _stage_in(job_id: str, lfn: str) -> ExecutableJob:
+    return ExecutableJob(
+        id=job_id,
+        kind=JobKind.STAGE_IN,
+        site="isi",
+        transfers=[TransferSpec(lfn, f"http://src/{lfn}", f"gsiftp://isi/{lfn}", 1.0)],
+    )
+
+
+def _compute(job_id: str, inputs=(), outputs=()) -> ExecutableJob:
+    return ExecutableJob(
+        id=job_id,
+        kind=JobKind.COMPUTE,
+        transform="process",
+        site="isi",
+        input_files=[(lfn, 1.0) for lfn in inputs],
+        output_files=[(lfn, 1.0) for lfn in outputs],
+    )
+
+
+def cyclic_plan() -> ExecutableWorkflow:
+    """P001: a -> b -> a."""
+    plan = ExecutableWorkflow("defect-cycle", "defect-cycle#1")
+    plan.add_job(_compute("a"))
+    plan.add_job(_compute("b"))
+    plan.add_edge("a", "b")
+    plan.add_edge("b", "a")
+    return plan
+
+
+def unconsumed_stage_in_plan() -> ExecutableWorkflow:
+    """P002: stages 'extra.dat' which no compute job reads."""
+    plan = ExecutableWorkflow("defect-unconsumed", "defect-unconsumed#1")
+    plan.add_job(_stage_in("stage_in_a", "raw.dat"))
+    plan.add_job(_stage_in("stage_in_extra", "extra.dat"))
+    plan.add_job(_compute("a", inputs=["raw.dat"], outputs=["out.dat"]))
+    plan.add_edge("stage_in_a", "a")
+    plan.add_edge("stage_in_extra", "a")
+    return plan
+
+
+def premature_cleanup_plan() -> ExecutableWorkflow:
+    """P003: cleanup of 'raw.dat' is not ordered after consumer 'b'."""
+    plan = ExecutableWorkflow("defect-early-cleanup", "defect-early-cleanup#1")
+    plan.add_job(_stage_in("stage_in_a", "raw.dat"))
+    plan.add_job(_compute("a", inputs=["raw.dat"], outputs=["mid.dat"]))
+    plan.add_job(_compute("b", inputs=["raw.dat", "mid.dat"], outputs=["out.dat"]))
+    plan.add_job(
+        ExecutableJob(
+            id="cleanup_raw.dat",
+            kind=JobKind.CLEANUP,
+            site="isi",
+            cleanup_files=[("raw.dat", "gsiftp://isi/raw.dat")],
+        )
+    )
+    plan.add_edge("stage_in_a", "a")
+    plan.add_edge("a", "b")
+    plan.add_edge("a", "cleanup_raw.dat")  # b still needs raw.dat
+    return plan
+
+
+def unproduced_input_plan() -> ExecutableWorkflow:
+    """P004: 'ghost.dat' is consumed but never staged nor produced."""
+    plan = ExecutableWorkflow("defect-ghost", "defect-ghost#1")
+    plan.add_job(_compute("a", inputs=["ghost.dat"], outputs=["out.dat"]))
+    return plan
+
+
+def clean_plan() -> ExecutableWorkflow:
+    """A small defect-free plan (stage-in -> compute chain -> cleanup)."""
+    plan = ExecutableWorkflow("clean", "clean#1")
+    plan.add_job(_stage_in("stage_in_a", "raw.dat"))
+    plan.add_job(_compute("a", inputs=["raw.dat"], outputs=["mid.dat"]))
+    plan.add_job(_compute("b", inputs=["mid.dat"], outputs=["out.dat"]))
+    plan.add_job(
+        ExecutableJob(
+            id="cleanup_raw.dat",
+            kind=JobKind.CLEANUP,
+            site="isi",
+            cleanup_files=[("raw.dat", "gsiftp://isi/raw.dat")],
+        )
+    )
+    plan.add_edge("stage_in_a", "a")
+    plan.add_edge("a", "b")
+    plan.add_edge("a", "cleanup_raw.dat")
+    return plan

@@ -1,0 +1,98 @@
+"""Plan validator: planner output is clean, seeded plan defects are caught."""
+
+import pytest
+
+from repro.analysis import Severity, lint_plan
+from repro.planner import PlanOptions
+from repro.planner.executable import JobKind
+from repro.workflow.montage import MontageConfig, montage_workflow
+
+from tests.analysis import defect_fixtures as defects
+from tests.planner.conftest import register_montage_inputs
+
+
+def _checks(report):
+    return {f.check for f in report.findings}
+
+
+def test_clean_plan_has_no_findings():
+    assert lint_plan(defects.clean_plan()).findings == []
+
+
+def test_cycle_triggers_p001_and_skips_other_checks():
+    report = lint_plan(defects.cyclic_plan())
+    assert _checks(report) == {"P001"}
+    assert report.errors()
+
+
+def test_unconsumed_stage_in_triggers_p002():
+    report = lint_plan(defects.unconsumed_stage_in_plan())
+    hits = [f for f in report.findings if f.check == "P002"]
+    assert hits and hits[0].severity == Severity.WARNING
+    assert hits[0].subject == "stage_in_extra"
+    assert hits[0].detail["files"] == ["extra.dat"]
+
+
+def test_premature_cleanup_triggers_p003():
+    report = lint_plan(defects.premature_cleanup_plan())
+    hits = [f for f in report.findings if f.check == "P003"]
+    assert hits and hits[0].severity == Severity.ERROR
+    assert hits[0].detail["unordered_consumers"] == ["b"]
+
+
+def test_unproduced_input_triggers_p004():
+    report = lint_plan(defects.unproduced_input_plan())
+    hits = [f for f in report.findings if f.check == "P004"]
+    assert hits and "ghost.dat" in hits[0].message
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        PlanOptions(),
+        PlanOptions(output_site="archive"),
+        PlanOptions(cluster_factor=3),
+        PlanOptions(cleanup=False),
+    ],
+    ids=["default", "stage-out", "clustered", "no-cleanup"],
+)
+def test_planned_montage_is_clean(planner, replicas, options):
+    workflow = montage_workflow(MontageConfig(n_images=12))
+    register_montage_inputs(replicas, workflow)
+    plan = planner.plan(workflow, "isi", options)
+    report = lint_plan(plan)
+    assert report.findings == []
+
+
+def test_planner_fills_compute_input_files(planner, replicas):
+    workflow = montage_workflow(MontageConfig(n_images=6))
+    register_montage_inputs(replicas, workflow)
+    plan = planner.plan(workflow, "isi")
+    computes = plan.by_kind(JobKind.COMPUTE)
+    assert computes
+    # Every compute input is either staged in or produced by another job.
+    produced = {
+        lfn
+        for job in plan.jobs.values()
+        for lfn, _ in job.output_files
+    } | {
+        t.lfn
+        for job in plan.by_kind(JobKind.STAGE_IN)
+        for t in job.transfers
+    }
+    consumed = {lfn for job in computes for lfn, _ in job.input_files}
+    assert consumed and consumed <= produced
+
+
+def test_local_replica_inputs_are_not_listed_as_scratch_reads(planner, replicas):
+    workflow = montage_workflow(MontageConfig(n_images=4))
+    # Register every input as already present on the execution site.
+    for f in workflow.input_files():
+        replicas.register(f.lfn, "isi", f"gsiftp://obelix/nfs/scratch/{f.lfn}")
+    plan = planner.plan(workflow, "isi")
+    workflow_inputs = {f.lfn for f in workflow.input_files()}
+    for job in plan.by_kind(JobKind.COMPUTE):
+        assert not workflow_inputs & {lfn for lfn, _ in job.input_files}
+    assert not plan.by_kind(JobKind.STAGE_IN)
+    report = lint_plan(plan)
+    assert report.findings == []

@@ -1,7 +1,5 @@
 """Unit tests for the figure series builders (reduced scale for speed)."""
 
-import pytest
-
 from repro.experiments import ExperimentConfig
 from repro.experiments.figures import (
     DEFAULT_STREAM_SWEEP,

@@ -6,9 +6,7 @@ finishes with the **byte-identical staged file set** of a clean run, and
 policy memory holds no leaked in-progress facts afterwards.
 """
 
-import pytest
-
-from repro.des.faults import FaultPlan, GridFTPStorm, RpcDropWindow, ServiceOutage
+from repro.des.faults import FaultPlan, GridFTPStorm, RpcDropWindow
 from repro.experiments.chaos import compare_with_faultless, run_chaos_montage
 from repro.experiments.runner import ExperimentConfig
 

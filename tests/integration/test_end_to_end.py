@@ -104,8 +104,6 @@ def test_different_seeds_jitter():
 
 
 def test_failure_injection_with_retries_succeeds():
-    from dataclasses import replace
-
     from repro.experiments.environment import TestbedParams
 
     cfg = small(testbed=TestbedParams(failure_rate=0.08), seed=7)

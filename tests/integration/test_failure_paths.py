@@ -1,8 +1,6 @@
 """Targeted robustness tests: failures interacting with waits/sharing."""
 
 import numpy as np
-import pytest
-
 from repro.des import Environment
 from repro.engine import PegasusTransferTool
 from repro.net import FlowNetwork, GridFTPClient, Link, Network, StreamModel, TransferError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.catalogs import ReplicaCatalog, SiteCatalog, SiteEntry, TransformationCatalog
+from repro.catalogs import ReplicaCatalog, SiteCatalog, SiteEntry
 from repro.planner import Planner
 from repro.workflow.montage import EXTRA_FILE_PREFIX, montage_transformations
 

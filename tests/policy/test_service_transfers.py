@@ -1,7 +1,5 @@
 """Tests of the policy service's transfer handling (Table I + Table II)."""
 
-import pytest
-
 from repro.policy import PolicyConfig, PolicyService
 from repro.policy.model import HostPairFact, StagedFileFact, TransferFact
 

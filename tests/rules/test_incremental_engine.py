@@ -6,8 +6,6 @@ tiers, refraction, ``no_loop``, updates, retracts, negations and keyed
 patterns.  Every scenario here is executed in both modes and compared.
 """
 
-import pytest
-
 from repro.rules import (
     Absent,
     Collect,

@@ -1,7 +1,6 @@
 """Tests of the command-line interface."""
 
 import io
-import threading
 import urllib.request
 import json
 
@@ -121,3 +120,45 @@ def test_figure_5_quick():
     assert code == 0
     assert "Fig. 5" in text
     assert "1000 MB extra" in text
+
+
+def test_lint_requires_a_target():
+    code, text = run_cli("lint")
+    assert code == 2
+    assert "nothing to lint" in text
+
+
+def test_lint_rejects_unknown_rule_set():
+    code, text = run_cli("lint", "--rules", "bogus")
+    assert code == 2
+    assert "unknown rule set" in text
+
+
+def test_lint_single_rule_set_text():
+    code, text = run_cli("lint", "--rules", "greedy", "--trials", "5")
+    assert code == 0
+    assert "rules:greedy" in text
+    assert "0 error(s)" in text
+
+
+def test_lint_all_is_clean_and_json_renders():
+    code, text = run_cli("lint", "--all", "--trials", "5", "--images", "6",
+                         "--format", "json")
+    assert code == 0
+    docs = json.loads(text)
+    targets = {doc["target"] for doc in docs}
+    assert {"rules:greedy", "rules:balanced", "plan:montage-1deg"} <= targets
+    assert all(doc["counts"]["error"] == 0 for doc in docs)
+
+
+def test_lint_plan_only():
+    code, text = run_cli("lint", "--plan", "montage", "--images", "5")
+    assert code == 0
+    assert "plan:montage-1deg" in text
+
+
+def test_lint_suppression_is_reported():
+    code, text = run_cli("lint", "--rules", "fifo", "--trials", "3",
+                         "--suppress", "R007")
+    assert code == 0
+    assert "suppressed" in text and "R007" in text
