@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Guard: disabled tracing must cost (near) nothing on the rule hot path.
+
+Every instrumentation point in the service guards emission with
+``tracer is not None and tracer.enabled``, so a run with no tracer — or a
+disabled one — should be indistinguishable from the pre-instrumentation
+hot path.  This benchmark measures the ``bench_rules``-style workload
+(submit/complete transfer batches against a greedy service) in two
+configurations, interleaved:
+
+* **plain** — no tracer, no profiler attached (the default for every
+  experiment run);
+* **disabled** — a ``Tracer(enabled=False)`` attached to the service, so
+  each potential event pays exactly the guard test.
+
+It fails (exit 1) when the disabled-tracing median exceeds the plain
+median by more than ``--threshold`` percent (default 2%).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py [--quick]
+        [--rounds N] [--threshold PCT] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _build_service(tracer):
+    from repro.policy import PolicyConfig, PolicyService
+
+    return PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=4000),
+        tracer=tracer,
+    )
+
+
+def _specs(n: int, tag: str):
+    return [
+        {
+            "lfn": f"{tag}{i}",
+            "src_url": f"gsiftp://fg-vm/data/{tag}{i}",
+            "dst_url": f"gsiftp://obelix/scratch/{tag}{i}",
+            "nbytes": 1000.0,
+        }
+        for i in range(n)
+    ]
+
+
+def _run_round(service, batches: int, batch_size: int, tag: str) -> float:
+    """One timed round: ``batches`` submit+complete cycles; returns seconds."""
+    t0 = time.perf_counter()
+    for b in range(batches):
+        advice = service.submit_transfers(
+            f"wf-{tag}", f"job-{b}", _specs(batch_size, f"{tag}{b}-")
+        )
+        service.complete_transfers(done=[a.tid for a in advice if a.tid is not None])
+    return time.perf_counter() - t0
+
+
+def measure(rounds: int, batches: int, batch_size: int) -> dict:
+    from repro.obs import Tracer
+
+    plain_times: list[float] = []
+    disabled_times: list[float] = []
+    # Interleave A/B so drift (thermal, GC pressure) hits both equally.
+    for r in range(rounds):
+        plain = _build_service(tracer=None)
+        disabled = _build_service(tracer=Tracer(enabled=False))
+        plain_times.append(_run_round(plain, batches, batch_size, f"p{r}"))
+        disabled_times.append(_run_round(disabled, batches, batch_size, f"d{r}"))
+    plain_median = statistics.median(plain_times)
+    disabled_median = statistics.median(disabled_times)
+    return {
+        "rounds": rounds,
+        "batches_per_round": batches,
+        "batch_size": batch_size,
+        "plain_s": plain_times,
+        "disabled_s": disabled_times,
+        "plain_median_s": plain_median,
+        "disabled_median_s": disabled_median,
+        "overhead_pct": (disabled_median / plain_median - 1.0) * 100.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI smoke runs")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="interleaved measurement rounds per config")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max tolerated overhead percent (default 2)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or os.environ.get("REPRO_QUICK") == "1"
+    rounds = args.rounds if args.rounds is not None else (5 if quick else 9)
+    batches = 20 if quick else 60
+    batch_size = 25 if quick else 50
+
+    # Warm-up: JIT-free Python still benefits (allocator, caches, imports).
+    measure(1, max(2, batches // 10), batch_size)
+    report = measure(rounds, batches, batch_size)
+    report["python"] = platform.python_version()
+    report["threshold_pct"] = args.threshold
+
+    print(f"plain    median: {report['plain_median_s'] * 1e3:8.1f} ms")
+    print(f"disabled median: {report['disabled_median_s'] * 1e3:8.1f} ms")
+    print(f"overhead       : {report['overhead_pct']:+.2f}% "
+          f"(threshold {args.threshold:.1f}%)")
+
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+
+    if report["overhead_pct"] > args.threshold:
+        print("FAIL: disabled tracing regresses the hot path", file=sys.stderr)
+        return 1
+    print("OK: disabled tracing is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

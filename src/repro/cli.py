@@ -8,6 +8,7 @@ Subcommands::
     repro campaign [...]              run a steady staging campaign
     repro serve [...]                 start the RESTful Policy Service
     repro lint [...]                  statically verify rule sets and plans
+    repro trace [scenario] [...]      run a traced cell, write trace artifacts
 
 (`python -m repro ...` works identically.)
 """
@@ -109,6 +110,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="suppress findings of a check id, optionally "
                            "only for subjects containing the substring "
                            "(repeatable)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced experiment cell and write trace artifacts",
+        description=(
+            "Run an experiment cell with the observability stack attached "
+            "(tracer + metrics registry + rule profiler) and write "
+            "trace.json (Chrome trace_event, opens in Perfetto), "
+            "events.jsonl, metrics.prom, rule_profile.txt, and "
+            "provenance.json into the output directory."
+        ),
+    )
+    trace.add_argument("scenario", nargs="?", default="examples-montage",
+                       choices=["examples-montage", "chaos-montage"],
+                       help="examples-montage: a small augmented-Montage cell; "
+                            "chaos-montage: the same cell under a mid-run "
+                            "service outage (fault events on the trace)")
+    trace.add_argument("--out", default=None, metavar="DIR",
+                       help="artifact directory (default traces/<scenario>)")
+    trace.add_argument("--extra-mb", type=float, default=20.0,
+                       help="extra staged file size per staging job (MB)")
+    trace.add_argument("--streams", type=int, default=4,
+                       help="default parallel streams per transfer")
+    trace.add_argument("--policy", choices=["greedy", "balanced", "fifo", "none"],
+                       default="greedy")
+    trace.add_argument("--threshold", type=int, default=50,
+                       help="max streams between a host pair")
+    trace.add_argument("--images", type=int, default=12,
+                       help="Montage input images (= staging jobs)")
+    trace.add_argument("--engine", choices=["indexed", "seed"], default="indexed",
+                       help="rule engine variant (traces are identical)")
+    trace.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -304,6 +337,45 @@ def _cmd_lint(args, out) -> int:
     return 1 if any(r.errors() for r in reports) else 0
 
 
+def _cmd_trace(args, out) -> int:
+    from pathlib import Path
+
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.tracing import run_traced_cell, run_traced_chaos
+
+    policy = None if args.policy == "none" else args.policy
+    if args.scenario == "chaos-montage" and policy is None:
+        print("chaos-montage needs a policy (got --policy none)", file=out)
+        return 2
+    cfg = ExperimentConfig(
+        extra_file_mb=args.extra_mb,
+        default_streams=args.streams,
+        policy=policy,
+        threshold=args.threshold,
+        n_images=args.images,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    if args.scenario == "chaos-montage":
+        run = run_traced_chaos(cfg)
+    else:
+        run = run_traced_cell(cfg)
+    outdir = Path(args.out) if args.out else Path("traces") / args.scenario
+    paths = run.write_artifacts(outdir)
+    summary = run.tracer.summary()
+    print(f"workflow : {run.metrics.workflow_id}", file=out)
+    print(f"success  : {run.metrics.success}", file=out)
+    print(f"makespan : {run.metrics.makespan:.1f} s", file=out)
+    print(f"events   : {summary['events']} ({summary['spans']} spans)", file=out)
+    print("artifacts:", file=out)
+    for name in sorted(paths):
+        print(f"  {name:<16s} {paths[name]}", file=out)
+    if policy is not None:
+        print(file=out)
+        print(run.profiler.report(), file=out)
+    return 0 if run.metrics.success else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -315,6 +387,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "campaign": lambda: _cmd_campaign(args, out),
         "serve": lambda: _cmd_serve(args, out),
         "lint": lambda: _cmd_lint(args, out),
+        "trace": lambda: _cmd_trace(args, out),
     }
     return handlers[args.command]()
 

@@ -329,13 +329,22 @@ class Environment:
     ----------
     initial_time:
         Starting value of :attr:`now` (seconds; the unit is by convention).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`.  The environment binds
+        the tracer's clock to the simulation clock so every emitted event
+        is stamped with :attr:`now`; components reach it via
+        ``env.tracer`` and must guard emission with
+        ``if env.tracer is not None and env.tracer.enabled:``.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer: Optional[Any] = None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.tracer = tracer
+        if tracer is not None and getattr(tracer, "clock", None) is None:
+            tracer.clock = lambda: self._now
 
     @property
     def now(self) -> float:

@@ -121,6 +121,12 @@ class FaultInjector:
         #: (time, description) trace of everything the injector did
         self.log: list[tuple[float, str]] = []
 
+    def _trace(self, name: str, **args) -> None:
+        """Mark a fault transition on the trace's ``fault`` track."""
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("fault", name, track="fault", **args)
+
     # ------------------------------------------------------------------ wiring
     def attach_policy(self, client, restart: Optional[Callable[[], object]] = None) -> None:
         """Gate ``client``'s RPCs through this injector.
@@ -169,21 +175,26 @@ class FaultInjector:
         yield self.env.timeout(outage.at)
         self.service_down = True
         self.log.append((self.env.now, "service crashed"))
+        self._trace("fault.outage.begin", duration=outage.duration)
         yield self.env.timeout(outage.duration)
         if self._restart is not None:
             self._policy_client.service = self._restart()
             self.log.append((self.env.now, "service recovered from journal"))
+            self._trace("fault.outage.end", recovered="journal")
         else:
             self.log.append((self.env.now, "service back up"))
+            self._trace("fault.outage.end", recovered="restart")
         self.service_down = False
 
     def _run_drop_window(self, window: RpcDropWindow):
         yield self.env.timeout(window.at)
         self._drop_rate = window.rate
         self.log.append((self.env.now, f"dropping rpcs at rate {window.rate:g}"))
+        self._trace("fault.rpc_drop.begin", rate=window.rate, duration=window.duration)
         yield self.env.timeout(window.duration)
         self._drop_rate = 0.0
         self.log.append((self.env.now, "rpc drops ended"))
+        self._trace("fault.rpc_drop.end")
 
     def _run_storm(self, storm: GridFTPStorm):
         yield self.env.timeout(storm.at)
@@ -192,6 +203,11 @@ class FaultInjector:
         self.log.append(
             (self.env.now, f"gridftp storm: failure rate {storm.failure_rate:g}")
         )
+        self._trace(
+            "fault.storm.begin",
+            failure_rate=storm.failure_rate, duration=storm.duration,
+        )
         yield self.env.timeout(storm.duration)
         self._gridftp.failure_rate = previous
         self.log.append((self.env.now, "gridftp storm ended"))
+        self._trace("fault.storm.end")

@@ -63,6 +63,13 @@ class CleanupTool:
     def execute(self, workflow_id: str, job: ExecutableJob):
         """Process generator: delete the job's files (as advised)."""
         record = CleanupRecord(job_id=job.id)
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin(
+                "cleanup", f"cleanup:{job.id}", track="cleanup",
+                files=len(job.cleanup_files),
+            )
         if self.policy is None:
             for lfn, url in job.cleanup_files:
                 yield from self._delete(lfn, url)
@@ -79,6 +86,8 @@ class CleanupTool:
                 # them once the service is back.
                 record.deferred += len(job.cleanup_files)
                 self.records.append(record)
+                if tracer is not None:
+                    tracer.end(span, deferred=record.deferred)
                 return record
             done_ids = []
             for item in advice:
@@ -96,6 +105,8 @@ class CleanupTool:
                     # will retire the orphaned cleanup grants.
                     pass
         self.records.append(record)
+        if tracer is not None:
+            tracer.end(span, deleted=record.deleted, skipped=record.skipped)
         return record
 
     def _delete(self, lfn: str, url: str):

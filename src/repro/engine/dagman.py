@@ -167,6 +167,9 @@ class DAGMan:
         done_events = []
         abort = self.env.event()
 
+        tracer = self.env.tracer
+        wf_track = f"dagman:{self.plan.workflow_id}"
+
         def job_process(jid: str):
             job = self.plan.jobs[jid]
             record = self.records[jid]
@@ -179,6 +182,18 @@ class DAGMan:
                 yield request
             record.t_start = self.env.now
             record.state = "running"
+            span = None
+            if tracer is not None and tracer.enabled:
+                if record.t_start > record.t_ready:
+                    tracer.instant(
+                        "dagman", "dagman.throttled", track=wf_track,
+                        job=jid, kind=job.kind.value,
+                        queued=record.t_start - record.t_ready,
+                    )
+                span = tracer.begin(
+                    "dagman", f"job:{jid}", track=wf_track,
+                    kind=job.kind.value, priority=job.priority,
+                )
             try:
                 runner = self.runners[job.kind]
                 while True:
@@ -192,6 +207,12 @@ class DAGMan:
                         if record.attempts > self.retries:
                             record.state = "failed"
                             record.t_end = self.env.now
+                            if tracer is not None:
+                                tracer.end(
+                                    span, state="failed",
+                                    attempts=record.attempts,
+                                    error=type(exc).__name__,
+                                )
                             failure = WorkflowFailed(jid, record.attempts, exc)
                             self._failure = failure
                             if not abort.triggered:
@@ -205,6 +226,8 @@ class DAGMan:
                     throttle.release(request)
             record.state = "done"
             record.t_end = self.env.now
+            if tracer is not None:
+                tracer.end(span, state="done", attempts=record.attempts)
             for child in graph.successors(jid):
                 remaining_parents[child] -= 1
                 if remaining_parents[child] == 0:

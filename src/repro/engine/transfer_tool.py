@@ -142,10 +142,20 @@ class PegasusTransferTool:
     # ----------------------------------------------------------------- default
     def _execute_default(self, job: ExecutableJob, record: StagingRecord):
         """Default Pegasus: serial transfers, list order, default streams."""
+        tracer = self.env.tracer
+        track = f"ptt:{job.id}"
         for spec in job.transfers:
+            span = None
+            if tracer is not None and tracer.enabled:
+                span = tracer.begin(
+                    "ptt", f"xfer:{spec.lfn}", track=track,
+                    streams=self.default_streams, nbytes=spec.nbytes,
+                )
             rec = yield from self.gridftp.transfer(
                 spec.src_url, spec.dst_url, spec.nbytes, self.default_streams
             )
+            if tracer is not None:
+                tracer.end(span, outcome="done")
             record.executed += 1
             record.bytes_moved += rec.nbytes
             record.streams_used.append(self.default_streams)
@@ -166,21 +176,40 @@ class PegasusTransferTool:
                 "cluster": cluster,
             }
 
+        tracer = self.env.tracer
+        track = f"ptt:{job.id}"
         pending = [spec_of(t) for t in job.transfers]
         deadline = self.env.now + self.max_wait
         # Settle earlier degraded-mode debts before asking for new advice;
         # if the service is still down, stay policy-free for this job.
         if not (yield from self._reconcile(workflow_id)):
-            yield from self._execute_degraded(workflow_id, pending, record)
+            yield from self._execute_degraded(workflow_id, pending, record, track)
             return
         while pending:
+            if tracer is not None and tracer.enabled:
+                tracer.instant(
+                    "ptt", "ptt.submit", track=track, transfers=len(pending)
+                )
             try:
                 advice = yield from self.policy.submit_transfers(
                     workflow_id, job.id, pending
                 )
             except PolicyUnavailableError:
-                yield from self._execute_degraded(workflow_id, pending, record)
+                if tracer is not None and tracer.enabled:
+                    tracer.instant(
+                        "ptt", "ptt.degrade", track=track,
+                        reason="policy_unavailable", transfers=len(pending),
+                    )
+                yield from self._execute_degraded(workflow_id, pending, record, track)
                 return
+            if tracer is not None and tracer.enabled:
+                actions: dict[str, int] = {}
+                for a in advice:
+                    actions[a.action] = actions.get(a.action, 0) + 1
+                tracer.instant(
+                    "ptt", "ptt.advised", track=track,
+                    **dict(sorted(actions.items())),
+                )
             denied = [a for a in advice if a.action == "deny"]
             if denied:
                 # A denial means the data will never arrive: fail the job.
@@ -194,7 +223,7 @@ class PegasusTransferTool:
             waits = [a for a in advice if a.action == "wait"]
             record.skipped += sum(1 for a in advice if a.action == "skip")
 
-            yield from self._run_approved(to_execute, record)
+            yield from self._run_approved(to_execute, record, track)
 
             pending = []
             for item in waits:
@@ -208,27 +237,47 @@ class PegasusTransferTool:
                     "priority": job.priority,
                     "cluster": cluster,
                 }
+                wait_span = None
+                if tracer is not None and tracer.enabled:
+                    wait_span = tracer.begin(
+                        "ptt", f"wait:{item.lfn}", track=track,
+                        wait_for=item.wait_for, reason=item.reason,
+                    )
                 try:
                     outcome = yield from self._await_staged(item, deadline)
                 except PolicyUnavailableError:
                     # The service vanished mid-wait: stage the file
                     # ourselves rather than poll a dead endpoint.
+                    if tracer is not None:
+                        tracer.end(wait_span, outcome="degraded")
                     yield from self._execute_degraded(
-                        workflow_id, [item_spec], record
+                        workflow_id, [item_spec], record, track
                     )
                     continue
+                if tracer is not None:
+                    tracer.end(wait_span, outcome=outcome)
                 if outcome == "resubmit":
                     pending.append(item_spec)
 
-    def _run_approved(self, items: list[TransferAdvice], record: StagingRecord):
+    def _run_approved(
+        self, items: list[TransferAdvice], record: StagingRecord, track: str = "ptt"
+    ):
         """Execute approved transfers group by group, sessions reused."""
         # Preserve the service's ordering; group boundaries reset sessions.
         # Group id 0 means "ungrouped" (the service assigned no host-pair
         # group), so consecutive 0s never share a session.
+        tracer = self.env.tracer
         current_group: Optional[int] = None
         for idx, item in enumerate(items):
             session_established = item.group_id != 0 and item.group_id == current_group
             current_group = item.group_id
+            span = None
+            if tracer is not None and tracer.enabled:
+                span = tracer.begin(
+                    "ptt", f"xfer:{item.lfn}", track=track, tid=item.tid,
+                    streams=item.streams, group=item.group_id,
+                    nbytes=item.nbytes,
+                )
             try:
                 rec = yield from self.gridftp.transfer(
                     item.src_url,
@@ -240,9 +289,13 @@ class PegasusTransferTool:
             except TransferError:
                 # Tell the service about the failure and the abandoned rest
                 # of the batch, then let the engine retry the whole job.
+                if tracer is not None:
+                    tracer.end(span, outcome="failed")
                 abandoned = [other.tid for other in items[idx:]]
                 yield from self._report(failed=abandoned)
                 raise
+            if tracer is not None:
+                tracer.end(span, outcome="done")
             record.executed += 1
             record.bytes_moved += rec.nbytes
             record.streams_used.append(item.streams)
@@ -285,17 +338,29 @@ class PegasusTransferTool:
         """
         return (yield from self._reconcile(workflow_id))
 
-    def _execute_degraded(self, workflow_id: str, specs: list[dict], record: StagingRecord):
+    def _execute_degraded(
+        self, workflow_id: str, specs: list[dict], record: StagingRecord,
+        track: str = "ptt",
+    ):
         """Policy-free fallback: serial transfers with default streams.
 
         Staged files enter the per-workflow backlog so the policy memory
         learns about them once the service is reachable again.
         """
+        tracer = self.env.tracer
         backlog = self._degraded_staged.setdefault(workflow_id, [])
         for spec in specs:
+            span = None
+            if tracer is not None and tracer.enabled:
+                span = tracer.begin(
+                    "ptt", f"xfer:{spec['lfn']}", track=track, mode="degraded",
+                    streams=self.default_streams, nbytes=spec["nbytes"],
+                )
             rec = yield from self.gridftp.transfer(
                 spec["src_url"], spec["dst_url"], spec["nbytes"], self.default_streams
             )
+            if tracer is not None:
+                tracer.end(span, outcome="done")
             record.executed += 1
             record.degraded += 1
             record.bytes_moved += rec.nbytes

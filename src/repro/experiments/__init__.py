@@ -14,11 +14,15 @@
 
 from repro.experiments.environment import TestbedParams, build_testbed
 from repro.experiments.runner import ExperimentConfig, run_cell, run_replicates
+from repro.experiments.tracing import TracedRun, run_traced_cell, run_traced_workflow
 
 __all__ = [
     "ExperimentConfig",
     "TestbedParams",
+    "TracedRun",
     "build_testbed",
     "run_cell",
     "run_replicates",
+    "run_traced_cell",
+    "run_traced_workflow",
 ]

@@ -78,23 +78,30 @@ def run_chaos_montage(
     retry: Optional[RetryPolicy] = None,
     breaker_threshold: int = 3,
     breaker_reset: float = 60.0,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> ChaosResult:
     """Run the augmented-Montage cell under a fault plan.
 
     With ``journal_dir`` set, the service journals every mutation there
     and each :class:`~repro.des.faults.ServiceOutage` ends with
     ``PolicyService.recover`` from that directory — a true crash+restart.
-    Without it, outages model a hang (same process resumes).
+    Without it, outages model a hang (same process resumes).  ``tracer``
+    observes the run including the injector's ``fault``-track events.
     """
     workflow = augmented_montage(
         cfg.extra_file_mb * MB,
         MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
     )
-    bed = build_testbed(cfg.testbed, seed=cfg.seed)
+    bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
     pconfig = _policy_config(cfg)
     clock = lambda: bed.env.now  # noqa: E731 - tiny closure over the sim clock
     journal = PolicyJournal(journal_dir) if journal_dir is not None else None
-    service = PolicyService(pconfig, clock=clock, journal=journal)
+    service = PolicyService(
+        pconfig, clock=clock, engine=cfg.engine, journal=journal,
+        metrics=metrics, tracer=tracer, profiler=profiler,
+    )
     client = InProcessPolicyClient(
         service,
         bed.env,
@@ -113,7 +120,10 @@ def run_chaos_montage(
     restart = None
     if journal_dir is not None:
         def restart():
-            return PolicyService.recover(journal_dir, config=pconfig, clock=clock)
+            return PolicyService.recover(
+                journal_dir, config=pconfig, clock=clock, engine=cfg.engine,
+                metrics=metrics, tracer=tracer, profiler=profiler,
+            )
     injector.attach_policy(client, restart=restart)
     injector.attach_gridftp(bed.gridftp)
 

@@ -114,11 +114,15 @@ class Testbed:
 
 
 def build_testbed(
-    params: Optional[TestbedParams] = None, seed: int = 0
+    params: Optional[TestbedParams] = None, seed: int = 0, tracer=None
 ) -> Testbed:
-    """Construct the simulated paper testbed."""
+    """Construct the simulated paper testbed.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is bound to the DES clock and
+    threaded to every instrumented component via ``env.tracer``.
+    """
     p = params or TestbedParams()
-    env = Environment()
+    env = Environment(tracer=tracer)
     rng = RngRegistry(seed=seed)
 
     network = Network()

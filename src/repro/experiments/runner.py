@@ -59,6 +59,7 @@ class ExperimentConfig:
     lease_seconds: Optional[float] = None # grant leases (None = no leasing)
     retry_backoff: float = 0.0            # base delay between job retries
     n_images: int = 89                    # paper: 89 data staging jobs
+    engine: str = "indexed"               # rule engine: "indexed" or "seed"
     seed: int = 0
     testbed: TestbedParams = field(default_factory=TestbedParams)
 
@@ -67,9 +68,17 @@ class ExperimentConfig:
 
 
 def build_policy_client(
-    cfg: ExperimentConfig, bed: Testbed
+    cfg: ExperimentConfig,
+    bed: Testbed,
+    metrics=None,
+    profiler=None,
 ) -> Optional[InProcessPolicyClient]:
-    """The in-simulation policy client for a cell (None when policy off)."""
+    """The in-simulation policy client for a cell (None when policy off).
+
+    The service inherits the testbed's tracer (``bed.env.tracer``) plus
+    an optional shared :class:`~repro.obs.MetricsRegistry` and
+    :class:`~repro.obs.RuleProfiler`.
+    """
     if cfg.policy is None:
         return None
     service = PolicyService(
@@ -84,6 +93,10 @@ def build_policy_client(
             lease_seconds=cfg.lease_seconds,
         ),
         clock=lambda: bed.env.now,
+        engine=cfg.engine,
+        metrics=metrics,
+        tracer=bed.env.tracer,
+        profiler=profiler,
     )
     return InProcessPolicyClient(service, bed.env, latency=cfg.testbed.policy_latency)
 

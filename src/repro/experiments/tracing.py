@@ -1,0 +1,159 @@
+"""Traced experiment runs: one call, a full set of trace artifacts.
+
+:func:`run_traced_cell` is :func:`~repro.experiments.runner.run_cell`
+with the observability stack attached: a :class:`~repro.obs.Tracer`
+bound to the DES clock, a shared :class:`~repro.obs.MetricsRegistry`,
+and a :class:`~repro.obs.RuleProfiler` on every rule session.  The
+returned :class:`TracedRun` holds the live objects and writes the
+standard artifact set:
+
+========================  ==================================================
+``trace.json``            Chrome ``trace_event`` JSON — open in Perfetto
+                          (https://ui.perfetto.dev) or ``chrome://tracing``
+``events.jsonl``          canonical JSONL event log, byte-identical across
+                          runs with the same seed and configuration
+``metrics.prom``          Prometheus text exposition of the registry
+``rule_profile.txt``      per-rule activation/fire/elapsed report
+``provenance.json``       provenance document with a ``trace`` summary
+========================  ==================================================
+
+Because trace events carry only simulation-derived data (wall-clock
+timings live in the registry and profiler), ``events.jsonl`` is a
+deterministic function of (workflow, config, seed) — including across
+``engine="seed"`` and ``engine="indexed"``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.environment import build_testbed
+from repro.experiments.runner import (
+    ExperimentConfig,
+    WorkflowExecution,
+    build_policy_client,
+)
+from repro.metrics.collectors import RunMetrics
+from repro.metrics.provenance import run_provenance
+from repro.obs import (
+    MetricsRegistry,
+    RuleProfiler,
+    Tracer,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_rule_profile,
+)
+from repro.planner.planner import fresh_plan_ids
+from repro.workflow.dag import Workflow
+from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+__all__ = ["TracedRun", "run_traced_cell", "run_traced_chaos", "run_traced_workflow"]
+
+
+@dataclass
+class TracedRun:
+    """A finished run plus the live observability objects."""
+
+    metrics: RunMetrics
+    tracer: Tracer
+    registry: MetricsRegistry
+    profiler: RuleProfiler
+    provenance: dict
+
+    def jsonl(self) -> list[str]:
+        """The canonical JSONL event lines (deterministic per seed)."""
+        return jsonl_lines(self.tracer)
+
+    def write_artifacts(self, outdir) -> dict[str, str]:
+        """Write the standard artifact set; returns {artifact: path}."""
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace.json": out / "trace.json",
+            "events.jsonl": out / "events.jsonl",
+            "metrics.prom": out / "metrics.prom",
+            "rule_profile.txt": out / "rule_profile.txt",
+            "provenance.json": out / "provenance.json",
+        }
+        write_chrome_trace(self.tracer, paths["trace.json"])
+        write_jsonl(self.tracer, paths["events.jsonl"])
+        write_prometheus(self.registry, paths["metrics.prom"])
+        write_rule_profile(self.profiler, paths["rule_profile.txt"])
+        paths["provenance.json"].write_text(
+            json.dumps(self.provenance, indent=2, sort_keys=True, default=repr) + "\n"
+        )
+        return {name: str(path) for name, path in paths.items()}
+
+
+def run_traced_workflow(
+    cfg: ExperimentConfig,
+    workflow: Workflow,
+    tracer: Optional[Tracer] = None,
+) -> TracedRun:
+    """Plan + execute one workflow with the observability stack attached."""
+    tracer = tracer if tracer is not None else Tracer()
+    registry = MetricsRegistry()
+    profiler = RuleProfiler()
+    bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
+    policy = build_policy_client(cfg, bed, metrics=registry, profiler=profiler)
+    # Workflow ids carry a process-global plan sequence; restart it so the
+    # event stream is identical no matter what was planned before.
+    with fresh_plan_ids():
+        execution = WorkflowExecution(cfg, workflow, bed, policy)
+        process = execution.start()
+        bed.env.run(until=process)
+    metrics = execution.metrics()
+    provenance = run_provenance(
+        metrics, result=execution.result, config=cfg, tracer=tracer
+    )
+    return TracedRun(
+        metrics=metrics,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        provenance=provenance,
+    )
+
+
+def run_traced_cell(cfg: ExperimentConfig) -> TracedRun:
+    """Run the augmented-Montage cell for ``cfg`` with tracing on."""
+    workflow = augmented_montage(
+        cfg.extra_file_mb * MB,
+        MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
+    )
+    return run_traced_workflow(cfg, workflow)
+
+
+def run_traced_chaos(cfg: ExperimentConfig, plan=None, journal_dir=None) -> TracedRun:
+    """Run the chaos-Montage cell (mid-run service outage) with tracing on.
+
+    The trace gains a ``fault`` track marking outage/drop/storm windows
+    alongside the spans they perturb.  Without an explicit ``plan``, a
+    single 30 s service outage hits 60 s into the run.
+    """
+    from repro.des.faults import FaultPlan
+    from repro.experiments.chaos import run_chaos_montage
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = RuleProfiler()
+    plan = plan if plan is not None else FaultPlan.single_crash(at=60.0, duration=30.0)
+    with fresh_plan_ids():
+        result = run_chaos_montage(
+            cfg, plan=plan, journal_dir=journal_dir,
+            tracer=tracer, metrics=registry, profiler=profiler,
+        )
+    provenance = run_provenance(result.metrics, config=cfg, tracer=tracer)
+    provenance["fault_log"] = [[t, what] for t, what in result.fault_log]
+    return TracedRun(
+        metrics=result.metrics,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        provenance=provenance,
+    )

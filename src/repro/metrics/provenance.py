@@ -22,9 +22,18 @@ __all__ = ["run_provenance", "ascii_timeline"]
 
 
 def run_provenance(
-    metrics: RunMetrics, result: Optional[DAGManResult] = None, config: Any = None
+    metrics: RunMetrics,
+    result: Optional[DAGManResult] = None,
+    config: Any = None,
+    tracer: Any = None,
 ) -> dict:
-    """Build a JSON-able provenance record of one run."""
+    """Build a JSON-able provenance record of one run.
+
+    With ``tracer`` (a :class:`repro.obs.Tracer` that observed the run),
+    the document gains a ``trace`` key summarizing the event stream —
+    enough to tell whether/where the full trace artifacts exist without
+    embedding them.
+    """
     doc: dict = {
         "workflow_id": metrics.workflow_id,
         "success": metrics.success,
@@ -73,6 +82,8 @@ def run_provenance(
             }
             for record in sorted(result.records.values(), key=lambda r: r.t_start)
         ]
+    if tracer is not None:
+        doc["trace"] = tracer.summary()
     return doc
 
 

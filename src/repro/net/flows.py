@@ -119,6 +119,10 @@ class FlowNetwork:
         self.completed: list[Flow] = []
         self.peak_streams: dict[str, int] = {}     # link name -> max observed
         self.bytes_moved = 0.0
+        # last traced per-link stream counts / flow census (emit on change
+        # only, so trace volume is bounded by actual allocation dynamics)
+        self._last_traced: dict[str, int] = {}
+        self._last_flow_census: Optional[tuple[int, int]] = None
 
     # ------------------------------------------------------------- public
     def start_transfer(
@@ -180,10 +184,25 @@ class FlowNetwork:
         return max((self._streams_on_link(l) for l in route.links), default=0)
 
     def _note_peaks(self) -> None:
+        tracer = self.env.tracer
+        trace = tracer is not None and tracer.enabled
         for link in self.network.links.values():
             s = self._streams_on_link(link)
             if s > self.peak_streams.get(link.name, 0):
                 self.peak_streams[link.name] = s
+            if trace and s != self._last_traced.get(link.name):
+                self._last_traced[link.name] = s
+                tracer.counter(
+                    "net", f"streams:{link.name}", track="net", streams=s
+                )
+        if trace:
+            census = (len(self._active), len(self._flows))
+            if census != self._last_flow_census:
+                self._last_flow_census = census
+                tracer.counter(
+                    "net", "flows", track="net",
+                    active=census[0], announced=census[1],
+                )
 
     def _enter_after_setup(self, flow: Flow, delay: float):
         yield self.env.timeout(delay)

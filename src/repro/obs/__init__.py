@@ -1,0 +1,35 @@
+"""Observability: tracing, metrics, and rule-engine profiling.
+
+See ``docs/observability.md`` for the span taxonomy, metric names, and
+exporter formats.
+"""
+
+from .exporters import (
+    chrome_trace_doc,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_rule_profile,
+)
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import RuleProfiler, RuleStats
+from .tracer import SpanHandle, Tracer
+
+__all__ = [
+    "Tracer",
+    "SpanHandle",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "RuleProfiler",
+    "RuleStats",
+    "chrome_trace_doc",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+    "write_rule_profile",
+]

@@ -1,0 +1,117 @@
+"""Serialise tracer/registry/profiler state to files.
+
+Three formats:
+
+* **Chrome ``trace_event`` JSON** — open in Perfetto
+  (https://ui.perfetto.dev) or ``about:tracing``.  Simulated seconds are
+  mapped to microseconds (``ts = sim_time * 1e6``) and each tracer track
+  becomes a named thread.
+* **JSONL event log** — one canonically-encoded JSON object per line
+  (sorted keys, no whitespace), so same-seed runs diff/byte-compare
+  cleanly.
+* **Prometheus text** — :meth:`MetricsRegistry.render` verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
+    from .profiler import RuleProfiler
+    from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "write_prometheus",
+    "write_rule_profile",
+]
+
+_PID = 1
+_PHASE_SCOPE_GLOBAL = "g"
+
+
+def chrome_trace_doc(tracer: "Tracer") -> dict:
+    """The tracer's stream as a Chrome ``trace_event`` document (dict)."""
+    events: list[dict] = []
+    # Name the process and each track so Perfetto shows readable lanes.
+    events.append({
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro"},
+    })
+    seen_tracks: set[str] = set()
+    for record in tracer.events:
+        track = record["track"]
+        tid = tracer.track_id(track)
+        if track not in seen_tracks:
+            seen_tracks.add(track)
+            events.append({
+                "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        event = {
+            "ph": record["ph"],
+            "ts": record["ts"] * 1e6,
+            "pid": _PID,
+            "tid": tid,
+            "cat": record["cat"],
+            "name": record["name"],
+            "args": record["args"],
+        }
+        if record["ph"] == "X":
+            event["dur"] = record["dur"] * 1e6
+        elif record["ph"] == "i":
+            event["s"] = _PHASE_SCOPE_GLOBAL
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: "Tracer", dest: Union[str, IO[str]]) -> None:
+    """Write the Chrome ``trace_event`` JSON to a path or open text file."""
+    doc = chrome_trace_doc(tracer)
+    if hasattr(dest, "write"):
+        json.dump(doc, dest, indent=1)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1)
+
+
+def jsonl_lines(tracer: "Tracer") -> list[str]:
+    """Canonical one-object-per-line encoding of the event stream."""
+    return [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in tracer.events
+    ]
+
+
+def write_jsonl(tracer: "Tracer", dest: Union[str, IO[str]]) -> None:
+    text = "\n".join(jsonl_lines(tracer))
+    if text:
+        text += "\n"
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def write_prometheus(registry: "MetricsRegistry", dest: Union[str, IO[str]]) -> None:
+    text = registry.render()
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def write_rule_profile(profiler: "RuleProfiler", dest: Union[str, IO[str]]) -> None:
+    text = profiler.report() + "\n"
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text)

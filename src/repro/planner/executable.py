@@ -133,7 +133,10 @@ class ExecutableWorkflow:
         if self._graph_cache is None:
             g = nx.DiGraph()
             g.add_nodes_from(self.jobs)
-            g.add_edges_from(self._edges)
+            # Sorted so adjacency order (and thus successor iteration in
+            # DAGMan) is independent of set-iteration / hash randomization:
+            # a given seed must replay identically across processes.
+            g.add_edges_from(sorted(self._edges))
             self._graph_cache = g
         return self._graph_cache
 

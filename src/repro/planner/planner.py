@@ -19,7 +19,7 @@ Mirrors the Pegasus planning phase as the paper exercises it:
 
 from __future__ import annotations
 
-import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
@@ -38,9 +38,38 @@ from repro.planner.executable import (
 from repro.workflow.dag import Workflow
 from repro.workflow.priorities import PRIORITY_ALGORITHMS
 
-__all__ = ["Planner", "PlanOptions"]
+__all__ = ["Planner", "PlanOptions", "fresh_plan_ids"]
 
-_plan_counter = itertools.count(1)
+# Plans are numbered by a process-global sequence so concurrent workflows
+# sharing one policy service never collide on workflow ids.
+_plan_seq = 0
+
+
+def _next_plan_seq() -> int:
+    global _plan_seq
+    _plan_seq += 1
+    return _plan_seq
+
+
+@contextmanager
+def fresh_plan_ids():
+    """Restart workflow-id numbering from 1 inside the block.
+
+    Traced runs must emit the same event stream in every process, but
+    workflow ids carry the process-global plan sequence.  A block under
+    this manager numbers its plans 1, 2, ... regardless of planning
+    history; on exit the outer sequence resumes past both numbering runs,
+    so ids stay unique afterwards.  Only use for self-contained runs
+    (fresh testbed and policy service) — ids inside the block may repeat
+    ids of workflows planned before it.
+    """
+    global _plan_seq
+    outer = _plan_seq
+    _plan_seq = 0
+    try:
+        yield
+    finally:
+        _plan_seq = max(outer, _plan_seq)
 
 
 @dataclass
@@ -113,7 +142,7 @@ class Planner:
         if opts.priority_algorithm:
             priorities = PRIORITY_ALGORITHMS[opts.priority_algorithm](workflow)
 
-        wf_id = f"{workflow.name}#{next(_plan_counter)}"
+        wf_id = f"{workflow.name}#{_next_plan_seq()}"
         plan = ExecutableWorkflow(workflow.name, wf_id)
         plan.cluster_factor = opts.cluster_factor
 

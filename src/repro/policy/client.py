@@ -164,6 +164,15 @@ class HTTPPolicyClient:
         self.breaker = breaker
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
+        self._request_seq = 0
+        self._request_lock = threading.Lock()
+
+    def _next_request_id(self) -> str:
+        """Client-generated request id, echoed back by the server (the
+        ``X-Repro-Request-Id`` propagation of the REST spans)."""
+        with self._request_lock:
+            self._request_seq += 1
+            return f"cli-{id(self) & 0xFFFF:04x}-{self._request_seq}"
 
     def _call(self, request_fn: Callable[[], dict]) -> dict:
         breaker = self.breaker
@@ -200,7 +209,10 @@ class HTTPPolicyClient:
             request = urllib.request.Request(
                 f"{self.base_url}{path}",
                 data=data,
-                headers={"Content-Type": "application/json"},
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Repro-Request-Id": self._next_request_id(),
+                },
                 method="POST",
             )
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -210,9 +222,11 @@ class HTTPPolicyClient:
 
     def _get(self, path: str) -> dict:
         def request_fn() -> dict:
-            with urllib.request.urlopen(
-                f"{self.base_url}{path}", timeout=self.timeout
-            ) as response:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                headers={"X-Repro-Request-Id": self._next_request_id()},
+            )
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
 
         return self._call(request_fn)
@@ -328,10 +342,19 @@ class InProcessPolicyClient:
             yield self.env.timeout(self.latency)
 
     def _invoke(self, name: str, call: Callable[[], object]):
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            # Client-side view of the rpc: covers the simulated latency
+            # charge plus any retry backoff, unlike the service's span.
+            span = tracer.begin("rpc", f"rpc:{name}", track="policy-client")
         breaker = self.breaker
         if breaker is not None and not breaker.allow():
+            if tracer is not None:
+                tracer.end(span, outcome="circuit_open")
             raise CircuitOpenError("policy service circuit is open")
         last_error: Optional[Exception] = None
+        attempt = 0
         for attempt in range(self.retry.retries + 1):
             if attempt > 0:
                 delay = self.retry.delay_for(attempt - 1, self._rng)
@@ -348,11 +371,15 @@ class InProcessPolicyClient:
             else:
                 if breaker is not None:
                     breaker.record_success()
+                if tracer is not None:
+                    tracer.end(span, outcome="ok", attempts=attempt + 1)
                 return result
             if breaker is not None:
                 breaker.record_failure()
                 if not breaker.allow():
                     break  # tripped open mid-retry: stop hammering
+        if tracer is not None:
+            tracer.end(span, outcome="unavailable", attempts=attempt + 1)
         raise PolicyUnavailableError(
             f"policy service unreachable ({name}): {last_error}"
         ) from last_error

@@ -158,3 +158,7 @@ class PolicyController:
     # -- status ---------------------------------------------------------------
     def status(self) -> dict:
         return self.service.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service's metrics registry."""
+        return self.service.metrics_text()

@@ -25,12 +25,24 @@ GET         /policy/status                       service snapshot
 Malformed payloads return 400 with ``{"error": ...}``; unknown paths 404;
 bodies larger than ``max_request_bytes`` 413 (without reading the body);
 requests arriving while the server drains for shutdown 503.
+
+Observability
+-------------
+Every request carries a **request id**: the client's ``X-Repro-Request-Id``
+header when present, a server-generated ``req-N`` otherwise.  The id is
+echoed in the response header, included in every error body, recorded in
+the per-request access log (host, method, path, status, wall-clock
+latency; see :attr:`PolicyRestServer.access_log`), and attached to the
+span emitted for the request — **including** 400/413/500/503 responses —
+when the server is built with a tracer.  ``GET /policy/metrics`` serves
+the service's registry in Prometheus text format.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -68,10 +80,26 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
             pass
 
         def _reply(self, code: int, doc: dict) -> None:
-            body = json.dumps(doc).encode()
+            self._send(code, json.dumps(doc).encode(), "application/json")
+
+        def _reply_text(self, code: int, text: str) -> None:
+            self._send(
+                code, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+            )
+
+        def _send(self, code: int, body: bytes, content_type: str) -> None:
+            self._status = code
+            # Finalize the access-log entry and span before any response
+            # byte goes out: a client that has observed the response must
+            # find its entry in the log (error clients unblock on the
+            # status line alone, not the body).
+            self._finish_request()
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            rid = getattr(self, "_request_id", "")
+            if rid:
+                self.send_header("X-Repro-Request-Id", rid)
             self.end_headers()
             self.wfile.write(body)
 
@@ -101,9 +129,23 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
             return doc
 
         def _handle(self, work) -> None:
+            rid = self.headers.get("X-Repro-Request-Id") or server_state.next_request_id()
+            self._request_id = rid
+            self._status = 0
+            self._finished = False
+            self._t0 = time.perf_counter()
+            tracer = server_state.tracer
+            self._span = None
+            if tracer is not None and tracer.enabled:
+                self._span = tracer.begin(
+                    "rest", f"{self.command} {self.path}", track="rest",
+                    request_id=rid, host=self.client_address[0],
+                )
             if not server_state.enter():
                 self.close_connection = True
-                self._reply(503, {"error": "server is shutting down"})
+                self._reply(
+                    503, {"error": "server is shutting down", "request_id": rid}
+                )
                 return
             try:
                 work()
@@ -111,30 +153,54 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                 # The oversized body was never read — this connection
                 # cannot be reused.
                 self.close_connection = True
-                self._reply(413, {"error": str(exc)})
+                self._reply(413, {"error": str(exc), "request_id": rid})
             except PolicyRequestError as exc:
                 # The body may be unread (bad framing) — do not reuse the
                 # connection for a follow-up request.
                 self.close_connection = True
-                self._reply(400, {"error": str(exc)})
+                self._reply(400, {"error": str(exc), "request_id": rid})
             except Exception as exc:  # don't drop the connection on a bug
                 self.close_connection = True
-                self._reply(500, {"error": f"internal error: {exc}"})
+                self._reply(
+                    500, {"error": f"internal error: {exc}", "request_id": rid}
+                )
             finally:
                 server_state.leave()
+                self._finish_request()  # backstop if no reply was sent
+
+        def _finish_request(self) -> None:
+            if self._finished:
+                return
+            self._finished = True
+            server_state.log_request({
+                "request_id": self._request_id,
+                "host": self.client_address[0],
+                "method": self.command,
+                "path": self.path,
+                "status": self._status,
+                "latency_s": time.perf_counter() - self._t0,
+            })
+            tracer = server_state.tracer
+            if tracer is not None:
+                tracer.end(self._span, status=self._status)
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             def work():
                 with lock:
                     if self.path == "/policy/status":
                         self._reply(200, controller.status())
+                    elif self.path == "/policy/metrics":
+                        self._reply_text(200, controller.metrics_text())
                     elif self.path.startswith("/policy/transfers/"):
                         tid_text = self.path.rsplit("/", 1)[-1]
                         if not tid_text.isdigit():
                             raise PolicyRequestError("transfer id must be an integer")
                         self._reply(200, controller.transfer_state(int(tid_text)))
                     else:
-                        self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+                        self._reply(404, {
+                            "error": f"no such endpoint {self.path!r}",
+                            "request_id": self._request_id,
+                        })
 
             self._handle(work)
 
@@ -156,7 +222,10 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
 
             def work():
                 if handler is None:
-                    self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+                    self._reply(404, {
+                        "error": f"no such endpoint {self.path!r}",
+                        "request_id": self._request_id,
+                    })
                     return
                 payload = self._read_json()
                 with lock:
@@ -168,15 +237,31 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
 
 
 class _ServerState:
-    """In-flight request accounting for graceful drain on stop()."""
+    """In-flight request accounting, request ids, and the access log."""
 
-    def __init__(self, max_request_bytes: int):
+    def __init__(self, max_request_bytes: int, tracer=None, access_log_cap: int = 1024):
         self.max_request_bytes = int(max_request_bytes)
+        self.tracer = tracer
+        self.access_log: list[dict] = []
+        self._access_log_cap = int(access_log_cap)
+        self._request_seq = 0
         self._lock = threading.Lock()
         self._in_flight = 0
         self._stopping = False
         self._idle = threading.Event()
         self._idle.set()
+
+    def next_request_id(self) -> str:
+        with self._lock:
+            self._request_seq += 1
+            return f"req-{self._request_seq}"
+
+    def log_request(self, entry: dict) -> None:
+        with self._lock:
+            self.access_log.append(entry)
+            overflow = len(self.access_log) - self._access_log_cap
+            if overflow > 0:
+                del self.access_log[:overflow]
 
     def enter(self) -> bool:
         with self._lock:
@@ -227,6 +312,7 @@ class PolicyRestServer:
         port: int = 0,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         drain_timeout: float = 5.0,
+        tracer=None,
     ):
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
@@ -236,7 +322,11 @@ class PolicyRestServer:
         self.controller = PolicyController(service)
         self.drain_timeout = drain_timeout
         self._lock = threading.Lock()
-        self._state = _ServerState(max_request_bytes)
+        # A tracer given here should be wall-clock bound (e.g.
+        # ``Tracer(clock=time.monotonic)``); defaults to the service's.
+        self._state = _ServerState(
+            max_request_bytes, tracer=tracer if tracer is not None else service.tracer
+        )
         self._httpd = _PolicyHTTPServer(
             (host, port), _make_handler(self.controller, self._lock, self._state)
         )
@@ -246,6 +336,12 @@ class PolicyRestServer:
     def url(self) -> str:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
+
+    @property
+    def access_log(self) -> list[dict]:
+        """One entry per handled request (request id, host, method, path,
+        status, wall-clock latency), oldest first, bounded."""
+        return list(self._state.access_log)
 
     def start(self) -> "PolicyRestServer":
         if self._thread is not None:

@@ -14,6 +14,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry
 from repro.rules import Rule, Session, WorkingMemory
 
 from repro.policy.adaptive import AdaptiveThresholdController
@@ -86,6 +87,19 @@ class PolicyService:
         A :class:`~repro.policy.journal.PolicyJournal` making the policy
         memory durable.  The journal directory must be empty/fresh here;
         to resume after a crash use :meth:`PolicyService.recover`.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to account into (a
+        private one is created otherwise).  All service counters live
+        here under the ``repro_policy_*`` namespace; the legacy
+        ``stats`` dict is now a read-only alias view over it.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when enabled the
+        service emits one span per call (batch size, rule-fire count,
+        advice census in the args) on the ``policy`` track.
+    profiler:
+        Optional :class:`~repro.obs.profiler.RuleProfiler` attached to
+        every rule session the service opens (see
+        :meth:`profile_report`).
     """
 
     def __init__(
@@ -95,6 +109,9 @@ class PolicyService:
         clock: Optional[Callable[[], float]] = None,
         engine: str = "indexed",
         journal: Optional[PolicyJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        profiler=None,
     ):
         if engine not in ("indexed", "seed"):
             raise ValueError(f"engine must be 'indexed' or 'seed', got {engine!r}")
@@ -128,22 +145,10 @@ class PolicyService:
         self._done_tids = _BoundedIdSet(retention)
         self._failed_tids = _BoundedIdSet(retention)
         self._next_sweep = float("-inf")
-        self.stats = {
-            "transfer_requests": 0,
-            "transfers_submitted": 0,
-            "transfers_approved": 0,
-            "transfers_skipped": 0,
-            "transfers_waited": 0,
-            "transfers_denied": 0,
-            "transfers_reaped": 0,
-            "cleanup_requests": 0,
-            "cleanups_submitted": 0,
-            "cleanups_approved": 0,
-            "cleanups_skipped": 0,
-            "cleanups_reaped": 0,
-            "staged_reconciled": 0,
-            "rule_firings": 0,
-        }
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.profiler = profiler
+        self._init_metrics()
         self.journal: Optional[PolicyJournal] = None
         self._last_committed_counters: Optional[dict] = None
         if journal is not None:
@@ -153,6 +158,94 @@ class PolicyService:
                     "use PolicyService.recover() to resume from it"
                 )
             self.attach_journal(journal)
+
+    # ------------------------------------------------------------------ metrics
+    _TRANSFER_EVENTS = (
+        "requests", "submitted", "approved", "skipped", "waited", "denied", "reaped",
+    )
+    _CLEANUP_EVENTS = ("requests", "submitted", "approved", "skipped", "reaped")
+    _CALLS = (
+        "submit_transfers", "complete_transfers", "submit_cleanups",
+        "complete_cleanups", "reap", "reconcile_staged",
+    )
+
+    def _init_metrics(self) -> None:
+        """Register the service's metric families and pre-resolve the label
+        children touched on hot paths (one attribute lookup per increment)."""
+        m = self.metrics
+        transfers = m.counter(
+            "repro_policy_transfers_total", "Transfer requests by outcome", ("event",)
+        )
+        cleanups = m.counter(
+            "repro_policy_cleanups_total", "Cleanup requests by outcome", ("event",)
+        )
+        calls = m.counter(
+            "repro_policy_calls_total", "Service calls by entry point", ("call",)
+        )
+        call_seconds = m.histogram(
+            "repro_policy_call_seconds",
+            "Service call wall-clock latency", ("call",),
+        )
+        batch_size = m.histogram(
+            "repro_policy_batch_size", "Items per submit batch", ("kind",),
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500),
+        )
+        self._m_transfers = {e: transfers.labels(event=e) for e in self._TRANSFER_EVENTS}
+        self._m_cleanups = {e: cleanups.labels(event=e) for e in self._CLEANUP_EVENTS}
+        self._m_calls = {c: calls.labels(call=c) for c in self._CALLS}
+        self._m_call_seconds = {c: call_seconds.labels(call=c) for c in self._CALLS}
+        self._m_batch = {k: batch_size.labels(kind=k) for k in ("transfers", "cleanups")}
+        self._m_firings = m.counter(
+            "repro_policy_rule_firings_total", "Rule firings across all sessions"
+        )._only_child()
+        self._m_staged_reconciled = m.counter(
+            "repro_policy_staged_reconciled_total",
+            "Staged files adopted by reconciliation",
+        )._only_child()
+        self._m_lease_sweeps = m.counter(
+            "repro_policy_lease_sweeps_total", "Lease sweeps executed"
+        )._only_child()
+        self._m_journal_commits = m.counter(
+            "repro_policy_journal_commits_total", "Journal transactions committed"
+        )._only_child()
+        self._m_journal_commit_seconds = m.histogram(
+            "repro_policy_journal_commit_seconds",
+            "Journal commit wall-clock latency",
+        )._only_child()
+        self._m_ids = m.gauge(
+            "repro_policy_id_highwater", "Id counter high-water marks", ("kind",)
+        )
+
+    @property
+    def stats(self) -> dict:
+        """Legacy counter dict, now an alias view over the registry."""
+        t, c = self._m_transfers, self._m_cleanups
+        return {
+            "transfer_requests": int(t["requests"].value),
+            "transfers_submitted": int(t["submitted"].value),
+            "transfers_approved": int(t["approved"].value),
+            "transfers_skipped": int(t["skipped"].value),
+            "transfers_waited": int(t["waited"].value),
+            "transfers_denied": int(t["denied"].value),
+            "transfers_reaped": int(t["reaped"].value),
+            "cleanup_requests": int(c["requests"].value),
+            "cleanups_submitted": int(c["submitted"].value),
+            "cleanups_approved": int(c["approved"].value),
+            "cleanups_skipped": int(c["skipped"].value),
+            "cleanups_reaped": int(c["reaped"].value),
+            "staged_reconciled": int(self._m_staged_reconciled.value),
+            "rule_firings": int(self._m_firings.value),
+        }
+
+    def _begin_span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.begin("policy", name, track="policy", **args)
+        return None
+
+    def profile_report(self) -> Optional[str]:
+        """The attached profiler's rule table (None when unprofiled)."""
+        return self.profiler.report() if self.profiler is not None else None
 
     # ------------------------------------------------------------------ counters
     def _next_tid(self) -> int:
@@ -218,7 +311,10 @@ class PolicyService:
         if not journal._pending and not done and not failed \
                 and counters == self._last_committed_counters:
             return  # nothing durable changed — queries stay free
+        t0 = time.perf_counter()
         journal.commit(counters, done, failed)
+        self._m_journal_commit_seconds.observe(time.perf_counter() - t0)
+        self._m_journal_commits.inc()
         self._last_committed_counters = counters
         if journal.wants_snapshot:
             journal.write_snapshot(self)
@@ -233,6 +329,9 @@ class PolicyService:
         engine: str = "indexed",
         snapshot_interval: int = 1000,
         fsync: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        profiler=None,
     ) -> "PolicyService":
         """Rebuild a service from its journal directory after a crash.
 
@@ -250,7 +349,10 @@ class PolicyService:
             path, snapshot_interval=snapshot_interval, fsync=fsync
         )
         state = journal.load()
-        service = cls(config, extra_rules=extra_rules, clock=clock, engine=engine)
+        service = cls(
+            config, extra_rules=extra_rules, clock=clock, engine=engine,
+            metrics=metrics, tracer=tracer, profiler=profiler,
+        )
         fingerprint = service.config_fingerprint()
         if state.fingerprint is not None and state.fingerprint != fingerprint:
             diffs = {
@@ -283,10 +385,13 @@ class PolicyService:
             memory=self.memory,
             globals=self.globals,
             incremental=self.engine == "indexed",
+            profiler=self.profiler,
         )
 
-    def _fire(self, session: Session) -> None:
-        self.stats["rule_firings"] += session.fire_all()
+    def _fire(self, session: Session) -> int:
+        fired = session.fire_all()
+        self._m_firings.inc(fired)
+        return fired
 
     # ------------------------------------------------------------------ transfers
     def submit_transfers(
@@ -299,10 +404,35 @@ class PolicyService:
         ``priority`` and ``cluster`` (defaults to the requesting job id,
         which is the Pegasus cluster identity for clustered staging jobs).
         """
+        transfers = list(transfers)
         self._maybe_reap()
-        self.stats["transfer_requests"] += 1
-        with self._transaction():
-            return self._submit_transfers(workflow, job, transfers)
+        self._m_transfers["requests"].inc()
+        self._m_calls["submit_transfers"].inc()
+        self._m_batch["transfers"].observe(len(transfers))
+        span = self._begin_span(
+            "policy.submit_transfers", workflow=workflow, job=job,
+            batch=len(transfers),
+        )
+        firings_before = self._m_firings.value
+        t0 = time.perf_counter()
+        try:
+            with self._transaction():
+                advice = self._submit_transfers(workflow, job, transfers)
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.end(span, error=type(exc).__name__)
+            raise
+        self._m_call_seconds["submit_transfers"].observe(time.perf_counter() - t0)
+        if span is not None:
+            actions: dict[str, int] = {}
+            for item in advice:
+                actions[item.action] = actions.get(item.action, 0) + 1
+            self.tracer.end(
+                span,
+                rule_firings=int(self._m_firings.value - firings_before),
+                advice=dict(sorted(actions.items())),
+            )
+        return advice
 
     def _submit_transfers(
         self, workflow: str, job: str, transfers: Iterable[dict]
@@ -334,7 +464,7 @@ class PolicyService:
             )
             facts.append(fact)
             session.insert(fact)
-        self.stats["transfers_submitted"] += len(facts)
+        self._m_transfers["submitted"].inc(len(facts))
         self._fire(session)
 
         advice: list[TransferAdvice] = []
@@ -359,7 +489,7 @@ class PolicyService:
                     )
                 )
                 self.memory.update(fact, status="in_progress", lease_deadline=lease)
-                self.stats["transfers_approved"] += 1
+                self._m_transfers["approved"].inc()
                 if self.adaptive is not None:
                     # Open the pair's measurement epoch at first submission
                     # so the first completion has a meaningful elapsed time.
@@ -380,7 +510,7 @@ class PolicyService:
                     )
                 )
                 self.memory.retract(fact)
-                self.stats["transfers_waited"] += 1
+                self._m_transfers["waited"].inc()
             elif fact.status == "denied":
                 advice.append(
                     TransferAdvice(
@@ -394,7 +524,7 @@ class PolicyService:
                     )
                 )
                 self.memory.retract(fact)
-                self.stats["transfers_denied"] += 1
+                self._m_transfers["denied"].inc()
             else:  # skip_duplicate / skip_staged
                 advice.append(
                     TransferAdvice(
@@ -408,7 +538,7 @@ class PolicyService:
                     )
                 )
                 self.memory.retract(fact)
-                self.stats["transfers_skipped"] += 1
+                self._m_transfers["skipped"].inc()
 
         self._commit_journal()
         return self._order_advice(advice)
@@ -432,6 +562,11 @@ class PolicyService:
         """Report transfer outcomes; frees streams and updates resources."""
         self._maybe_reap()
         done, failed = list(done), list(failed)
+        self._m_calls["complete_transfers"].inc()
+        span = self._begin_span(
+            "policy.complete_transfers", done=len(done), failed=len(failed)
+        )
+        t0 = time.perf_counter()
         with self._transaction():
             session = self._session()
             matched = 0
@@ -462,10 +597,15 @@ class PolicyService:
                     self._failed_tids.add(tid)
                     failed_matched.append(tid)
                     matched += 1
-            self._fire(session)
+            fired = self._fire(session)
             if self.adaptive is not None and completed_pairs:
                 self._adapt_thresholds(completed_pairs)
             self._commit_journal(done=done_matched, failed=failed_matched)
+            self._m_call_seconds["complete_transfers"].observe(
+                time.perf_counter() - t0
+            )
+            if span is not None:
+                self.tracer.end(span, acknowledged=matched, rule_firings=fired)
             return {"acknowledged": matched}
 
     def _adapt_thresholds(self, completed: list[tuple[str, str, float]]) -> None:
@@ -486,8 +626,15 @@ class PolicyService:
         self, workflow: str, job: str, files: Iterable[tuple[str, str]]
     ) -> list[CleanupAdvice]:
         """Evaluate cleanup (deletion) requests for (lfn, url) pairs."""
+        files = list(files)
         self._maybe_reap()
-        self.stats["cleanup_requests"] += 1
+        self._m_cleanups["requests"].inc()
+        self._m_calls["submit_cleanups"].inc()
+        self._m_batch["cleanups"].observe(len(files))
+        span = self._begin_span(
+            "policy.submit_cleanups", workflow=workflow, job=job, batch=len(files)
+        )
+        t0 = time.perf_counter()
         with self._transaction():
             batch = self._next_batch()
             session = self._session()
@@ -504,10 +651,11 @@ class PolicyService:
                 )
                 facts.append(fact)
                 session.insert(fact)
-            self.stats["cleanups_submitted"] += len(facts)
-            self._fire(session)
+            self._m_cleanups["submitted"].inc(len(facts))
+            fired = self._fire(session)
 
             advice = []
+            approved = 0
             for fact in facts:
                 if fact.status == "approved":
                     advice.append(
@@ -518,21 +666,31 @@ class PolicyService:
                     self.memory.update(
                         fact, status="in_progress", lease_deadline=lease
                     )
-                    self.stats["cleanups_approved"] += 1
+                    self._m_cleanups["approved"].inc()
+                    approved += 1
                 else:
                     advice.append(
                         CleanupAdvice(cid=fact.cid, lfn=fact.lfn, url=fact.url,
                                       action="skip", reason=fact.reason)
                     )
                     self.memory.retract(fact)
-                    self.stats["cleanups_skipped"] += 1
+                    self._m_cleanups["skipped"].inc()
             self._commit_journal()
+            self._m_call_seconds["submit_cleanups"].observe(time.perf_counter() - t0)
+            if span is not None:
+                self.tracer.end(
+                    span, rule_firings=fired, approved=approved,
+                    skipped=len(facts) - approved,
+                )
             return advice
 
     def complete_cleanups(self, ids: Iterable[int]) -> dict:
         """Report finished deletions; drops resource state for those files."""
         self._maybe_reap()
         ids = set(ids)
+        self._m_calls["complete_cleanups"].inc()
+        span = self._begin_span("policy.complete_cleanups", ids=len(ids))
+        t0 = time.perf_counter()
         with self._transaction():
             matched = 0
             for fact in list(self.memory.facts_of(CleanupFact)):
@@ -544,6 +702,11 @@ class PolicyService:
                     self.memory.retract(fact)
                     matched += 1
             self._commit_journal()
+            self._m_call_seconds["complete_cleanups"].observe(
+                time.perf_counter() - t0
+            )
+            if span is not None:
+                self.tracer.end(span, acknowledged=matched)
             return {"acknowledged": matched}
 
     # ------------------------------------------------------------------ leases
@@ -571,6 +734,9 @@ class PolicyService:
         return self._reap(float(now))
 
     def _reap(self, now: float) -> dict:
+        self._m_calls["reap"].inc()
+        self._m_lease_sweeps.inc()
+        t0 = time.perf_counter()
         with self._transaction():
             session = self._session()
             session.insert(LeaseSweepFact(now))
@@ -579,9 +745,21 @@ class PolicyService:
             reaped_cids = self.globals.pop("lease_reaped_cleanups", [])
             for tid in reaped_tids:
                 self._failed_tids.add(tid)
-            self.stats["transfers_reaped"] += len(reaped_tids)
-            self.stats["cleanups_reaped"] += len(reaped_cids)
+            self._m_transfers["reaped"].inc(len(reaped_tids))
+            self._m_cleanups["reaped"].inc(len(reaped_cids))
             self._commit_journal(failed=reaped_tids)
+            self._m_call_seconds["reap"].observe(time.perf_counter() - t0)
+            tracer = self.tracer
+            if (
+                tracer is not None and tracer.enabled
+                and (reaped_tids or reaped_cids)
+            ):
+                # Only sweeps that actually reclaim something are traced;
+                # the throttled no-op sweeps would drown the timeline.
+                tracer.instant(
+                    "policy", "policy.lease_reap", track="policy",
+                    transfers=len(reaped_tids), cleanups=len(reaped_cids),
+                )
             return {"transfers": list(reaped_tids), "cleanups": list(reaped_cids)}
 
     # ------------------------------------------------------------------ reconcile
@@ -596,6 +774,9 @@ class PolicyService:
         resource facts — otherwise later workflows would re-transfer files
         that already exist, and cleanup could never delete them.
         """
+        self._m_calls["reconcile_staged"].inc()
+        span = self._begin_span("policy.reconcile_staged", workflow=workflow)
+        t0 = time.perf_counter()
         with self._transaction():
             registered = joined = 0
             for lfn, url in files:
@@ -619,8 +800,13 @@ class PolicyService:
                     self.memory.insert(resource)
                     self.memory.update(resource, status="staged")
                     registered += 1
-            self.stats["staged_reconciled"] += registered + joined
+            self._m_staged_reconciled.inc(registered + joined)
             self._commit_journal()
+            self._m_call_seconds["reconcile_staged"].observe(
+                time.perf_counter() - t0
+            )
+            if span is not None:
+                self.tracer.end(span, registered=registered, joined=joined)
             return {"registered": registered, "joined": joined}
 
     # ------------------------------------------------------------------ queries
@@ -710,7 +896,12 @@ class PolicyService:
 
     # ------------------------------------------------------------------ status
     def snapshot(self) -> dict:
-        """Service status: config, memory census, counters, allocations."""
+        """Service status: config, memory census, counters, allocations.
+
+        ``metrics`` is the authoritative counter namespace
+        (``repro_policy_*``, rendered from the registry); ``stats`` keeps
+        the legacy flat keys as aliases for one release.
+        """
         pairs = {
             f"{p.src_host}->{p.dst_host}": {
                 "group_id": p.group_id,
@@ -719,6 +910,8 @@ class PolicyService:
             }
             for p in self.memory.facts_of(HostPairFact)
         }
+        for kind, value in self.counters().items():
+            self._m_ids.set(value, kind=kind)
         return {
             "policy": self.config.policy,
             "default_streams": self.config.default_streams,
@@ -726,4 +919,11 @@ class PolicyService:
             "memory": self.memory.snapshot(),
             "host_pairs": pairs,
             "stats": dict(self.stats),
+            "metrics": self.metrics.to_dict(),
         }
+
+    def metrics_text(self) -> str:
+        """The registry rendered in Prometheus text exposition format."""
+        for kind, value in self.counters().items():
+            self._m_ids.set(value, kind=kind)
+        return self.metrics.render()

@@ -292,6 +292,11 @@ class Session:
         (default).  ``False`` re-enumerates every match on every firing —
         the seed engine's behaviour, kept for benchmarks and equivalence
         tests.
+    profiler:
+        Optional :class:`repro.obs.profiler.RuleProfiler`.  When attached
+        the session tallies per-rule match/action wall time, activation
+        and fire counts, and samples the agenda size at each firing.
+        ``None`` (the default) adds no timing calls to the hot path.
     """
 
     def __init__(
@@ -301,6 +306,7 @@ class Session:
         globals: Optional[dict] = None,
         max_firings: int = 100_000,
         incremental: bool = True,
+        profiler: Optional[Any] = None,
     ):
         names = [r.name for r in rules]
         dupes = {n for n in names if names.count(n) > 1}
@@ -327,6 +333,9 @@ class Session:
         self._halted = False
         self.trace: list[str] = []
         self.trace_enabled = False
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.register(rule.name for rule in self.rules)
 
     # -- memory passthrough --------------------------------------------------
     def insert(self, fact: Fact, _modifier: Optional[str] = None) -> Fact:
@@ -369,7 +378,13 @@ class Session:
         cached = self._match_cache.get(rule.name)
         if cached is not None and cached[0] == stamp:
             return cached[1]
-        matches = rule.matches(self.memory, seed)
+        profiler = self.profiler
+        if profiler is not None:
+            t0 = profiler.clock()
+            matches = rule.matches(self.memory, seed)
+            profiler.record_match(rule.name, len(matches), profiler.clock() - t0)
+        else:
+            matches = rule.matches(self.memory, seed)
         self._match_cache[rule.name] = (stamp, matches)
         return matches
 
@@ -469,12 +484,21 @@ class Session:
                             break
                 if not rebuild:
                     dirty = [(fid, fact) for fid, fact, _op in relevant]
+        profiler = self.profiler
+        before = len(agenda.entries)
+        t0 = profiler.clock() if profiler is not None else 0.0
         if dirty is None:
             self._rebuild_agenda(agenda, rule, seed)
         else:
             self._delta_agenda(agenda, rule, seed, dirty)
             if verify:
                 agenda.verify_gates = True
+        if profiler is not None:
+            profiler.record_match(
+                rule.name,
+                max(len(agenda.entries) - before, 0),
+                profiler.clock() - t0,
+            )
         agenda.stamp = stamp
         agenda.seq = self.memory.clock
         return agenda
@@ -539,7 +563,21 @@ class Session:
                     if isinstance(v, (Fact, list))
                 }
                 self.trace.append(f"FIRE {rule.name} {bound}")
-            rule.then(ActivationContext(self, rule, bindings))
+            profiler = self.profiler
+            if profiler is not None:
+                if self.incremental:
+                    profiler.sample_agenda(
+                        sum(len(a.entries) for a in self._agendas.values())
+                    )
+                else:
+                    profiler.sample_agenda(
+                        sum(len(c[1]) for c in self._match_cache.values())
+                    )
+                t0 = profiler.clock()
+                rule.then(ActivationContext(self, rule, bindings))
+                profiler.record_fire(rule.name, profiler.clock() - t0)
+            else:
+                rule.then(ActivationContext(self, rule, bindings))
             fired += 1
             if fired > self.max_firings:
                 raise RuleEngineError(

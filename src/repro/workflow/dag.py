@@ -120,7 +120,8 @@ class Workflow:
             for lfn, producer in self._producer.items():
                 for consumer in self._consumers.get(lfn, ()):
                     g.add_edge(producer, consumer)
-            g.add_edges_from(self._control_edges)
+            # Sorted for hash-randomization-independent adjacency order.
+            g.add_edges_from(sorted(self._control_edges))
             self._graph_cache = g
         return self._graph_cache
 

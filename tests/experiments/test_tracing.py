@@ -1,0 +1,114 @@
+"""Traced runs: artifact set, determinism, profile coverage.
+
+The determinism contract under test is the strong one: trace events
+derive only from simulated time and run state, so two runs with the same
+seed — even on different rule engines — produce byte-identical JSONL.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_traced_cell
+from repro.experiments.tracing import run_traced_chaos
+
+SMALL = ExperimentConfig(extra_file_mb=2.0, n_images=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_traced_cell(SMALL)
+
+
+def test_traced_run_succeeds_and_collects_events(traced_run):
+    assert traced_run.metrics.success
+    summary = traced_run.tracer.summary()
+    assert summary["events"] > 0
+    assert summary["spans"] > 0
+    for cat in ("dagman", "ptt", "policy", "rpc", "net"):
+        assert summary["categories"].get(cat, 0) > 0, cat
+
+
+def test_jsonl_identical_across_engines():
+    indexed = run_traced_cell(replace(SMALL, engine="indexed"))
+    seed = run_traced_cell(replace(SMALL, engine="seed"))
+    assert indexed.jsonl() == seed.jsonl()
+    assert len(indexed.jsonl()) > 50
+
+
+def test_jsonl_identical_on_same_seed_rerun(traced_run):
+    again = run_traced_cell(SMALL)
+    assert traced_run.jsonl() == again.jsonl()
+
+
+def test_jsonl_differs_across_seeds(traced_run):
+    other = run_traced_cell(replace(SMALL, seed=4))
+    assert traced_run.jsonl() != other.jsonl()
+
+
+def test_profile_covers_every_rule_in_the_active_set(traced_run):
+    from repro.policy import PolicyConfig, PolicyService
+
+    reference = PolicyService(PolicyConfig(
+        policy=SMALL.policy, default_streams=SMALL.default_streams,
+        max_streams=SMALL.threshold,
+    ))
+    expected = {rule.name for rule in reference._rules}
+    profiled = {row.name for row in traced_run.profiler.rows()}
+    assert profiled == expected
+    report = traced_run.profiler.report()
+    for name in expected:
+        assert name[:42].rstrip() in report
+    assert traced_run.profiler.total_firings > 0
+
+
+def test_registry_collected_policy_metrics(traced_run):
+    text = traced_run.registry.render()
+    assert 'repro_policy_calls_total{call="submit_transfers"}' in text
+    assert "repro_policy_call_seconds_bucket" in text
+    assert "repro_policy_journal_commits_total 0" in text
+
+
+def test_provenance_carries_trace_summary(traced_run):
+    doc = traced_run.provenance
+    assert doc["trace"] == traced_run.tracer.summary()
+    json.dumps(doc, default=repr)  # must stay JSON-able
+
+
+def test_write_artifacts_produces_the_standard_set(tmp_path, traced_run):
+    paths = traced_run.write_artifacts(tmp_path / "out")
+    assert set(paths) == {
+        "trace.json", "events.jsonl", "metrics.prom",
+        "rule_profile.txt", "provenance.json",
+    }
+    chrome = json.loads((tmp_path / "out" / "trace.json").read_text())
+    assert chrome["traceEvents"]
+    assert all({"ph", "pid", "tid", "name"} <= set(e) for e in chrome["traceEvents"])
+    jsonl = (tmp_path / "out" / "events.jsonl").read_text().splitlines()
+    assert jsonl == traced_run.jsonl()
+    assert "# TYPE" in (tmp_path / "out" / "metrics.prom").read_text()
+    assert "rules," in (tmp_path / "out" / "rule_profile.txt").read_text()
+    assert json.loads((tmp_path / "out" / "provenance.json").read_text())["success"]
+
+
+def test_untraced_run_emits_nothing():
+    from repro.experiments.runner import run_cell
+
+    metrics = run_cell(SMALL)  # no tracer anywhere
+    assert metrics.success
+
+
+def test_traced_chaos_marks_fault_windows():
+    from repro.des.faults import FaultPlan
+
+    cfg = replace(SMALL, lease_seconds=120.0)
+    run = run_traced_chaos(cfg, plan=FaultPlan.single_crash(at=20.0, duration=15.0))
+    names = [e["name"] for e in run.tracer.by_category("fault")]
+    assert "fault.outage.begin" in names
+    assert "fault.outage.end" in names
+    begin = next(e for e in run.tracer.by_category("fault")
+                 if e["name"] == "fault.outage.begin")
+    assert begin["ts"] == 20.0
+    assert begin["args"]["duration"] == 15.0
+    assert run.provenance["fault_log"]

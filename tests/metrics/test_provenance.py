@@ -58,3 +58,37 @@ def test_ascii_timeline_empty_result():
 
     empty = DAGManResult(workflow_id="w", success=False, makespan=0.0)
     assert "no completed jobs" in ascii_timeline(empty)
+
+
+def test_ascii_timeline_golden():
+    """Pinned output: bar placement, kind ordering, failed jobs excluded."""
+    from repro.engine.dagman import DAGManResult, JobRecord
+
+    records = {
+        "stage_in_a": JobRecord("stage_in_a", "stage-in", 0.0, 0.0, 10.0, 1, "done"),
+        "stage_in_b": JobRecord("stage_in_b", "stage-in", 0.0, 4.0, 12.0, 1, "done"),
+        "compute_a": JobRecord("compute_a", "compute", 10.0, 10.0, 20.0, 1, "done"),
+        "cleanup_a": JobRecord("cleanup_a", "cleanup", 20.0, 20.0, 24.0, 1, "done"),
+        # failed jobs must not contribute bars
+        "failed_x": JobRecord("failed_x", "compute", 0.0, 1.0, 2.0, 3, "failed"),
+    }
+    result = DAGManResult(
+        workflow_id="m4#1", success=True, makespan=24.0, records=records
+    )
+    assert ascii_timeline(result, width=36) == (
+        "timeline of m4#1 (0 .. 24 s)\n"
+        "   compute |              ################      |\n"
+        "  stage-in |##################                  |\n"
+        "   cleanup |                             #######|"
+    )
+
+
+def test_provenance_trace_summary_attached():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    tracer.instant("fault", "fault.outage.begin")
+    _, execution = executed_run()
+    doc = run_provenance(execution.metrics(), tracer=tracer)
+    assert doc["trace"]["events"] == 1
+    assert doc["trace"]["categories"] == {"fault": 1}

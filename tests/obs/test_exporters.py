@@ -1,0 +1,119 @@
+"""Tests of the Chrome/JSONL/Prometheus/profile exporters."""
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    RuleProfiler,
+    Tracer,
+    chrome_trace_doc,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_rule_profile,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def traced():
+    clock = FakeClock(1.0)
+    tracer = Tracer(clock=clock)
+    handle = tracer.begin("policy", "policy.submit_transfers", track="policy", batch=3)
+    clock.t = 1.5
+    tracer.end(handle, advice=3)
+    tracer.instant("fault", "fault.outage.begin", track="fault", duration=30)
+    tracer.counter("net", "streams:wan", track="net", streams=8)
+    return tracer
+
+
+def test_chrome_doc_schema():
+    doc = chrome_trace_doc(traced())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert isinstance(events, list)
+    for event in events:
+        assert {"ph", "pid", "tid", "name"} <= set(event)
+    phases = [e["ph"] for e in events]
+    assert phases.count("M") == 4  # process_name + 3 thread_name records
+    assert "X" in phases and "i" in phases and "C" in phases
+
+
+def test_chrome_doc_metadata_names_tracks():
+    doc = chrome_trace_doc(traced())
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert meta[0]["name"] == "process_name"
+    assert meta[0]["args"]["name"] == "repro"
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert thread_names == {"policy", "fault", "net"}
+
+
+def test_chrome_doc_converts_seconds_to_microseconds():
+    doc = chrome_trace_doc(traced())
+    span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert span["ts"] == 1.0 * 1e6
+    assert span["dur"] == 0.5 * 1e6
+    instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+    assert instant["s"] == "g"
+
+
+def test_write_chrome_trace_roundtrips_through_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(traced(), path)
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_jsonl_is_canonical_and_parseable():
+    lines = jsonl_lines(traced())
+    assert len(lines) == 3
+    for line in lines:
+        record = json.loads(line)
+        # canonical: re-encoding with sorted keys reproduces the line
+        assert json.dumps(record, sort_keys=True, separators=(",", ":")) == line
+        assert "\n" not in line
+
+
+def test_write_jsonl_to_file_and_buffer(tmp_path):
+    tracer = traced()
+    path = tmp_path / "events.jsonl"
+    write_jsonl(tracer, path)
+    buffer = io.StringIO()
+    write_jsonl(tracer, buffer)
+    assert path.read_text() == buffer.getvalue()
+    assert path.read_text().endswith("\n")
+
+
+def test_write_jsonl_empty_tracer(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    write_jsonl(Tracer(), path)
+    assert path.read_text() == ""
+
+
+def test_write_prometheus(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "X.").inc(2)
+    path = tmp_path / "metrics.prom"
+    write_prometheus(registry, path)
+    text = path.read_text()
+    assert "# TYPE repro_x_total counter" in text
+    assert "repro_x_total 2" in text
+
+
+def test_write_rule_profile(tmp_path):
+    profiler = RuleProfiler()
+    profiler.register(["quiet rule"])
+    profiler.record_fire("busy rule", 0.002)
+    path = tmp_path / "rule_profile.txt"
+    write_rule_profile(profiler, path)
+    text = path.read_text()
+    assert "busy rule" in text
+    assert "quiet rule" in text

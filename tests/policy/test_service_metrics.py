@@ -1,0 +1,110 @@
+"""The service's metrics registry and the legacy ``stats`` alias view."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.policy import PolicyConfig, PolicyService
+
+LEGACY_KEYS = {
+    "transfer_requests", "transfers_submitted", "transfers_approved",
+    "transfers_skipped", "transfers_waited", "transfers_denied",
+    "transfers_reaped", "cleanup_requests", "cleanups_submitted",
+    "cleanups_approved", "cleanups_skipped", "cleanups_reaped",
+    "staged_reconciled", "rule_firings",
+}
+
+
+def specs(*lfns):
+    return [
+        {
+            "lfn": lfn,
+            "src_url": f"gsiftp://fg-vm/data/{lfn}",
+            "dst_url": f"gsiftp://obelix/scratch/{lfn}",
+            "nbytes": 100,
+        }
+        for lfn in lfns
+    ]
+
+
+@pytest.fixture
+def service():
+    return PolicyService(PolicyConfig(policy="greedy", max_streams=50))
+
+
+def test_stats_alias_exposes_all_legacy_keys(service):
+    assert set(service.stats) == LEGACY_KEYS
+    assert all(isinstance(v, int) for v in service.stats.values())
+
+
+def test_stats_alias_tracks_the_registry(service):
+    advice = service.submit_transfers("wf", "j", specs("a", "b"))
+    assert service.stats["transfer_requests"] == 1  # batches, as always
+    assert service.stats["transfers_approved"] == 2
+    assert service.stats["rule_firings"] > 0
+    counter = service.metrics.get("repro_policy_transfers_total")
+    assert counter.value(event="approved") == 2
+    service.complete_transfers(done=[a.tid for a in advice])
+    # A duplicate submission is skipped in both namespaces.
+    service.submit_transfers("wf2", "j2", specs("a"))
+    assert service.stats["transfers_skipped"] == 1
+    assert counter.value(event="skipped") == 1
+
+
+def test_calls_and_batch_metrics(service):
+    service.submit_transfers("wf", "j", specs("a", "b", "c"))
+    calls = service.metrics.get("repro_policy_calls_total")
+    assert calls.value(call="submit_transfers") == 1
+    text = service.metrics_text()
+    assert 'repro_policy_batch_size_bucket{kind="transfers",le="5"} 1' in text
+    assert 'repro_policy_call_seconds_count{call="submit_transfers"} 1' in text
+
+
+def test_snapshot_has_metrics_namespace_and_legacy_stats(service):
+    service.submit_transfers("wf", "j", specs("x"))
+    snap = service.snapshot()
+    assert snap["stats"]["transfers_approved"] == 1
+    metrics = snap["metrics"]
+    assert metrics["repro_policy_transfers_total"][
+        'repro_policy_transfers_total{event="approved"}'
+    ] == 1.0
+    assert metrics["repro_policy_id_highwater"][
+        'repro_policy_id_highwater{kind="tid"}'
+    ] == 1.0
+
+
+def test_shared_registry_is_used_not_copied():
+    registry = MetricsRegistry()
+    service = PolicyService(PolicyConfig(policy="greedy"), metrics=registry)
+    assert service.metrics is registry
+    service.submit_transfers("wf", "j", specs("a"))
+    assert registry.get("repro_policy_transfers_total").value(event="approved") == 1
+
+
+def test_journal_commits_metered(tmp_path):
+    from repro.policy.journal import PolicyJournal
+
+    service = PolicyService(
+        PolicyConfig(policy="greedy"), journal=PolicyJournal(tmp_path)
+    )
+    service.submit_transfers("wf", "j", specs("a"))
+    commits = service.metrics.get("repro_policy_journal_commits_total").value()
+    assert commits >= 1
+    text = service.metrics_text()
+    assert "repro_policy_journal_commit_seconds_count" in text
+
+
+def test_recovered_service_keeps_the_registry(tmp_path):
+    from repro.policy.journal import PolicyJournal
+
+    registry = MetricsRegistry()
+    config = PolicyConfig(policy="greedy")
+    service = PolicyService(
+        config, journal=PolicyJournal(tmp_path), metrics=registry
+    )
+    service.submit_transfers("wf", "j", specs("a"))
+    before = registry.get("repro_policy_transfers_total").value(event="approved")
+    recovered = PolicyService.recover(tmp_path, config=config, metrics=registry)
+    assert recovered.metrics is registry
+    recovered.submit_transfers("wf2", "j2", specs("b"))
+    after = registry.get("repro_policy_transfers_total").value(event="approved")
+    assert after == before + 1  # counters accumulate across the restart

@@ -162,3 +162,73 @@ def test_lint_suppression_is_reported():
                          "--suppress", "R007")
     assert code == 0
     assert "suppressed" in text and "R007" in text
+
+
+def test_trace_command_writes_artifacts(tmp_path):
+    outdir = tmp_path / "trace-out"
+    code, text = run_cli(
+        "trace", "examples-montage", "--out", str(outdir),
+        "--images", "4", "--extra-mb", "2", "--seed", "3",
+    )
+    assert code == 0
+    assert "success  : True" in text
+    assert "rule" in text and "fires" in text  # profile report printed
+    doc = json.loads((outdir / "trace.json").read_text())
+    assert doc["traceEvents"]
+    lines = (outdir / "events.jsonl").read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+    assert "# TYPE" in (outdir / "metrics.prom").read_text()
+    assert "firings" in (outdir / "rule_profile.txt").read_text()
+    assert json.loads((outdir / "provenance.json").read_text())["trace"]["events"] > 0
+
+
+def test_trace_command_chaos_scenario(tmp_path):
+    outdir = tmp_path / "chaos-out"
+    code, text = run_cli(
+        "trace", "chaos-montage", "--out", str(outdir),
+        "--images", "4", "--extra-mb", "2",
+    )
+    assert code == 0
+    lines = (outdir / "events.jsonl").read_text().splitlines()
+    names = {json.loads(line)["name"] for line in lines}
+    assert "fault.outage.begin" in names
+
+
+def test_trace_command_engines_agree(tmp_path):
+    run_cli("trace", "--out", str(tmp_path / "a"), "--images", "4",
+            "--extra-mb", "2", "--engine", "indexed")
+    run_cli("trace", "--out", str(tmp_path / "b"), "--images", "4",
+            "--extra-mb", "2", "--engine", "seed")
+    assert (tmp_path / "a" / "events.jsonl").read_bytes() == \
+        (tmp_path / "b" / "events.jsonl").read_bytes()
+
+
+def test_trace_deterministic_across_processes(tmp_path):
+    """Byte-identical JSONL even across hash-randomized interpreters.
+
+    The in-process engine comparison above cannot catch ordering that
+    leaks from set/dict iteration (PYTHONHASHSEED), so run the CLI in
+    two subprocesses with different hash seeds and compare bytes.
+    """
+    import os
+    import subprocess
+    import sys
+
+    env = {**os.environ, "PYTHONPATH": "src"}
+    for tag, hashseed in (("a", "1"), ("b", "31337")):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "examples-montage",
+             "--images", "4", "--extra-mb", "2",
+             "--out", str(tmp_path / tag)],
+            env={**env, "PYTHONHASHSEED": hashseed},
+            check=True, capture_output=True, timeout=300,
+        )
+    assert (tmp_path / "a" / "events.jsonl").read_bytes() == \
+        (tmp_path / "b" / "events.jsonl").read_bytes()
+
+
+def test_trace_chaos_rejects_policy_none(tmp_path):
+    code, text = run_cli("trace", "chaos-montage", "--policy", "none",
+                         "--out", str(tmp_path))
+    assert code == 2
+    assert "needs a policy" in text
