@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Guard: fair-share scheduling must cost (near) nothing per admission.
+
+The fair-share scheduler does more work per ``select`` than FIFO — a
+registry lookup and a stride division per queued candidate — but
+admissions are rare next to the simulated transfers, jobs, and rule
+firings they unleash, so an ensemble run under ``fair`` must be
+indistinguishable from one under ``fifo``.
+
+To isolate the scheduler (and not measure a different simulated
+schedule), the workload uses a single tenant: with one tenant every
+queued submission carries the same virtual pass, ties fall back to
+arrival order, and ``fair`` reproduces FIFO's admission order exactly —
+identical simulated work, different bookkeeping.  The run asserts this.
+
+It fails (exit 1) when the fair-share median exceeds the FIFO median by
+more than ``--threshold`` percent (default 2%).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_ensemble.py [--quick]
+        [--rounds N] [--threshold PCT] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _run_once(scheduler: str, n_workflows: int, n_images: int) -> tuple[float, list]:
+    from repro.experiments import ExperimentConfig, run_tenant_ensemble
+    from repro.tenancy import AdmissionConfig, TenantSpec
+    from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+    cfg = ExperimentConfig(extra_file_mb=5, n_images=n_images, seed=3)
+    submissions = [
+        (
+            "default",
+            augmented_montage(
+                5 * MB,
+                MontageConfig(n_images=n_images, name=f"wf{i}",
+                              lfn_prefix=f"wf{i}_"),
+            ),
+        )
+        for i in range(n_workflows)
+    ]
+    t0 = time.perf_counter()
+    result = run_tenant_ensemble(
+        cfg,
+        tenants=[TenantSpec("default")],
+        submissions=submissions,
+        admission=AdmissionConfig(max_concurrent=2),
+        scheduler=scheduler,
+    )
+    elapsed = time.perf_counter() - t0
+    assert all(m.success for m in result.metrics)
+    return elapsed, result.admission_order
+
+
+def measure(rounds: int, n_workflows: int, n_images: int) -> dict:
+    fifo_times: list[float] = []
+    fair_times: list[float] = []
+    # Interleave A/B so drift (thermal, GC pressure) hits both equally.
+    for _ in range(rounds):
+        fifo_s, fifo_order = _run_once("fifo", n_workflows, n_images)
+        fair_s, fair_order = _run_once("fair", n_workflows, n_images)
+        assert fifo_order == fair_order, "schedulers diverged: not comparable"
+        fifo_times.append(fifo_s)
+        fair_times.append(fair_s)
+    fifo_median = statistics.median(fifo_times)
+    fair_median = statistics.median(fair_times)
+    return {
+        "rounds": rounds,
+        "workflows": n_workflows,
+        "images": n_images,
+        "fifo_s": fifo_times,
+        "fair_s": fair_times,
+        "fifo_median_s": fifo_median,
+        "fair_median_s": fair_median,
+        "overhead_pct": (fair_median / fifo_median - 1.0) * 100.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI smoke runs")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="interleaved measurement rounds per scheduler")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max tolerated overhead percent (default 2)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or os.environ.get("REPRO_QUICK") == "1"
+    rounds = args.rounds if args.rounds is not None else (5 if quick else 9)
+    n_workflows = 4 if quick else 8
+    n_images = 6 if quick else 12
+
+    # Warm-up (allocator, caches, imports).
+    measure(1, 2, 4)
+    report = measure(rounds, n_workflows, n_images)
+    report["python"] = platform.python_version()
+    report["threshold_pct"] = args.threshold
+
+    print(f"fifo median: {report['fifo_median_s'] * 1e3:8.1f} ms")
+    print(f"fair median: {report['fair_median_s'] * 1e3:8.1f} ms")
+    print(f"overhead   : {report['overhead_pct']:+.2f}% "
+          f"(threshold {args.threshold:.1f}%)")
+
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+
+    if report["overhead_pct"] > args.threshold:
+        print("FAIL: fair-share scheduling regresses ensemble runs",
+              file=sys.stderr)
+        return 1
+    print("OK: fair-share scheduling is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

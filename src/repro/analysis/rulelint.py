@@ -83,6 +83,7 @@ def _service_entry_types() -> tuple[Type[Fact], ...]:
         TransferFact,
     )
     from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact
+    from repro.policy.rules_fairshare import TenantFact, TenantWorkflowFact
     from repro.policy.rules_priority import JobPriorityFact
 
     return (
@@ -93,6 +94,8 @@ def _service_entry_types() -> tuple[Type[Fact], ...]:
         HostDenialFact,
         WorkflowQuotaFact,
         JobPriorityFact,
+        TenantFact,
+        TenantWorkflowFact,
     )
 
 
@@ -105,11 +108,14 @@ def shipped_rule_sets() -> dict[str, tuple[list[Rule], dict]]:
     from repro.policy.rules_access import access_rules
     from repro.policy.rules_balanced import balanced_rules
     from repro.policy.rules_common import common_rules
+    from repro.policy.rules_fairshare import fairshare_rules
     from repro.policy.rules_greedy import greedy_rules
     from repro.policy.rules_priority import priority_rules
 
     def build(config, *packs):
-        rules = list(common_rules()) + list(priority_rules())
+        # fairshare is always composed by the service (inert without
+        # tenant facts), so every shipped set carries it too.
+        rules = list(common_rules()) + list(priority_rules()) + list(fairshare_rules())
         for pack in packs:
             rules += list(pack())
         return rules, {"config": config, "group_counter": 1}

@@ -9,6 +9,7 @@ Subcommands::
     repro serve [...]                 start the RESTful Policy Service
     repro lint [...]                  statically verify rule sets and plans
     repro trace [scenario] [...]      run a traced cell, write trace artifacts
+    repro ensemble [...]              run a multi-tenant workflow ensemble
 
 (`python -m repro ...` works identically.)
 """
@@ -123,10 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace.add_argument("scenario", nargs="?", default="examples-montage",
-                       choices=["examples-montage", "chaos-montage"],
+                       choices=["examples-montage", "chaos-montage",
+                                "tenant-ensemble"],
                        help="examples-montage: a small augmented-Montage cell; "
                             "chaos-montage: the same cell under a mid-run "
-                            "service outage (fault events on the trace)")
+                            "service outage (fault events on the trace); "
+                            "tenant-ensemble: a 3-tenant fair-share ensemble "
+                            "(tenant.* events on the trace)")
     trace.add_argument("--out", default=None, metavar="DIR",
                        help="artifact directory (default traces/<scenario>)")
     trace.add_argument("--extra-mb", type=float, default=20.0,
@@ -142,6 +146,37 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--engine", choices=["indexed", "seed"], default="indexed",
                        help="rule engine variant (traces are identical)")
     trace.add_argument("--seed", type=int, default=0)
+
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="run a multi-tenant workflow ensemble with fair-share admission",
+        description=(
+            "Run a queue of Montage workflows owned by several tenants "
+            "against one testbed and one Policy Service.  The admission "
+            "controller orders the queue by the chosen scheduler (weighted "
+            "fair share over bytes staged, strict priority, or FIFO), "
+            "enforces per-tenant concurrency caps and byte quotas, and the "
+            "policy rules meter per-tenant aggregate stream budgets.  "
+            "Without --config a built-in 3-tenant demo (weights 1/2/4, "
+            "mixed priority) runs."
+        ),
+    )
+    ensemble.add_argument("--config", default=None, metavar="FILE",
+                          help="JSON ensemble description: {tenants: [...], "
+                               "submissions: [...], scheduler, max_concurrent, "
+                               "backpressure: [high, low]}")
+    ensemble.add_argument("--scheduler", choices=["fair", "priority", "fifo"],
+                          default=None, help="override the queue ordering")
+    ensemble.add_argument("--max-concurrent", type=int, default=None,
+                          help="override the global workflow slot count")
+    ensemble.add_argument("--policy", choices=["greedy", "balanced", "fifo", "none"],
+                          default="greedy")
+    ensemble.add_argument("--streams", type=int, default=4,
+                          help="default parallel streams per transfer")
+    ensemble.add_argument("--threshold", type=int, default=50,
+                          help="max streams between a host pair")
+    ensemble.add_argument("--engine", choices=["indexed", "seed"], default="indexed")
+    ensemble.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -337,11 +372,116 @@ def _cmd_lint(args, out) -> int:
     return 1 if any(r.errors() for r in reports) else 0
 
 
+#: The built-in demo ensemble: three tenants of unequal weight (1/2/4),
+#: one of them in a higher priority class, two small workflows each.
+DEMO_ENSEMBLE = {
+    "tenants": [
+        {"tenant": "bronze", "weight": 1},
+        {"tenant": "silver", "weight": 2},
+        {"tenant": "gold", "weight": 4, "priority_class": 1},
+    ],
+    "submissions": [
+        {"tenant": "bronze", "count": 2},
+        {"tenant": "silver", "count": 2},
+        {"tenant": "gold", "count": 2},
+    ],
+    "scheduler": "fair",
+    "max_concurrent": 2,
+}
+
+
+def _ensemble_inputs(doc: dict):
+    """Turn a JSON ensemble description into runner arguments."""
+    from repro.tenancy import AdmissionConfig
+    from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+    tenants = doc.get("tenants") or []
+    if not tenants:
+        raise ValueError("ensemble config needs a non-empty 'tenants' list")
+    submissions = []
+    for entry in doc.get("submissions") or []:
+        tenant = entry["tenant"]
+        for i in range(int(entry.get("count", 1))):
+            name = entry.get("name", f"{tenant}-wf{i}")
+            if int(entry.get("count", 1)) > 1 and "name" in entry:
+                name = f"{entry['name']}-{i}"
+            workflow = augmented_montage(
+                float(entry.get("extra_mb", 10.0)) * MB,
+                MontageConfig(
+                    n_images=int(entry.get("images", 6)),
+                    name=name,
+                    lfn_prefix=f"{name}_" if not entry.get("shared_dataset") else "",
+                ),
+            )
+            submissions.append((tenant, workflow))
+    if not submissions:
+        raise ValueError("ensemble config needs a non-empty 'submissions' list")
+    watermarks = doc.get("backpressure")
+    admission = AdmissionConfig(
+        max_concurrent=int(doc.get("max_concurrent", 2)),
+        backpressure_high=watermarks[0] if watermarks else None,
+        backpressure_low=watermarks[1] if watermarks else None,
+    )
+    return tenants, submissions, admission, doc.get("scheduler", "fair")
+
+
+def _cmd_ensemble(args, out) -> int:
+    import json
+
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.runner import run_tenant_ensemble
+    from repro.tenancy import AdmissionConfig
+
+    if args.config:
+        with open(args.config) as fh:
+            doc = json.load(fh)
+    else:
+        doc = DEMO_ENSEMBLE
+    tenants, submissions, admission, scheduler = _ensemble_inputs(doc)
+    if args.scheduler:
+        scheduler = args.scheduler
+    if args.max_concurrent is not None:
+        admission = AdmissionConfig(
+            max_concurrent=args.max_concurrent,
+            backpressure_high=admission.backpressure_high,
+            backpressure_low=admission.backpressure_low,
+        )
+    cfg = ExperimentConfig(
+        extra_file_mb=10.0,
+        default_streams=args.streams,
+        policy=None if args.policy == "none" else args.policy,
+        threshold=args.threshold,
+        n_images=6,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    result = run_tenant_ensemble(
+        cfg, tenants, submissions, admission=admission, scheduler=scheduler
+    )
+    print(f"scheduler      : {scheduler} "
+          f"(max {admission.max_concurrent} concurrent)", file=out)
+    print(f"admitted       : {len(result.metrics)} workflow(s) in order "
+          f"{', '.join(result.admission_order)}", file=out)
+    for tenant in sorted(result.tenant_bytes):
+        share = result.tenant_shares.get(tenant, 0.0)
+        print(f"  {tenant:<12s} {result.tenant_bytes[tenant] / 1e9:7.2f} GB staged "
+              f"(fair share {share:.0%})", file=out)
+    for tenant, name, reason in result.rejected:
+        print(f"rejected       : {name} ({tenant}): {reason}", file=out)
+    ok = all(m.success for m in result.metrics)
+    print(f"success        : {ok}", file=out)
+    return 0 if ok else 1
+
+
 def _cmd_trace(args, out) -> int:
     from pathlib import Path
 
     from repro.experiments import ExperimentConfig
-    from repro.experiments.tracing import run_traced_cell, run_traced_chaos
+    from repro.experiments.tracing import (
+        run_traced_cell,
+        run_traced_chaos,
+        run_traced_ensemble,
+    )
 
     policy = None if args.policy == "none" else args.policy
     if args.scenario == "chaos-montage" and policy is None:
@@ -356,6 +496,24 @@ def _cmd_trace(args, out) -> int:
         engine=args.engine,
         seed=args.seed,
     )
+    if args.scenario == "tenant-ensemble":
+        tenants, submissions, admission, scheduler = _ensemble_inputs(DEMO_ENSEMBLE)
+        run = run_traced_ensemble(
+            cfg, tenants, submissions, admission=admission, scheduler=scheduler
+        )
+        outdir = Path(args.out) if args.out else Path("traces") / args.scenario
+        paths = run.write_artifacts(outdir)
+        summary = run.tracer.summary()
+        ok = all(m.success for m in run.result.metrics)
+        print(f"workflows: {len(run.result.metrics)} "
+              f"({', '.join(run.result.admission_order)})", file=out)
+        print(f"success  : {ok}", file=out)
+        print(f"events   : {summary['events']} ({summary['spans']} spans, "
+              f"{summary['categories'].get('tenant', 0)} tenant events)", file=out)
+        print("artifacts:", file=out)
+        for name in sorted(paths):
+            print(f"  {name:<16s} {paths[name]}", file=out)
+        return 0 if ok else 1
     if args.scenario == "chaos-montage":
         run = run_traced_chaos(cfg)
     else:
@@ -388,6 +546,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "serve": lambda: _cmd_serve(args, out),
         "lint": lambda: _cmd_lint(args, out),
         "trace": lambda: _cmd_trace(args, out),
+        "ensemble": lambda: _cmd_ensemble(args, out),
     }
     return handlers[args.command]()
 

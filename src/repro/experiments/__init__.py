@@ -13,16 +13,34 @@
 """
 
 from repro.experiments.environment import TestbedParams, build_testbed
-from repro.experiments.runner import ExperimentConfig, run_cell, run_replicates
-from repro.experiments.tracing import TracedRun, run_traced_cell, run_traced_workflow
+from repro.experiments.runner import (
+    EnsembleResult,
+    ExperimentConfig,
+    run_cell,
+    run_ensemble,
+    run_replicates,
+    run_tenant_ensemble,
+)
+from repro.experiments.tracing import (
+    TracedEnsemble,
+    TracedRun,
+    run_traced_cell,
+    run_traced_ensemble,
+    run_traced_workflow,
+)
 
 __all__ = [
+    "EnsembleResult",
     "ExperimentConfig",
     "TestbedParams",
+    "TracedEnsemble",
     "TracedRun",
     "build_testbed",
     "run_cell",
+    "run_ensemble",
     "run_replicates",
+    "run_tenant_ensemble",
     "run_traced_cell",
+    "run_traced_ensemble",
     "run_traced_workflow",
 ]

@@ -26,6 +26,7 @@ from repro.workflow.dag import Workflow
 from repro.workflow.montage import MB, MontageConfig, augmented_montage
 
 __all__ = [
+    "EnsembleResult",
     "ExperimentConfig",
     "WorkflowExecution",
     "run_cell",
@@ -33,6 +34,7 @@ __all__ = [
     "run_workflow",
     "run_concurrent_workflows",
     "run_ensemble",
+    "run_tenant_ensemble",
 ]
 
 
@@ -107,6 +109,10 @@ class WorkflowExecution:
     Several executions may share a testbed (same fabric/clock) and a
     policy client (same policy memory) — the multi-workflow setting of
     the paper.
+
+    ``policy`` may also be a zero-argument *factory*: the client is then
+    built when the execution starts, so a queued ensemble member holds
+    no policy client (or its journal state) while it waits for a slot.
     """
 
     def __init__(
@@ -114,11 +120,14 @@ class WorkflowExecution:
         cfg: ExperimentConfig,
         workflow: Workflow,
         bed: Testbed,
-        policy: Optional[InProcessPolicyClient] = None,
+        policy=None,
     ):
         self.cfg = cfg
         self.bed = bed
-        self.policy = policy
+        self._policy_factory = policy if callable(policy) else None
+        self.policy: Optional[InProcessPolicyClient] = (
+            None if self._policy_factory is not None else policy
+        )
         bed.register_workflow_inputs(workflow, remote_all=cfg.remote_inputs)
 
         planner = Planner(bed.sites, bed.transformations, bed.replicas)
@@ -133,11 +142,8 @@ class WorkflowExecution:
                 output_site=cfg.output_site,
             ),
         )
-        if policy is not None and cfg.priority_algorithm is not None:
-            priorities = {
-                job.id: job.priority for job in self.plan.jobs.values() if job.priority
-            }
-            policy.service.register_priorities(self.plan.workflow_id, priorities)
+        if self.policy is not None:
+            self._register_priorities()
 
         self.scheduler = ClusterScheduler(
             bed.env, bed.sites.get("isi").slots, submit_overhead=cfg.testbed.submit_overhead
@@ -147,7 +153,7 @@ class WorkflowExecution:
         )
         self.ptt = PegasusTransferTool(
             bed.gridftp,
-            policy=policy,
+            policy=self.policy,
             default_streams=cfg.default_streams,
             replicas=bed.replicas,
             host_site=bed.host_site,
@@ -156,7 +162,7 @@ class WorkflowExecution:
         )
         self.cleaner = CleanupTool(
             bed.env,
-            policy=policy,
+            policy=self.policy,
             replicas=bed.replicas,
             host_site=bed.host_site,
             storage=self.storage,
@@ -193,11 +199,29 @@ class WorkflowExecution:
         )
         self.result = None
 
+    def _register_priorities(self) -> None:
+        if self.cfg.priority_algorithm is None:
+            return
+        priorities = {
+            job.id: job.priority for job in self.plan.jobs.values() if job.priority
+        }
+        self.policy.service.register_priorities(self.plan.workflow_id, priorities)
+
+    def attach_policy(self, client: Optional[InProcessPolicyClient]) -> None:
+        """Wire a (lazily built) policy client into the staging tools."""
+        self.policy = client
+        self.ptt.policy = client
+        self.cleaner.policy = client
+        if client is not None:
+            self._register_priorities()
+
     def start(self, delay: float = 0.0):
         """Launch the run as a DES process; returns the process event."""
         def driver():
             if delay > 0:
                 yield self.bed.env.timeout(delay)
+            if self._policy_factory is not None and self.policy is None:
+                self.attach_policy(self._policy_factory())
             self.result = yield self.bed.env.process(
                 self.dagman.run(), name=f"dagman-{self.plan.workflow_id}"
             )
@@ -315,6 +339,140 @@ def run_replicates(cfg: ExperimentConfig, replicates: int = 3) -> list[RunMetric
     return [run_cell(cfg.with_seed(cfg.seed * 1000 + i)) for i in range(replicates)]
 
 
+@dataclass
+class EnsembleResult:
+    """What a tenant-aware ensemble run produced.
+
+    ``metrics`` is in submission order (rejected submissions excluded);
+    ``admission_order`` is the determinism witness — the same seed must
+    reproduce it byte-identically, including after a crash + journal
+    recovery (seed the scheduler with the recovered byte ledgers).
+    """
+
+    metrics: list[RunMetrics]
+    admission_order: list[str]
+    completed_order: list[str]
+    rejected: list[tuple[str, str, str]]
+    tenant_of: dict[str, str]
+    tenant_bytes: dict[str, float]
+    tenant_shares: dict[str, float]
+
+
+def run_tenant_ensemble(
+    cfg: ExperimentConfig,
+    tenants: Sequence,
+    submissions: Sequence[tuple[str, Workflow]],
+    admission: Optional["AdmissionConfig"] = None,
+    scheduler: str = "fair",
+    share_policy: bool = True,
+    initial_charges: Optional[dict[str, float]] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+) -> EnsembleResult:
+    """Run a multi-tenant ensemble against one testbed and Policy Service.
+
+    ``tenants`` is a sequence of :class:`~repro.tenancy.TenantSpec` (or
+    keyword dicts); ``submissions`` pairs each workflow with its owning
+    tenant.  All workflows are planned up front (so plan ids and replica
+    decisions depend only on submission order), but each policy client is
+    built lazily when the admission controller grants a slot, and with
+    ``share_policy`` every workflow is bound to its tenant on the shared
+    service so the fair-share rules can meter aggregate stream budgets.
+
+    ``initial_charges`` seeds the scheduler's per-tenant byte ledgers —
+    pass a recovered service's ``bytes_staged`` census to reproduce the
+    admission decisions an uninterrupted run would have made.
+    """
+    from repro.tenancy import (
+        AdmissionConfig,
+        AdmissionController,
+        TenantRegistry,
+        TenantSpec,
+        make_scheduler,
+    )
+
+    admission = admission or AdmissionConfig()
+    registry = TenantRegistry()
+    for spec in tenants:
+        registry.register(spec if isinstance(spec, TenantSpec) else TenantSpec(**spec))
+
+    bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
+    shared = (
+        build_policy_client(cfg, bed, metrics=metrics, profiler=profiler)
+        if share_policy
+        else None
+    )
+    if shared is not None:
+        for spec in registry:
+            shared.service.register_tenant(
+                spec.tenant,
+                weight=spec.weight,
+                priority_class=spec.priority_class,
+                max_bytes=spec.max_bytes,
+                max_streams=spec.max_streams,
+                max_concurrent=spec.max_concurrent,
+            )
+
+    sched = make_scheduler(scheduler, registry)
+    if initial_charges:
+        sched.seed_charges(initial_charges)
+    probe = None
+    if shared is not None and admission.backpressure_high is not None:
+        probe = lambda: float(len(shared.service.memory))
+    controller = AdmissionController(
+        bed.env, sched, admission, tracer=bed.env.tracer, pressure_probe=probe
+    )
+
+    executions: dict[int, WorkflowExecution] = {}
+    accepted: list = []
+
+    def make_starter(execution: WorkflowExecution):
+        def starter(sub):
+            yield execution.start()
+            return float(sum(r.bytes_moved for r in execution.ptt.records))
+
+        return starter
+
+    for tenant, workflow in submissions:
+        if share_policy:
+            policy = shared
+        else:
+            # Satellite of the tenancy work: per-workflow clients (and any
+            # journal state) are built at admission, not while queued.
+            policy = lambda: build_policy_client(
+                cfg, bed, metrics=metrics, profiler=profiler
+            )
+        execution = WorkflowExecution(cfg, workflow, bed, policy)
+        if shared is not None:
+            shared.service.bind_workflow(execution.plan.workflow_id, tenant)
+        est = float(sum(f.size for f in workflow.input_files()))
+        sub = controller.submit(
+            tenant, workflow.name, make_starter(execution), est_bytes=est
+        )
+        if sub is not None:
+            executions[sub.seq] = execution
+            accepted.append(sub)
+
+    bed.env.run(until=controller.run())
+
+    run_metrics = [executions[sub.seq].metrics() for sub in accepted]
+    tenant_bytes: dict[str, float] = {spec.tenant: 0.0 for spec in registry}
+    tenant_of: dict[str, str] = {}
+    for sub, m in zip(accepted, run_metrics):
+        tenant_bytes[sub.tenant] = tenant_bytes.get(sub.tenant, 0.0) + m.bytes_staged
+        tenant_of[sub.name] = sub.tenant
+    return EnsembleResult(
+        metrics=run_metrics,
+        admission_order=list(controller.admission_order),
+        completed_order=list(controller.completed),
+        rejected=list(controller.rejected),
+        tenant_of=tenant_of,
+        tenant_bytes=tenant_bytes,
+        tenant_shares={spec.tenant: registry.share(spec.tenant) for spec in registry},
+    )
+
+
 def run_ensemble(
     cfg: ExperimentConfig,
     workflows: Sequence[Workflow],
@@ -326,31 +484,20 @@ def run_ensemble(
     The ensemble manager admits the next queued workflow as soon as a
     running one finishes (FIFO), all against one fabric and — with
     ``share_policy`` — one Policy Service, the multi-workflow deployment
-    the paper's future work targets.
+    the paper's future work targets.  This is the single-tenant face of
+    :func:`run_tenant_ensemble`: one implicit tenant, FIFO order, no
+    budgets.
     """
+    from repro.tenancy import AdmissionConfig, TenantSpec
+
     if max_concurrent < 1:
         raise ValueError("max_concurrent must be >= 1")
-    from repro.des import Resource
-
-    bed = build_testbed(cfg.testbed, seed=cfg.seed)
-    shared = build_policy_client(cfg, bed) if share_policy else None
-    slots = Resource(bed.env, capacity=max_concurrent)
-    executions: list[WorkflowExecution] = []
-    for workflow in workflows:
-        policy = shared if share_policy else build_policy_client(cfg, bed)
-        executions.append(WorkflowExecution(cfg, workflow, bed, policy))
-
-    def admit(execution: WorkflowExecution):
-        request = slots.request()
-        yield request
-        try:
-            yield execution.start()
-        finally:
-            slots.release(request)
-
-    processes = [
-        bed.env.process(admit(execution), name=f"admit-{i}")
-        for i, execution in enumerate(executions)
-    ]
-    bed.env.run(until=bed.env.all_of(processes))
-    return [execution.metrics() for execution in executions]
+    result = run_tenant_ensemble(
+        cfg,
+        tenants=[TenantSpec("default")],
+        submissions=[("default", workflow) for workflow in workflows],
+        admission=AdmissionConfig(max_concurrent=max_concurrent),
+        scheduler="fifo",
+        share_policy=share_policy,
+    )
+    return result.metrics

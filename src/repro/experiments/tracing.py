@@ -32,9 +32,11 @@ from typing import Optional
 
 from repro.experiments.environment import build_testbed
 from repro.experiments.runner import (
+    EnsembleResult,
     ExperimentConfig,
     WorkflowExecution,
     build_policy_client,
+    run_tenant_ensemble,
 )
 from repro.metrics.collectors import RunMetrics
 from repro.metrics.provenance import run_provenance
@@ -52,7 +54,35 @@ from repro.planner.planner import fresh_plan_ids
 from repro.workflow.dag import Workflow
 from repro.workflow.montage import MB, MontageConfig, augmented_montage
 
-__all__ = ["TracedRun", "run_traced_cell", "run_traced_chaos", "run_traced_workflow"]
+__all__ = [
+    "TracedEnsemble",
+    "TracedRun",
+    "run_traced_cell",
+    "run_traced_chaos",
+    "run_traced_ensemble",
+    "run_traced_workflow",
+]
+
+
+def _write_artifact_set(tracer, registry, profiler, provenance, outdir) -> dict[str, str]:
+    """Write the standard artifact set; returns {artifact: path}."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace.json": out / "trace.json",
+        "events.jsonl": out / "events.jsonl",
+        "metrics.prom": out / "metrics.prom",
+        "rule_profile.txt": out / "rule_profile.txt",
+        "provenance.json": out / "provenance.json",
+    }
+    write_chrome_trace(tracer, paths["trace.json"])
+    write_jsonl(tracer, paths["events.jsonl"])
+    write_prometheus(registry, paths["metrics.prom"])
+    write_rule_profile(profiler, paths["rule_profile.txt"])
+    paths["provenance.json"].write_text(
+        json.dumps(provenance, indent=2, sort_keys=True, default=repr) + "\n"
+    )
+    return {name: str(path) for name, path in paths.items()}
 
 
 @dataclass
@@ -71,23 +101,9 @@ class TracedRun:
 
     def write_artifacts(self, outdir) -> dict[str, str]:
         """Write the standard artifact set; returns {artifact: path}."""
-        out = Path(outdir)
-        out.mkdir(parents=True, exist_ok=True)
-        paths = {
-            "trace.json": out / "trace.json",
-            "events.jsonl": out / "events.jsonl",
-            "metrics.prom": out / "metrics.prom",
-            "rule_profile.txt": out / "rule_profile.txt",
-            "provenance.json": out / "provenance.json",
-        }
-        write_chrome_trace(self.tracer, paths["trace.json"])
-        write_jsonl(self.tracer, paths["events.jsonl"])
-        write_prometheus(self.registry, paths["metrics.prom"])
-        write_rule_profile(self.profiler, paths["rule_profile.txt"])
-        paths["provenance.json"].write_text(
-            json.dumps(self.provenance, indent=2, sort_keys=True, default=repr) + "\n"
+        return _write_artifact_set(
+            self.tracer, self.registry, self.profiler, self.provenance, outdir
         )
-        return {name: str(path) for name, path in paths.items()}
 
 
 def run_traced_workflow(
@@ -113,6 +129,85 @@ def run_traced_workflow(
     )
     return TracedRun(
         metrics=metrics,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        provenance=provenance,
+    )
+
+
+@dataclass
+class TracedEnsemble:
+    """A finished multi-tenant ensemble plus the observability objects."""
+
+    result: EnsembleResult
+    tracer: Tracer
+    registry: MetricsRegistry
+    profiler: RuleProfiler
+    provenance: dict
+
+    def jsonl(self) -> list[str]:
+        """The canonical JSONL event lines (deterministic per seed)."""
+        return jsonl_lines(self.tracer)
+
+    def write_artifacts(self, outdir) -> dict[str, str]:
+        """Write the standard artifact set; returns {artifact: path}."""
+        return _write_artifact_set(
+            self.tracer, self.registry, self.profiler, self.provenance, outdir
+        )
+
+
+def run_traced_ensemble(
+    cfg: ExperimentConfig,
+    tenants,
+    submissions,
+    admission=None,
+    scheduler: str = "fair",
+    initial_charges: Optional[dict] = None,
+) -> TracedEnsemble:
+    """Run a tenant ensemble with the observability stack attached.
+
+    The trace gains the ``tenant`` category (submit/admit/reject
+    instants, per-workflow ``tenant.run`` spans, queue counters) next to
+    the usual staging and rule spans; ``events.jsonl`` stays a
+    deterministic function of (workflows, config, seed).
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = RuleProfiler()
+    with fresh_plan_ids():
+        result = run_tenant_ensemble(
+            cfg,
+            tenants,
+            submissions,
+            admission=admission,
+            scheduler=scheduler,
+            initial_charges=initial_charges,
+            tracer=tracer,
+            metrics=registry,
+            profiler=profiler,
+        )
+    provenance = {
+        "kind": "tenant-ensemble",
+        "scheduler": scheduler,
+        "config": {
+            "extra_file_mb": cfg.extra_file_mb,
+            "default_streams": cfg.default_streams,
+            "policy": cfg.policy,
+            "threshold": cfg.threshold,
+            "engine": cfg.engine,
+            "seed": cfg.seed,
+        },
+        "admission_order": list(result.admission_order),
+        "completed_order": list(result.completed_order),
+        "rejected": [list(r) for r in result.rejected],
+        "tenant_bytes": dict(sorted(result.tenant_bytes.items())),
+        "tenant_shares": dict(sorted(result.tenant_shares.items())),
+        "workflows": [m.workflow_id for m in result.metrics],
+        "trace": tracer.summary(),
+    }
+    return TracedEnsemble(
+        result=result,
         tracer=tracer,
         registry=registry,
         profiler=profiler,

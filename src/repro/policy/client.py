@@ -294,6 +294,22 @@ class HTTPPolicyClient:
             "/policy/quotas", {"workflow": workflow, "max_bytes": max_bytes}
         )
 
+    def register_tenant(self, tenant: str, **spec) -> dict:
+        """``spec``: weight, priority_class, max_bytes, max_streams,
+        max_concurrent (all optional)."""
+        return self._post("/policy/tenants", {"tenant": tenant, **spec})
+
+    def unregister_tenant(self, tenant: str) -> dict:
+        return self._post("/policy/tenants/remove", {"tenant": tenant})
+
+    def bind_workflow(self, workflow: str, tenant: str) -> dict:
+        return self._post(
+            "/policy/tenants/bind", {"workflow": workflow, "tenant": tenant}
+        )
+
+    def tenants(self) -> list[dict]:
+        return self._get("/policy/tenants")["tenants"]
+
     def status(self) -> dict:
         return self._get("/policy/status")
 
@@ -458,3 +474,28 @@ class InProcessPolicyClient:
                 lambda: self.service.reconcile_staged(workflow, files),
             )
         )
+
+    def register_tenant(self, tenant: str, **spec):
+        return (
+            yield from self._invoke(
+                "register_tenant",
+                lambda: self.service.register_tenant(tenant, **spec),
+            )
+        )
+
+    def unregister_tenant(self, tenant: str):
+        return (
+            yield from self._invoke(
+                "unregister_tenant", lambda: self.service.unregister_tenant(tenant)
+            )
+        )
+
+    def bind_workflow(self, workflow: str, tenant: str):
+        return (
+            yield from self._invoke(
+                "bind_workflow", lambda: self.service.bind_workflow(workflow, tenant)
+            )
+        )
+
+    def tenants(self):
+        return (yield from self._invoke("tenants", lambda: self.service.tenants()))

@@ -9,7 +9,8 @@ returns JSON-able dict responses.
 
 from __future__ import annotations
 
-from typing import Any
+import math
+from typing import Any, Optional
 
 from repro.policy.service import PolicyService
 
@@ -32,6 +33,15 @@ def _require(payload: dict, key: str, types: tuple = (str,)) -> Any:
             f"got {type(value).__name__}"
         )
     return value
+
+
+def _finite_nonneg(value: float, name: str) -> float:
+    """Reject NaN/inf byte counts: ``json.loads`` happily parses ``NaN`` and
+    ``Infinity``, and ``NaN < 0`` is False — so a plain ``< 0`` guard lets
+    a poisoned quota into policy memory."""
+    if isinstance(value, bool) or not math.isfinite(value) or value < 0:
+        raise PolicyRequestError(f"{name} must be a finite number >= 0")
+    return float(value)
 
 
 class PolicyController:
@@ -128,14 +138,65 @@ class PolicyController:
 
     def set_quota(self, payload: dict) -> dict:
         workflow = _require(payload, "workflow")
-        max_bytes = _require(payload, "max_bytes", (int, float))
-        if max_bytes < 0:
-            raise PolicyRequestError("max_bytes must be >= 0")
+        max_bytes = _finite_nonneg(
+            _require(payload, "max_bytes", (int, float)), "max_bytes"
+        )
         try:
-            self.service.set_quota(workflow, float(max_bytes))
+            self.service.set_quota(workflow, max_bytes)
         except RuntimeError as exc:
             raise PolicyRequestError(str(exc)) from exc
         return {"workflow": workflow, "max_bytes": max_bytes}
+
+    # -- tenants -------------------------------------------------------------
+    def register_tenant(self, payload: dict) -> dict:
+        tenant = _require(payload, "tenant")
+        if not tenant:
+            raise PolicyRequestError("tenant must be a non-empty string")
+        weight = payload.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool) \
+                or not math.isfinite(weight) or weight <= 0:
+            raise PolicyRequestError("weight must be a finite number > 0")
+        priority_class = payload.get("priority_class", 0)
+        if not isinstance(priority_class, int) or isinstance(priority_class, bool):
+            raise PolicyRequestError("priority_class must be an integer")
+        max_bytes: Optional[float] = payload.get("max_bytes")
+        if max_bytes is not None:
+            if not isinstance(max_bytes, (int, float)):
+                raise PolicyRequestError("max_bytes must be a number or null")
+            max_bytes = _finite_nonneg(max_bytes, "max_bytes")
+        caps: dict[str, Optional[int]] = {}
+        for name in ("max_streams", "max_concurrent"):
+            value = payload.get(name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise PolicyRequestError(f"{name} must be an integer >= 1 or null")
+            caps[name] = value
+        self.service.register_tenant(
+            tenant,
+            weight=float(weight),
+            priority_class=priority_class,
+            max_bytes=max_bytes,
+            max_streams=caps["max_streams"],
+            max_concurrent=caps["max_concurrent"],
+        )
+        return {"tenant": tenant, "registered": True}
+
+    def unregister_tenant(self, payload: dict) -> dict:
+        tenant = _require(payload, "tenant")
+        return {"tenant": tenant, "removed": self.service.unregister_tenant(tenant)}
+
+    def bind_workflow(self, payload: dict) -> dict:
+        workflow = _require(payload, "workflow")
+        tenant = _require(payload, "tenant")
+        try:
+            self.service.bind_workflow(workflow, tenant)
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+        return {"workflow": workflow, "tenant": tenant, "bound": True}
+
+    def tenants(self) -> dict:
+        return {"tenants": self.service.tenants()}
 
     # -- workflows ----------------------------------------------------------
     def register_priorities(self, payload: dict) -> dict:

@@ -44,6 +44,7 @@ from repro.policy.model import (
     TransferFact,
 )
 from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact
+from repro.policy.rules_fairshare import TenantFact, TenantWorkflowFact
 from repro.policy.rules_priority import JobPriorityFact
 
 __all__ = ["PolicyJournal", "JournalError", "RecoveredState"]
@@ -61,6 +62,8 @@ FACT_TYPES: dict[str, type] = {
         HostDenialFact,
         WorkflowQuotaFact,
         JobPriorityFact,
+        TenantFact,
+        TenantWorkflowFact,
     )
 }
 

@@ -179,6 +179,13 @@ class TransferFact(Fact):
         self.reason = ""
         self.wait_for: Optional[int] = None
         self.quota_charged = False
+        #: owning tenant (stamped by the fair-share pack from the
+        #: workflow->tenant binding; None outside multi-tenant deployments)
+        self.tenant: Optional[str] = None
+        #: streams currently charged against the tenant's aggregate budget
+        self.tenant_streams_reserved = 0
+        #: latch: the tenant ledgers were settled for this fact's outcome
+        self.tenant_settled = False
         #: absolute clock time after which an in_progress grant may be
         #: reaped (None when the service runs without leases)
         self.lease_deadline: Optional[float] = None

@@ -19,6 +19,10 @@ POST        /policy/workflows/unregister         drop a workflow's interest
 POST        /policy/denials                      ban a host (access control)
 POST        /policy/denials/remove               lift a host ban
 POST        /policy/quotas                       set a workflow's byte quota
+POST        /policy/tenants                      register/replace a tenant
+POST        /policy/tenants/remove               unregister a tenant
+POST        /policy/tenants/bind                 bind a workflow to a tenant
+GET         /policy/tenants                      tenant census + ledgers
 GET         /policy/status                       service snapshot
 ==========  ===================================  ===========================
 
@@ -191,6 +195,8 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                         self._reply(200, controller.status())
                     elif self.path == "/policy/metrics":
                         self._reply_text(200, controller.metrics_text())
+                    elif self.path == "/policy/tenants":
+                        self._reply(200, controller.tenants())
                     elif self.path.startswith("/policy/transfers/"):
                         tid_text = self.path.rsplit("/", 1)[-1]
                         if not tid_text.isdigit():
@@ -217,6 +223,9 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                 "/policy/denials": controller.deny_host,
                 "/policy/denials/remove": controller.allow_host,
                 "/policy/quotas": controller.set_quota,
+                "/policy/tenants": controller.register_tenant,
+                "/policy/tenants/remove": controller.unregister_tenant,
+                "/policy/tenants/bind": controller.bind_workflow,
             }
             handler = routes.get(self.path)
 

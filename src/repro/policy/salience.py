@@ -12,7 +12,8 @@ Tier map (higher fires first)::
 
     97  LEASE_EXPIRY        reaper sweeps mark stale in_progress work failed
     96  QUOTA_REFUND        refund quota before the failure-removal rule
-    95  COMPLETION          completion/failure processing frees streams
+    95  FAIRSHARE_RELEASE   settle tenant ledgers before Table I retracts facts
+    94  COMPLETION          completion/failure processing frees streams
     90  ACK                 acknowledge newly inserted transfers/cleanups
     88  ACCESS_DENY_HOST    host denials, after ack, before dedup
     87  ACCESS_DENY_QUOTA   quota denials
@@ -30,8 +31,11 @@ Tier map (higher fires first)::
     52  PRIORITY_STAMP      stamp structure-based priorities
     50  STREAMS_DEFAULT     default parallel-stream level
     49  STREAMS_MINIMUM     clamp requests below one stream
+    46  TENANT_STAMP        stamp the owning tenant onto new transfers
+    44  FAIRSHARE_RESERVE   clamp + charge the tenant's aggregate stream budget
     41  THRESHOLD_RETRIEVE  lazily stamp host-pair thresholds
     40  ALLOCATION          greedy / balanced stream grants
+    39  FAIRSHARE_ADJUST    refund tenant over-reservation after allocation
      1  SWEEP_RETIRE        retire the transient lease-sweep fact last
 """
 
@@ -40,6 +44,7 @@ from __future__ import annotations
 __all__ = [
     "LEASE_EXPIRY",
     "QUOTA_REFUND",
+    "FAIRSHARE_RELEASE",
     "COMPLETION",
     "ACK",
     "ACCESS_DENY_HOST",
@@ -58,8 +63,11 @@ __all__ = [
     "PRIORITY_STAMP",
     "STREAMS_DEFAULT",
     "STREAMS_MINIMUM",
+    "TENANT_STAMP",
+    "FAIRSHARE_RESERVE",
     "THRESHOLD_RETRIEVE",
     "ALLOCATION",
+    "FAIRSHARE_ADJUST",
     "SWEEP_RETIRE",
     "TIERS",
     "ORDERING_INVARIANTS",
@@ -68,7 +76,8 @@ __all__ = [
 
 LEASE_EXPIRY = 97
 QUOTA_REFUND = 96
-COMPLETION = 95
+FAIRSHARE_RELEASE = 95
+COMPLETION = 94
 ACK = 90
 ACCESS_DENY_HOST = 88
 ACCESS_DENY_QUOTA = 87
@@ -86,8 +95,11 @@ GROUP_ASSIGN = 55
 PRIORITY_STAMP = 52
 STREAMS_DEFAULT = 50
 STREAMS_MINIMUM = 49
+TENANT_STAMP = 46
+FAIRSHARE_RESERVE = 44
 THRESHOLD_RETRIEVE = 41
 ALLOCATION = 40
+FAIRSHARE_ADJUST = 39
 SWEEP_RETIRE = 1
 
 #: name -> value for every named tier (what the linter accepts as
@@ -95,6 +107,7 @@ SWEEP_RETIRE = 1
 TIERS: dict[str, int] = {
     "LEASE_EXPIRY": LEASE_EXPIRY,
     "QUOTA_REFUND": QUOTA_REFUND,
+    "FAIRSHARE_RELEASE": FAIRSHARE_RELEASE,
     "COMPLETION": COMPLETION,
     "ACK": ACK,
     "ACCESS_DENY_HOST": ACCESS_DENY_HOST,
@@ -113,8 +126,11 @@ TIERS: dict[str, int] = {
     "PRIORITY_STAMP": PRIORITY_STAMP,
     "STREAMS_DEFAULT": STREAMS_DEFAULT,
     "STREAMS_MINIMUM": STREAMS_MINIMUM,
+    "TENANT_STAMP": TENANT_STAMP,
+    "FAIRSHARE_RESERVE": FAIRSHARE_RESERVE,
     "THRESHOLD_RETRIEVE": THRESHOLD_RETRIEVE,
     "ALLOCATION": ALLOCATION,
+    "FAIRSHARE_ADJUST": FAIRSHARE_ADJUST,
     "SWEEP_RETIRE": SWEEP_RETIRE,
 }
 
@@ -125,6 +141,11 @@ ORDERING_INVARIANTS: list[tuple[str, str, str]] = [
      "a reaped transfer must be marked failed before completion processing"),
     ("QUOTA_REFUND", "COMPLETION",
      "the quota refund must see the failed fact before Table I retracts it"),
+    ("LEASE_EXPIRY", "FAIRSHARE_RELEASE",
+     "reaped transfers must be failed before tenant ledgers are settled"),
+    ("FAIRSHARE_RELEASE", "COMPLETION",
+     "tenant stream/byte ledgers must be settled before Table I retracts "
+     "the done/failed fact"),
     ("COMPLETION", "ACK",
      "completions free streams before new transfers are acknowledged"),
     ("ACK", "ACCESS_DENY_HOST",
@@ -153,10 +174,23 @@ ORDERING_INVARIANTS: list[tuple[str, str, str]] = [
      "priorities are stamped before stream defaults"),
     ("STREAMS_DEFAULT", "STREAMS_MINIMUM",
      "the default level is assigned before the >=1 clamp runs"),
+    ("STREAMS_MINIMUM", "TENANT_STAMP",
+     "stream requests are final before tenant budgets are applied"),
+    ("TENANT_STAMP", "FAIRSHARE_RESERVE",
+     "the owning tenant must be stamped before its budget is charged"),
+    ("FAIRSHARE_RESERVE", "THRESHOLD_RETRIEVE",
+     "tenant-budget clamping precedes host-pair threshold handling"),
     ("STREAMS_MINIMUM", "THRESHOLD_RETRIEVE",
      "stream requests are final before thresholds are retrieved"),
     ("THRESHOLD_RETRIEVE", "ALLOCATION",
      "the threshold must be stamped before any grant rule fires"),
+    ("FAIRSHARE_RESERVE", "ALLOCATION",
+     "the tenant budget clamps requested streams before any grant rule "
+     "reads them"),
+    ("ALLOCATION", "FAIRSHARE_ADJUST",
+     "over-reservation can only be refunded once the grant is known"),
+    ("FAIRSHARE_ADJUST", "SWEEP_RETIRE",
+     "tenant ledgers are settled before the lease sweep retires"),
     ("ACK", "DEDUP_BATCH",
      "cleanups are acknowledged before duplicate-cleanup removal"),
     ("DEDUP_BATCH", "CLEANUP_DETACH",

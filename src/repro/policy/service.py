@@ -32,6 +32,7 @@ from repro.policy.model import (
 from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact, access_rules
 from repro.policy.rules_balanced import balanced_rules
 from repro.policy.rules_common import common_rules
+from repro.policy.rules_fairshare import TenantFact, TenantWorkflowFact, fairshare_rules
 from repro.policy.rules_greedy import greedy_rules
 from repro.policy.rules_priority import JobPriorityFact, priority_rules
 
@@ -127,7 +128,7 @@ class PolicyService:
             )
         self.memory = WorkingMemory(indexed=self.engine == "indexed")
         self.globals: dict = {"config": self.config, "group_counter": 1}
-        rules = list(common_rules()) + list(priority_rules())
+        rules = list(common_rules()) + list(priority_rules()) + list(fairshare_rules())
         if self.config.access_control:
             rules += access_rules()
         if self.config.policy == "greedy":
@@ -215,6 +216,30 @@ class PolicyService:
         self._m_ids = m.gauge(
             "repro_policy_id_highwater", "Id counter high-water marks", ("kind",)
         )
+        self._m_tenant_inflight = m.gauge(
+            "repro_policy_tenant_inflight_streams",
+            "Streams currently reserved against a tenant's aggregate budget",
+            ("tenant",),
+        )
+        self._m_tenant_bytes = m.gauge(
+            "repro_policy_tenant_bytes_staged",
+            "Bytes successfully staged on behalf of a tenant",
+            ("tenant",),
+        )
+        self._m_tenant_workflows = m.gauge(
+            "repro_policy_tenant_workflows",
+            "Workflows currently bound to a tenant",
+            ("tenant",),
+        )
+
+    def _refresh_tenant_metrics(self) -> None:
+        bound: dict[str, int] = {}
+        for binding in self.memory.facts_of(TenantWorkflowFact):
+            bound[binding.tenant] = bound.get(binding.tenant, 0) + 1
+        for fact in self.memory.facts_of(TenantFact):
+            self._m_tenant_inflight.set(fact.inflight_streams, tenant=fact.tenant)
+            self._m_tenant_bytes.set(fact.bytes_staged, tenant=fact.tenant)
+            self._m_tenant_workflows.set(bound.get(fact.tenant, 0), tenant=fact.tenant)
 
     @property
     def stats(self) -> dict:
@@ -859,6 +884,84 @@ class PolicyService:
             self.memory.insert(WorkflowQuotaFact(workflow, max_bytes))
             self._commit_journal()
 
+    # ------------------------------------------------------------------ tenants
+    def register_tenant(
+        self,
+        tenant: str,
+        weight: float = 1.0,
+        priority_class: int = 0,
+        max_bytes: Optional[float] = None,
+        max_streams: Optional[int] = None,
+        max_concurrent: Optional[int] = None,
+    ) -> None:
+        """Register (or replace) a tenant; ledgers survive a replacement.
+
+        The tenant fact is journaled like any other policy memory, so a
+        recovered service reproduces the same budgets — and therefore the
+        same admission decisions — as the crashed one.
+        """
+        with self._transaction():
+            fact = TenantFact(
+                tenant,
+                weight=weight,
+                priority_class=priority_class,
+                max_bytes=max_bytes,
+                max_streams=max_streams,
+                max_concurrent=max_concurrent,
+            )
+            for existing in self.memory.lookup(TenantFact, tenant=tenant):
+                fact.inflight_streams = existing.inflight_streams
+                fact.bytes_staged = existing.bytes_staged
+                self.memory.retract(existing)
+            self.memory.insert(fact)
+            self._commit_journal()
+
+    def unregister_tenant(self, tenant: str) -> int:
+        """Remove a tenant and its workflow bindings; returns removals."""
+        with self._transaction():
+            removed = 0
+            for fact in self.memory.lookup(TenantFact, tenant=tenant):
+                self.memory.retract(fact)
+                removed += 1
+            for binding in list(self.memory.facts_of(TenantWorkflowFact)):
+                if binding.tenant == tenant:
+                    self.memory.retract(binding)
+                    removed += 1
+            self._commit_journal()
+            return removed
+
+    def bind_workflow(self, workflow: str, tenant: str) -> None:
+        """Bind a workflow to a registered tenant (replaces any binding)."""
+        if not self.memory.lookup(TenantFact, tenant=tenant):
+            raise RuntimeError(f"tenant {tenant!r} is not registered")
+        with self._transaction():
+            for binding in self.memory.lookup(TenantWorkflowFact, workflow=workflow):
+                self.memory.retract(binding)
+            self.memory.insert(TenantWorkflowFact(workflow, tenant))
+            self._commit_journal()
+
+    def tenants(self) -> list[dict]:
+        """Census of registered tenants (sorted by id), ledgers included."""
+        bound: dict[str, list[str]] = {}
+        for binding in self.memory.facts_of(TenantWorkflowFact):
+            bound.setdefault(binding.tenant, []).append(binding.workflow)
+        return [
+            {
+                "tenant": fact.tenant,
+                "weight": fact.weight,
+                "priority_class": fact.priority_class,
+                "max_bytes": fact.max_bytes,
+                "max_streams": fact.max_streams,
+                "max_concurrent": fact.max_concurrent,
+                "inflight_streams": fact.inflight_streams,
+                "bytes_staged": fact.bytes_staged,
+                "workflows": sorted(bound.get(fact.tenant, [])),
+            }
+            for fact in sorted(
+                self.memory.facts_of(TenantFact), key=lambda f: f.tenant
+            )
+        ]
+
     # ------------------------------------------------------------------ workflows
     def register_priorities(self, workflow: str, priorities: dict) -> int:
         """Register structure-based job priorities for a workflow."""
@@ -892,6 +995,8 @@ class PolicyService:
             for p in list(self.memory.facts_of(JobPriorityFact)):
                 if p.workflow == workflow:
                     self.memory.retract(p)
+            for binding in list(self.memory.lookup(TenantWorkflowFact, workflow=workflow)):
+                self.memory.retract(binding)
             self._commit_journal()
 
     # ------------------------------------------------------------------ status
@@ -912,12 +1017,14 @@ class PolicyService:
         }
         for kind, value in self.counters().items():
             self._m_ids.set(value, kind=kind)
+        self._refresh_tenant_metrics()
         return {
             "policy": self.config.policy,
             "default_streams": self.config.default_streams,
             "max_streams": self.config.max_streams,
             "memory": self.memory.snapshot(),
             "host_pairs": pairs,
+            "tenants": self.tenants(),
             "stats": dict(self.stats),
             "metrics": self.metrics.to_dict(),
         }
@@ -926,4 +1033,5 @@ class PolicyService:
         """The registry rendered in Prometheus text exposition format."""
         for kind, value in self.counters().items():
             self._m_ids.set(value, kind=kind)
+        self._refresh_tenant_metrics()
         return self.metrics.render()

@@ -1,0 +1,42 @@
+"""Multi-tenant ensemble management.
+
+The paper's policy service arbitrates transfers *within* workflows; this
+package arbitrates *between* them.  A :class:`TenantRegistry` names the
+parties sharing the deployment (each with a fair-share weight, a priority
+class, and optional byte / stream / concurrency budgets), an ensemble
+scheduler orders queued workflow submissions (FIFO, strict priority, or
+weighted fair share over bytes staged to date), and an
+:class:`AdmissionController` admits them into a bounded set of execution
+slots with per-tenant caps and backpressure against policy-memory growth.
+
+The package is deliberately independent of the experiment runner: it
+deals in opaque :class:`Submission` records and generator-valued starters,
+so it can front any DES workload.  ``repro.experiments.runner`` wires it
+to planned Montage workflows and the shared policy service.
+"""
+
+from repro.tenancy.admission import AdmissionConfig, AdmissionController
+from repro.tenancy.registry import TenantRegistry, TenantSpec
+from repro.tenancy.scheduler import (
+    EnsembleScheduler,
+    FairShareScheduler,
+    FifoScheduler,
+    StrictPriorityScheduler,
+    Submission,
+    TenantQuotaError,
+    make_scheduler,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "EnsembleScheduler",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "StrictPriorityScheduler",
+    "Submission",
+    "TenantQuotaError",
+    "TenantRegistry",
+    "TenantSpec",
+    "make_scheduler",
+]

@@ -232,3 +232,81 @@ def test_trace_chaos_rejects_policy_none(tmp_path):
                          "--out", str(tmp_path))
     assert code == 2
     assert "needs a policy" in text
+
+
+def test_ensemble_command_demo():
+    code, text = run_cli("ensemble", "--seed", "5")
+    assert code == 0
+    assert "scheduler      : fair (max 2 concurrent)" in text
+    assert "success        : True" in text
+    # gold carries priority_class=1 in the demo: it runs first.
+    assert "in order gold-wf0-extra10MB, gold-wf1-extra10MB" in text
+    for tenant in ("bronze", "silver", "gold"):
+        assert tenant in text
+    assert "fair share 57%" in text  # gold: 4/7
+
+
+def test_ensemble_command_custom_config(tmp_path):
+    config = tmp_path / "ensemble.json"
+    config.write_text(json.dumps({
+        "tenants": [
+            {"tenant": "acme", "weight": 2},
+            {"tenant": "capped", "weight": 1, "max_bytes": 1.0},
+        ],
+        "submissions": [
+            {"tenant": "acme", "count": 1, "images": 4, "extra_mb": 2},
+            {"tenant": "capped", "count": 1, "images": 4, "extra_mb": 2},
+        ],
+        "scheduler": "fair",
+        "max_concurrent": 2,
+    }))
+    code, text = run_cli("ensemble", "--config", str(config))
+    assert code == 0  # the rejection is reported, the rest still succeeds
+    assert "rejected       : capped-wf0-extra2MB (capped)" in text
+    assert "byte quota exhausted" in text
+    assert "success        : True" in text
+
+
+def test_ensemble_command_scheduler_override():
+    code, text = run_cli("ensemble", "--scheduler", "fifo",
+                         "--max-concurrent", "1")
+    assert code == 0
+    assert "scheduler      : fifo (max 1 concurrent)" in text
+    # FIFO ignores priority classes: submission order wins.
+    assert "in order bronze-wf0-extra10MB" in text
+
+
+def test_trace_tenant_ensemble_artifacts(tmp_path):
+    code, text = run_cli("trace", "tenant-ensemble", "--out", str(tmp_path))
+    assert code == 0
+    assert "success  : True" in text
+    assert "tenant events" in text
+    for artifact in ("trace.json", "events.jsonl", "metrics.prom",
+                     "provenance.json"):
+        assert (tmp_path / artifact).exists()
+    provenance = json.loads((tmp_path / "provenance.json").read_text())
+    assert provenance["kind"] == "tenant-ensemble"
+    assert provenance["admission_order"][0] == "gold-wf0-extra10MB"
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert any('"tenant.admit"' in line for line in lines)
+
+
+def test_ensemble_trace_deterministic_across_processes(tmp_path):
+    """The tenant-ensemble trace must stay byte-identical across
+    hash-randomized interpreters: admission decisions route through
+    dicts (ledgers, registries), so this is the regression net for
+    iteration-order leaks in the tenancy layer."""
+    import os
+    import subprocess
+    import sys
+
+    env = {**os.environ, "PYTHONPATH": "src"}
+    for tag, hashseed in (("a", "1"), ("b", "31337")):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "tenant-ensemble",
+             "--out", str(tmp_path / tag)],
+            env={**env, "PYTHONHASHSEED": hashseed},
+            check=True, capture_output=True, timeout=300,
+        )
+    assert (tmp_path / "a" / "events.jsonl").read_bytes() == \
+        (tmp_path / "b" / "events.jsonl").read_bytes()
