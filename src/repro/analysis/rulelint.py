@@ -24,6 +24,11 @@ R007      info      rule→fact read/write dependency cycle (feedback loop
 R008      warning   salience is not a named tier from
                     :mod:`repro.policy.salience` (magic number), or —
                     error — the tier ordering invariants are broken.
+R009      warning   compiled-engine fast path — a join-plan rule whose
+                    *last* pattern declares no ``keys``, so the lazy probe
+                    walks the whole prefix frontier instead of one bucket;
+                    info — a multi-pattern rule that falls back to the
+                    ``delta`` plan (reported with the compiler's reason).
 ========  ========  ==========================================================
 
 Dynamic checks (R001/R003/R004/R005) probe the rule set against randomized
@@ -543,6 +548,41 @@ def _check_salience_names(rules: Sequence[Rule], report: Report) -> None:
 
 
 # --------------------------------------------------------------------------
+# R009: compiled-engine fast path
+# --------------------------------------------------------------------------
+def _check_fast_path(rules: Sequence[Rule], report: Report) -> None:
+    from repro.rules.compiler import PLAN_JOIN, fast_path_report
+
+    patterns_of = {rule.name: rule for rule in rules}
+    for row in fast_path_report(rules):
+        rule = patterns_of[row["rule"]]
+        if row["plan"] == PLAN_JOIN:
+            if row["last_position_keyed"] is False:
+                report.add(
+                    "R009",
+                    Severity.WARNING,
+                    rule.name,
+                    "join-plan rule whose last pattern declares no `keys`: "
+                    "the compiled engine's lazy probe walks the whole "
+                    "partial-match frontier instead of one bucket on every "
+                    "update of the last position's fact type",
+                    location=location_of(rule.then),
+                    plan=row["plan"],
+                )
+        elif len([el for el in rule.when if isinstance(el, Pattern)]) >= 2:
+            report.add(
+                "R009",
+                Severity.INFO,
+                rule.name,
+                f"multi-pattern rule runs on the delta plan, not the join "
+                f"network: {row['reason']}",
+                location=location_of(rule.then),
+                plan=row["plan"],
+                reason=row["reason"],
+            )
+
+
+# --------------------------------------------------------------------------
 # R003 / R004: ties and shadowing
 # --------------------------------------------------------------------------
 class _ActivationLog:
@@ -640,6 +680,7 @@ def lint_rules(
     _check_reachability(rules, entry_types, report)
     _check_dependency_cycles(rules, report)
     _check_salience_names(rules, report)
+    _check_fast_path(rules, report)
 
     # Probing: keys soundness + activation log for ties/shadowing.
     keys_reported: set = set()

@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threshold", type=int, default=50)
     serve.add_argument("--default-streams", type=int, default=4)
     serve.add_argument("--cluster-count", type=int, default=None)
+    serve.add_argument("--engine", choices=["indexed", "seed", "compiled"],
+                       default="indexed",
+                       help="rule engine variant (advice is identical; "
+                            "compiled is the fastest on large batches)")
+    serve.add_argument("--frontend", choices=["threaded", "async"],
+                       default="threaded",
+                       help="HTTP frontend: thread-per-connection or a "
+                            "single asyncio loop with keep-alive pipelining")
     serve.add_argument("--access-control", action="store_true",
                        help="enable host denials and staging quotas")
 
@@ -143,7 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max streams between a host pair")
     trace.add_argument("--images", type=int, default=12,
                        help="Montage input images (= staging jobs)")
-    trace.add_argument("--engine", choices=["indexed", "seed"], default="indexed",
+    trace.add_argument("--engine", choices=["indexed", "seed", "compiled"], default="indexed",
                        help="rule engine variant (traces are identical)")
     trace.add_argument("--seed", type=int, default=0)
 
@@ -175,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="default parallel streams per transfer")
     ensemble.add_argument("--threshold", type=int, default=50,
                           help="max streams between a host pair")
-    ensemble.add_argument("--engine", choices=["indexed", "seed"], default="indexed")
+    ensemble.add_argument("--engine", choices=["indexed", "seed", "compiled"], default="indexed")
     ensemble.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -289,9 +297,19 @@ def _cmd_serve(args, out) -> int:
         cluster_count=args.cluster_count,
         access_control=args.access_control,
     )
-    server = PolicyRestServer(PolicyService(config), host=args.host, port=args.port)
+    service = PolicyService(config, engine=args.engine)
+    if args.frontend == "async":
+        from repro.policy.rest_async import AsyncPolicyRestServer
+
+        server = AsyncPolicyRestServer(service, host=args.host, port=args.port)
+    else:
+        server = PolicyRestServer(service, host=args.host, port=args.port)
     server.start()
-    print(f"Policy Service ({args.policy}) listening on {server.url}", file=out)
+    print(
+        f"Policy Service ({args.policy}, {args.engine} engine, "
+        f"{args.frontend} frontend) listening on {server.url}",
+        file=out,
+    )
     print("Ctrl-C to stop.", file=out)
     try:
         import threading

@@ -28,7 +28,7 @@ __all__ = ["RuleProfiler", "RuleStats"]
 class RuleStats:
     """Per-rule tallies (one row of the profile report)."""
 
-    __slots__ = ("name", "activations", "fires", "match_s", "action_s")
+    __slots__ = ("name", "activations", "fires", "match_s", "action_s", "nodes")
 
     def __init__(self, name: str):
         self.name = name
@@ -36,6 +36,9 @@ class RuleStats:
         self.fires = 0
         self.match_s = 0.0
         self.action_s = 0.0
+        #: per-node event counters from the compiled join network
+        #: (e.g. ``probe_steps``: beta-memory slots walked by lazy probes)
+        self.nodes: dict[str, int] = {}
 
     @property
     def total_s(self) -> float:
@@ -49,6 +52,7 @@ class RuleStats:
             "match_s": self.match_s,
             "action_s": self.action_s,
             "total_s": self.total_s,
+            "nodes": dict(self.nodes),
         }
 
 
@@ -91,6 +95,11 @@ class RuleProfiler:
         row.fires += 1
         row.action_s += elapsed_s
         self.total_firings += 1
+
+    def record_node(self, rule_name: str, event: str, n: int = 1) -> None:
+        """Count a join-network node event (compiled engine only)."""
+        nodes = self._row(rule_name).nodes
+        nodes[event] = nodes.get(event, 0) + n
 
     def sample_agenda(self, size: int) -> None:
         self.agenda_samples.append(size)

@@ -41,9 +41,12 @@ from repro.policy.client import (
 from repro.policy.controller import PolicyController, PolicyRequestError
 from repro.policy.journal import JournalError, PolicyJournal
 from repro.policy.model import PolicyConfig, TransferAdvice
+from repro.policy.rest import PolicyRestServer
+from repro.policy.rest_async import AsyncPolicyRestServer
 from repro.policy.service import PolicyService
 
 __all__ = [
+    "AsyncPolicyRestServer",
     "CircuitBreaker",
     "CircuitOpenError",
     "InProcessPolicyClient",
@@ -52,6 +55,7 @@ __all__ = [
     "PolicyController",
     "PolicyJournal",
     "PolicyRequestError",
+    "PolicyRestServer",
     "PolicyService",
     "PolicyUnavailableError",
     "RetryPolicy",

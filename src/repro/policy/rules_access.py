@@ -52,8 +52,10 @@ class WorkflowQuotaFact(Fact):
         self.used_bytes = 0.0
 
 
-def _denied_by_host(denial, bindings) -> bool:
-    t = bindings["t"]
+def _denied_transfer(t, bindings) -> bool:
+    denial = bindings["deny"]
+    if t.status != "new":
+        return False
     if denial.direction in ("src", "any") and t.src_host == denial.host:
         return True
     if denial.direction in ("dst", "any") and t.dst_host == denial.host:
@@ -116,13 +118,17 @@ def access_rules() -> list[Rule]:
             "Deny transfers that involve an administratively denied host",
             salience=salience.ACCESS_DENY_HOST,
             when=[
+                # The handful of admin bans drive the join; the hot, keyed
+                # TransferFact pattern sits at the probed last position so
+                # the compiled engine walks one status bucket, not the
+                # whole frontier (rulelint R009).
+                Pattern(HostDenialFact, "deny"),
                 Pattern(
                     TransferFact,
                     "t",
-                    where=lambda t, b: t.status == "new",
+                    where=_denied_transfer,
                     keys={"status": lambda b: "new"},
                 ),
-                Pattern(HostDenialFact, "deny", where=_denied_by_host),
             ],
             then=_deny_host,
         ),

@@ -92,7 +92,14 @@ def balanced_rules() -> list[Rule]:
             salience=salience.THRESHOLD_RETRIEVE,
             when=[
                 Pattern(TransferFact, "t", where=_needs_allocation, keys=_NEW_KEYS),
-                Absent(ClusterAllocationFact, where=_cluster_of, keys=_cluster_keys()),
+                Absent(
+                    ClusterAllocationFact,
+                    where=_cluster_of,
+                    keys=_cluster_keys(),
+                    # The per-cluster counter churns on every firing; only
+                    # the (immutable) pair + cluster identity decide this.
+                    reads=("src_host", "dst_host", "cluster"),
+                ),
             ],
             then=_create_cluster_allocation,
         ),

@@ -15,13 +15,14 @@ from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
-from repro.rules import Rule, Session, WorkingMemory
+from repro.rules import CompiledSession, Rule, Session, WorkingMemory, compile_rules
 
 from repro.policy.adaptive import AdaptiveThresholdController
 from repro.policy.journal import JournalError, PolicyJournal
 from repro.policy.model import (
     CleanupAdvice,
     CleanupFact,
+    ClusterAllocationFact,
     HostPairFact,
     LeaseSweepFact,
     PolicyConfig,
@@ -83,7 +84,11 @@ class PolicyService:
         ``"indexed"`` (default) uses the hash-indexed working memory and
         the incremental rule agenda; ``"seed"`` keeps the original
         scan-everything engine — same advice, used as the baseline by
-        ``benchmarks/bench_rules.py`` and the equivalence tests.
+        ``benchmarks/bench_rules.py`` and the equivalence tests;
+        ``"compiled"`` compiles the rule pack once into a Rete/TREAT-style
+        join network with memoized partial matches (see
+        :mod:`repro.rules.compiler` and ``docs/engine.md``) — advice is
+        byte-identical across all three engines.
     journal:
         A :class:`~repro.policy.journal.PolicyJournal` making the policy
         memory durable.  The journal directory must be empty/fresh here;
@@ -114,8 +119,10 @@ class PolicyService:
         tracer=None,
         profiler=None,
     ):
-        if engine not in ("indexed", "seed"):
-            raise ValueError(f"engine must be 'indexed' or 'seed', got {engine!r}")
+        if engine not in ("indexed", "seed", "compiled"):
+            raise ValueError(
+                f"engine must be 'indexed', 'seed' or 'compiled', got {engine!r}"
+            )
         self.engine = engine
         self.config = config or PolicyConfig()
         #: time source for adaptive epochs — the simulated clock inside a
@@ -126,7 +133,7 @@ class PolicyService:
             self.adaptive = AdaptiveThresholdController(
                 self.config.max_streams, self.config.adaptive_settings
             )
-        self.memory = WorkingMemory(indexed=self.engine == "indexed")
+        self.memory = WorkingMemory(indexed=self.engine in ("indexed", "compiled"))
         self.globals: dict = {"config": self.config, "group_counter": 1}
         rules = list(common_rules()) + list(priority_rules()) + list(fairshare_rules())
         if self.config.access_control:
@@ -137,6 +144,9 @@ class PolicyService:
             rules += balanced_rules()
         rules += list(extra_rules)
         self._rules = rules
+        # One compilation pass per service: every compiled session shares
+        # the (immutable) plan set; per-call state lives in its network.
+        self._ruleset = compile_rules(rules) if self.engine == "compiled" else None
         # Plain integer counters (not itertools.count) so snapshots can
         # read the high-water marks and recovery can restore them.
         self._tid_last = 0
@@ -405,6 +415,14 @@ class PolicyService:
 
     # ------------------------------------------------------------------ session
     def _session(self) -> Session:
+        if self.engine == "compiled":
+            return CompiledSession(
+                self._rules,
+                memory=self.memory,
+                globals=self.globals,
+                profiler=self.profiler,
+                ruleset=self._ruleset,
+            )
         return Session(
             self._rules,
             memory=self.memory,
@@ -997,6 +1015,29 @@ class PolicyService:
                     self.memory.retract(p)
             for binding in list(self.memory.lookup(TenantWorkflowFact, workflow=workflow)):
                 self.memory.retract(binding)
+            # Host-pair grouping state is demand-created per (src, dst);
+            # once nothing references a pair it can never release streams
+            # or regain users on its own, so an idle pair left behind is a
+            # permanent leak (one fact per distinct pair, forever).  Drop
+            # pairs with zero allocation and no transfer still in flight
+            # on them; a later transfer simply re-creates the pair (the
+            # adaptive controller keeps per-pair threshold state itself).
+            live_pairs = {
+                (t.src_host, t.dst_host)
+                for t in self.memory.facts_of(TransferFact)
+            }
+            for pair in list(self.memory.facts_of(HostPairFact)):
+                if (
+                    pair.allocated == 0
+                    and (pair.src_host, pair.dst_host) not in live_pairs
+                ):
+                    self.memory.retract(pair)
+            for alloc in list(self.memory.facts_of(ClusterAllocationFact)):
+                if (
+                    alloc.allocated == 0
+                    and (alloc.src_host, alloc.dst_host) not in live_pairs
+                ):
+                    self.memory.retract(alloc)
             self._commit_journal()
 
     # ------------------------------------------------------------------ status

@@ -24,19 +24,26 @@ Concepts
     refraction so an activation fires once per fact-version combination).
 """
 
+from repro.rules.compiler import CompiledRuleset, compile_rules, fast_path_report
 from repro.rules.engine import Rule, RuleEngineError, Session
 from repro.rules.facts import Fact, WorkingMemory
+from repro.rules.network import CompiledSession, JoinNetwork
 from repro.rules.patterns import Absent, Collect, Exists, Pattern, Test
 
 __all__ = [
     "Absent",
     "Collect",
+    "CompiledRuleset",
+    "CompiledSession",
     "Exists",
     "Fact",
+    "JoinNetwork",
     "Pattern",
     "Rule",
     "RuleEngineError",
     "Session",
     "Test",
     "WorkingMemory",
+    "compile_rules",
+    "fast_path_report",
 ]

@@ -545,6 +545,13 @@ class Session:
             return self._next_activation_incremental(seed)
         return self._next_activation_full(seed)
 
+    def _agenda_sample_size(self) -> int:
+        """Computed-but-unfired activation count for profiler sampling.
+        Subclasses with their own agenda representation override this."""
+        if self.incremental:
+            return sum(len(a.entries) for a in self._agendas.values())
+        return sum(len(c[1]) for c in self._match_cache.values())
+
     def fire_all(self) -> int:
         """Fire activations until quiescence; returns the firing count."""
         fired = 0
@@ -565,14 +572,7 @@ class Session:
                 self.trace.append(f"FIRE {rule.name} {bound}")
             profiler = self.profiler
             if profiler is not None:
-                if self.incremental:
-                    profiler.sample_agenda(
-                        sum(len(a.entries) for a in self._agendas.values())
-                    )
-                else:
-                    profiler.sample_agenda(
-                        sum(len(c[1]) for c in self._match_cache.values())
-                    )
+                profiler.sample_agenda(self._agenda_sample_size())
                 t0 = profiler.clock()
                 rule.then(ActivationContext(self, rule, bindings))
                 profiler.record_fire(rule.name, profiler.clock() - t0)

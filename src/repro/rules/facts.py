@@ -19,6 +19,7 @@ the baseline by ``benchmarks/bench_rules.py`` and the equivalence tests.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterator, Optional, Type, TypeVar
 
 __all__ = ["Fact", "WorkingMemory"]
@@ -89,11 +90,14 @@ class WorkingMemory:
         self.observer: Optional[Any] = None
         # (fact type, sorted attr names) -> key tuple -> {id(fact): fact}
         self._indexes: dict[tuple[type, tuple[str, ...]], dict[tuple, dict[int, Fact]]] = {}
-        # (clock, fid, fact, op) log feeding incremental agendas.  A plain
-        # list (compacted by halves once it outgrows the cap) so that
-        # ``changes_since`` can slice by index: clock ticks once per
-        # entry, making ``seq -> index`` arithmetic.
-        self._log: list[tuple[int, int, Fact, str]] = []
+        # (clock, fid, fact, op) log feeding incremental agendas.  A ring
+        # buffer: appending beyond the cap drops the oldest entry in O(1)
+        # instead of the O(cap) copy-shift a list compaction would cost on
+        # the mutation hot path.  Clock ticks once per entry, so the
+        # retained window is always the last ``_CHANGELOG_CAP`` sequences.
+        self._log: deque[tuple[int, int, Fact, str, Optional[frozenset]]] = deque(
+            maxlen=_CHANGELOG_CAP
+        )
 
     @property
     def indexed(self) -> bool:
@@ -104,16 +108,15 @@ class WorkingMemory:
         """Monotonic mutation counter (one tick per insert/update/retract)."""
         return self._clock
 
-    def _touch(self, fact: Fact, fid: int, op: str) -> None:
+    def _touch(
+        self, fact: Fact, fid: int, op: str, changed: Optional[frozenset] = None
+    ) -> None:
         self._clock += 1
         for klass in type(fact).__mro__:
             if klass is object:
                 break
             self._type_clock[klass] = self._clock
-        log = self._log
-        log.append((self._clock, fid, fact, op))
-        if len(log) > _CHANGELOG_CAP:
-            del log[: len(log) // 2]
+        self._log.append((self._clock, fid, fact, op, changed))
         if self.observer is not None:
             self.observer(fact, fid, op)
 
@@ -139,10 +142,39 @@ class WorkingMemory:
         log = self._log
         if not log or log[0][0] > seq + 1:
             return None
-        # One clock tick per log entry: the entry with sequence s lives at
-        # index s - first_seq, so the tail after ``seq`` is a slice.
-        start = seq + 1 - log[0][0]
-        return [(fid, fact, op) for (_s, fid, fact, op) in log[start:]]
+        # Walk back from the newest entry: the tail after ``seq`` is the
+        # common case (a session catching up after one firing), so cost is
+        # proportional to the answer, not to the window size.
+        out = []
+        for s, fid, fact, op, _changed in reversed(log):
+            if s <= seq:
+                break
+            out.append((fid, fact, op))
+        out.reverse()
+        return out
+
+    def changes_since_verbose(
+        self, seq: int
+    ) -> Optional[list[tuple[int, Fact, str, Optional[frozenset]]]]:
+        """Like :meth:`changes_since` but with a fourth element: the set
+        of attribute names an update actually changed (value really
+        differed), ``None`` when unknown (inserts, retracts, or in-place
+        mutation the memory could not observe).  Lets incremental engines
+        prove an update cannot have flipped a condition that only reads
+        other attributes.
+        """
+        if seq >= self._clock:
+            return []
+        log = self._log
+        if not log or log[0][0] > seq + 1:
+            return None
+        out = []
+        for s, fid, fact, op, changed in reversed(log):
+            if s <= seq:
+                break
+            out.append((fid, fact, op, changed))
+        out.reverse()
+        return out
 
     # -- index maintenance ---------------------------------------------------
     def _applicable_indexes(self, fact: Fact):
@@ -224,9 +256,15 @@ class WorkingMemory:
         entry = self._entries.get(id(fact))
         if entry is None:
             raise KeyError(f"fact not in working memory: {fact.describe()}")
+        changed = set()
         for key, value in changes.items():
             if not hasattr(fact, key):
                 raise AttributeError(f"{type(fact).__name__} has no attribute {key!r}")
+            try:
+                if getattr(fact, key) != value:
+                    changed.add(key)
+            except Exception:
+                changed.add(key)  # incomparable value: assume it changed
         # Re-slot the fact in any index whose key attributes are changing;
         # the old key must be read before the attributes are assigned.
         touched_indexes = []
@@ -241,7 +279,9 @@ class WorkingMemory:
             self._index_add(fact, entry.fid, attrs, buckets)
         entry.version += 1
         entry.last_modifier = modifier
-        self._touch(fact, entry.fid, "u")
+        # No kwargs means the caller mutated the fact in place before
+        # announcing the update — the changed set is unknowable, not empty.
+        self._touch(fact, entry.fid, "u", frozenset(changed) if changes else None)
         return fact
 
     def retract(self, fact: Fact) -> None:

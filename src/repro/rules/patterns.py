@@ -38,7 +38,7 @@ guard semantics below.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Type
+from typing import Any, Callable, Iterable, Optional, Type
 
 from repro.rules.facts import Fact
 
@@ -85,15 +85,37 @@ def _validate_keys(name: str, keys: KeySpec) -> KeySpec:
 class _TypedElement(ConditionElement):
     """Shared candidate selection for the typed condition elements."""
 
-    __slots__ = ("fact_type", "where", "keys")
+    __slots__ = ("fact_type", "where", "keys", "reads")
 
-    def __init__(self, fact_type: Type[Fact], where: Optional[Guard], keys: KeySpec):
+    def __init__(
+        self,
+        fact_type: Type[Fact],
+        where: Optional[Guard],
+        keys: KeySpec,
+        reads: Optional[Iterable[str]] = None,
+    ):
         name = type(self).__name__
         if not (isinstance(fact_type, type) and issubclass(fact_type, Fact)):
             raise TypeError(f"{name} requires a Fact subclass, got {fact_type!r}")
         self.fact_type = fact_type
         self.where = where
         self.keys = _validate_keys(name, keys)
+        #: optional declaration of the fact attributes the guard (and the
+        #: key equalities) consult.  When set, incremental engines may
+        #: skip re-evaluating this element for an update that changed
+        #: none of the listed attributes — the element's truth value
+        #: provably cannot have flipped.  MUST cover everything the guard
+        #: reads from the candidate fact, else matches are silently
+        #: stale.  ``None`` (default) means unknown: always re-evaluate.
+        if reads is not None:
+            reads = frozenset(reads)
+            if not reads or not all(
+                isinstance(a, str) and a for a in reads
+            ):
+                raise TypeError(
+                    f"{name} reads must be a non-empty iterable of attribute names"
+                )
+        self.reads: Optional[frozenset] = reads
 
     def candidates(self, memory, bindings: dict) -> list[Fact]:
         """Facts this element may match, narrowed via the key index."""
@@ -118,8 +140,9 @@ class Pattern(_TypedElement):
         binding: Optional[str] = None,
         where: Optional[Guard] = None,
         keys: KeySpec = None,
+        reads: Optional[Iterable[str]] = None,
     ):
-        super().__init__(fact_type, where, keys)
+        super().__init__(fact_type, where, keys, reads)
         self.binding = binding
 
     def expand(self, memory, bindings: dict) -> list[dict]:
@@ -152,8 +175,9 @@ class Absent(_TypedElement):
         fact_type: Type[Fact],
         where: Optional[Guard] = None,
         keys: KeySpec = None,
+        reads: Optional[Iterable[str]] = None,
     ):
-        super().__init__(fact_type, where, keys)
+        super().__init__(fact_type, where, keys, reads)
 
     def expand(self, memory, bindings: dict) -> list[dict]:
         for fact in self.candidates(memory, bindings):
@@ -181,8 +205,9 @@ class Exists(_TypedElement):
         fact_type: Type[Fact],
         where: Optional[Guard] = None,
         keys: KeySpec = None,
+        reads: Optional[Iterable[str]] = None,
     ):
-        super().__init__(fact_type, where, keys)
+        super().__init__(fact_type, where, keys, reads)
 
     def expand(self, memory, bindings: dict) -> list[dict]:
         for fact in self.candidates(memory, bindings):
@@ -206,8 +231,9 @@ class Collect(_TypedElement):
         where: Optional[Guard] = None,
         min_count: int = 0,
         keys: KeySpec = None,
+        reads: Optional[Iterable[str]] = None,
     ):
-        super().__init__(fact_type, where, keys)
+        super().__init__(fact_type, where, keys, reads)
         if not binding:
             raise ValueError("Collect requires a binding name")
         self.binding = binding

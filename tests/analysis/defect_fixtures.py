@@ -153,6 +153,22 @@ def magic_salience_rules():
     ]
 
 
+def unkeyed_join_rules():
+    """R009: a join-plan rule whose last pattern declares no keys."""
+    return [
+        Rule(
+            "Join with an unkeyed last position",
+            when=[
+                Pattern(ProbeFact, "t", where=lambda t, b: t.status == "new",
+                        keys={"status": lambda b: "new"}),
+                Pattern(CounterFact, "c",
+                        where=lambda c, b: c.value >= 0),
+            ],
+            then=_noop,
+        )
+    ]
+
+
 # -- plan defects -----------------------------------------------------------
 def _stage_in(job_id: str, lfn: str) -> ExecutableJob:
     return ExecutableJob(

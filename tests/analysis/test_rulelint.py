@@ -117,6 +117,38 @@ def test_magic_salience_triggers_r008():
     assert hits and "magic number" in hits[0].message
 
 
+def test_unkeyed_join_last_position_triggers_r009():
+    report = _lint_defect(defects.unkeyed_join_rules())
+    hits = [f for f in report.findings if f.check == "R009"]
+    assert hits and hits[0].severity == Severity.WARNING
+    assert "lazy probe" in hits[0].message
+
+
+def test_delta_fallback_is_r009_info():
+    report = _lint_defect(defects.shadowing_rules() + defects.unreachable_rules())
+    # shadowing_rules are single-pattern (no R009); the Absent-gated
+    # unreachable rule is multi-condition but single-Pattern — also no
+    # R009.  Build an explicit two-pattern Absent rule instead.
+    from repro.rules import Absent, Pattern, Rule
+
+    rules = [
+        Rule(
+            "Gated pair",
+            when=[
+                Pattern(defects.ProbeFact, "t"),
+                Pattern(defects.CounterFact, "c"),
+                Absent(defects.OrphanFact),
+            ],
+            then=lambda ctx: None,
+        )
+    ]
+    report = _lint_defect(rules)
+    hits = [f for f in report.findings if f.check == "R009"]
+    assert hits and hits[0].severity == Severity.INFO
+    assert "delta plan" in hits[0].message
+    assert "Absent" in hits[0].message
+
+
 def test_probing_is_deterministic():
     first = _lint_defect(defects.bad_key_hint_rules())
     second = _lint_defect(defects.bad_key_hint_rules())

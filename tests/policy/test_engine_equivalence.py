@@ -1,18 +1,21 @@
-"""Indexed-engine equivalence and long-lived-service memory tests.
+"""Cross-engine equivalence and long-lived-service memory tests.
 
 The ``engine="indexed"`` service (hash-indexed memory + incremental
-agenda) must give **byte-identical** advice to the ``engine="seed"``
-service (full re-scan engine) for the same request stream.  The Montage
-scenario mirrors the paper's workload: per-job stage-in batches with
-cross-workflow duplicates, completions and cleanups interleaved.
+agenda) and the ``engine="compiled"`` service (join-network plans with
+memoized partial matches) must give **byte-identical** advice to the
+``engine="seed"`` service (full re-scan engine) for the same request
+stream.  The Montage scenario mirrors the paper's workload: per-job
+stage-in batches with cross-workflow duplicates, completions and
+cleanups interleaved; the access and fairshare variants layer host
+denials and tenant budgets on top.
 """
 
 import json
 
 import pytest
 
-from repro.policy import PolicyConfig, PolicyService
-from repro.policy.model import StagedFileFact, TransferFact
+from repro.policy import PolicyConfig, PolicyJournal, PolicyService
+from repro.policy.model import HostPairFact, StagedFileFact, TransferFact
 from repro.workflow.montage import MontageConfig, montage_workflow
 
 from tests.policy.conftest import spec
@@ -38,11 +41,17 @@ def montage_batches(max_jobs=40):
     return batches
 
 
-def drive(service):
-    """Run the Montage scenario against a service; return the advice log."""
+def drive(service, mid_hook=None):
+    """Run the Montage scenario against a service; return the advice log.
+
+    ``mid_hook`` runs between the two workflows so scenario variants can
+    flip service state (deny a host, rebind tenants) mid-stream.
+    """
     log = []
     in_flight = []
     for n, (workflow, mult) in enumerate([("wfA", 1), ("wfB", 2)]):
+        if n == 1 and mid_hook is not None:
+            mid_hook(service)
         for i, (job, items) in enumerate(montage_batches()):
             advice = service.submit_transfers(workflow, job, items)
             log.append([a.to_dict() for a in advice])
@@ -74,25 +83,85 @@ def make_service(engine, policy="greedy", **kw):
     return PolicyService(PolicyConfig(**cfg), engine=engine)
 
 
-@pytest.mark.parametrize(
-    "policy_kw",
-    [
-        {"policy": "greedy"},
-        {"policy": "fifo"},
-        {"policy": "balanced", "cluster_count": 3},
-        {"policy": "greedy", "order_by": "priority"},
-    ],
-    ids=["greedy", "fifo", "balanced", "priority"],
-)
-def test_montage_advice_byte_identical_across_engines(policy_kw):
-    seed = drive(make_service("seed", **policy_kw))
-    indexed = drive(make_service("indexed", **policy_kw))
-    assert json.dumps(seed, sort_keys=True) == json.dumps(indexed, sort_keys=True)
+def _fairshare_setup(service):
+    service.register_tenant("acme", weight=2, max_streams=20)
+    service.register_tenant("beta", weight=1, max_streams=8)
+    service.bind_workflow("wfA", "acme")
+    service.bind_workflow("wfB", "beta")
+
+
+def _deny_mid_run(service):
+    # wfA staged normally; every wfB transfer now hits a denied source.
+    service.deny_host("fg-vm", direction="src", reason="maintenance window")
+
+
+_PACKS = [
+    pytest.param({"policy": "greedy"}, None, None, id="greedy"),
+    pytest.param({"policy": "fifo"}, None, None, id="fifo"),
+    pytest.param({"policy": "balanced", "cluster_count": 3}, None, None,
+                 id="balanced"),
+    pytest.param({"policy": "greedy", "order_by": "priority"}, None, None,
+                 id="priority"),
+    pytest.param({"policy": "greedy", "access_control": True}, None,
+                 _deny_mid_run, id="access"),
+    pytest.param({"policy": "greedy"}, _fairshare_setup, None, id="fairshare"),
+]
+
+
+@pytest.mark.parametrize("engine", ["indexed", "compiled"])
+@pytest.mark.parametrize("policy_kw, setup, mid_hook", _PACKS)
+def test_montage_advice_byte_identical_across_engines(
+    engine, policy_kw, setup, mid_hook
+):
+    logs = {}
+    for name in ("seed", engine):
+        service = make_service(name, **policy_kw)
+        if setup is not None:
+            setup(service)
+        logs[name] = drive(service, mid_hook=mid_hook)
+    assert json.dumps(logs["seed"], sort_keys=True) == json.dumps(
+        logs[engine], sort_keys=True
+    )
 
 
 def test_engine_parameter_validated():
     with pytest.raises(ValueError):
         PolicyService(engine="warp")
+
+
+@pytest.mark.parametrize("engine", ["seed", "indexed", "compiled"])
+def test_crash_recovery_replay_byte_identical(tmp_path, engine):
+    """A recovered service must replay to the same advice as an uncrashed
+    twin — on every engine, including the compiled join network."""
+    cfg = dict(policy="greedy", default_streams=4, max_streams=12)
+    batches = montage_batches(max_jobs=12)
+
+    def build(path):
+        return PolicyService(
+            PolicyConfig(**cfg), engine=engine, journal=PolicyJournal(path)
+        )
+
+    journaled = build(tmp_path / "j")
+    for job, items in batches[:6]:
+        journaled.submit_transfers("wfA", job, items)
+    del journaled  # crash: only the journal directory survives
+
+    recovered = PolicyService.recover(
+        tmp_path / "j", config=PolicyConfig(**cfg), engine=engine
+    )
+    twin = build(tmp_path / "twin")
+    for job, items in batches[:6]:
+        twin.submit_transfers("wfA", job, items)
+
+    tails = []
+    for svc in (recovered, twin):
+        log = [
+            [a.to_dict() for a in svc.submit_transfers("wfB", job, items)]
+            for job, items in batches[6:]
+        ]
+        log.append(svc.snapshot()["memory"])
+        tails.append(log)
+    assert json.dumps(tails[0], sort_keys=True) == json.dumps(tails[1], sort_keys=True)
 
 
 # ------------------------------------------------------- bounded memory
@@ -118,6 +187,38 @@ def test_hundred_workflow_lifetimes_leave_no_residue():
     assert set(censuses) == {(0, 0)}
     assert len(service._done_tids) <= 100
     assert len(service._failed_tids) <= 100
+
+
+@pytest.mark.parametrize("retain", [False, True], ids=["drop", "retain"])
+@pytest.mark.parametrize("policy_kw", [
+    pytest.param({"policy": "greedy"}, id="greedy"),
+    pytest.param({"policy": "balanced", "cluster_count": 3}, id="balanced"),
+])
+def test_repeated_lifetimes_leave_no_allocation_residue(policy_kw, retain):
+    """Regression: idle ``HostPairFact`` / ``ClusterAllocationFact``
+    records used to survive ``unregister_workflow`` forever (one per host
+    pair), growing working memory in a long-lived service."""
+    service = make_service("indexed", **policy_kw)
+    for life in range(25):
+        wf = f"wf{life}"
+        lfn = "shared" if retain else wf
+        advice = service.submit_transfers(
+            wf, "stage",
+            [dict(spec(f"{lfn}-f{i}"), cluster=i % 3) for i in range(3)],
+        )
+        service.complete_transfers(
+            done=[a.tid for a in advice if a.action == "transfer"]
+        )
+        service.unregister_workflow(wf, retain_staged=retain)
+        census = service.snapshot()["memory"]
+        assert "HostPairFact" not in census
+        assert "ClusterAllocationFact" not in census
+        assert "TransferFact" not in census
+        if not retain:
+            assert "StagedFileFact" not in census
+    if retain:
+        # The retained files are the *only* thing the service remembers.
+        assert set(service.snapshot()["memory"]) == {"StagedFileFact"}
 
 
 def test_unregister_retracts_orphaned_staged_files(greedy_service):

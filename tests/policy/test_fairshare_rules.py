@@ -146,7 +146,7 @@ def test_reregister_preserves_ledgers():
     assert entry["bytes_staged"] == 50.0  # ledger survives the update
 
 
-@pytest.mark.parametrize("engine", ["seed", "indexed"])
+@pytest.mark.parametrize("engine", ["seed", "indexed", "compiled"])
 def test_engines_agree_on_budgeted_advice(engine):
     svc_a = service_with_tenant(max_streams=6, engine=engine)
     svc_b = service_with_tenant(max_streams=6, engine="indexed")

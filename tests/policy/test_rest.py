@@ -9,12 +9,18 @@ import pytest
 from repro.policy import PolicyConfig, PolicyService
 from repro.policy.client import HTTPPolicyClient
 from repro.policy.rest import PolicyRestServer
+from repro.policy.rest_async import AsyncPolicyRestServer
+
+FRONTENDS = [
+    pytest.param(PolicyRestServer, id="threaded"),
+    pytest.param(AsyncPolicyRestServer, id="async"),
+]
 
 
-@pytest.fixture
-def server():
+@pytest.fixture(params=FRONTENDS)
+def server(request):
     service = PolicyService(PolicyConfig(policy="greedy", default_streams=4, max_streams=50))
-    with PolicyRestServer(service) as srv:
+    with request.param(service) as srv:
         yield srv
 
 
@@ -103,9 +109,10 @@ def test_unknown_transfer_id_state(client):
     assert client.transfer_state(424242) == "unknown"
 
 
-def test_server_restart_guard():
+@pytest.mark.parametrize("frontend", FRONTENDS)
+def test_server_restart_guard(frontend):
     service = PolicyService(PolicyConfig())
-    server = PolicyRestServer(service).start()
+    server = frontend(service).start()
     try:
         with pytest.raises(RuntimeError):
             server.start()
@@ -156,9 +163,10 @@ def test_concurrent_http_clients_are_serialized_safely(server):
 def _raw_request(server, payload: bytes) -> tuple[int, dict]:
     """Send raw bytes over a socket; return (status, decoded JSON body)."""
     import socket
+    from urllib.parse import urlsplit
 
-    host, port = server._httpd.server_address[:2]
-    with socket.create_connection((host, port), timeout=5) as sock:
+    parts = urlsplit(server.url)
+    with socket.create_connection((parts.hostname, parts.port), timeout=5) as sock:
         sock.sendall(payload)
         sock.settimeout(5)
         chunks = []

@@ -1,0 +1,170 @@
+"""Asyncio frontend specifics: keep-alive, pipelining, engine parity.
+
+The shared REST surface (routes, error mapping, drain) is exercised over
+both frontends in ``test_rest.py`` / ``test_rest_hardening.py``; this
+module covers what only the asyncio frontend promises — many requests in
+flight on one connection, answered in order.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyService
+from repro.policy.client import HTTPPolicyClient
+from repro.policy.rest_async import AsyncPolicyRestServer
+
+
+@pytest.fixture
+def server():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50)
+    )
+    with AsyncPolicyRestServer(service) as srv:
+        yield srv
+
+
+def _connect(server):
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(server.url)
+    sock = socket.create_connection((parts.hostname, parts.port), timeout=10)
+    return sock
+
+
+def _request_bytes(method: str, path: str, doc=None, rid=None) -> bytes:
+    body = json.dumps(doc).encode() if doc is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+    if rid:
+        head += f"X-Repro-Request-Id: {rid}\r\n"
+    head += f"Content-Length: {len(body)}\r\n\r\n"
+    return head.encode() + body
+
+
+def _read_response(fp) -> tuple[int, dict, dict]:
+    """Read one framed HTTP response: (status, headers, JSON body)."""
+    status_line = fp.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    headers = {}
+    while True:
+        line = fp.readline().rstrip(b"\r\n")
+        if not line:
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = fp.read(int(headers.get("content-length", "0")))
+    return status, headers, json.loads(body or b"{}")
+
+
+def _transfer_payload(workflow: str, i: int) -> dict:
+    return {
+        "workflow": workflow,
+        "job": f"job{i}",
+        "transfers": [
+            {
+                "lfn": f"{workflow}_f{i}",
+                "src_url": f"gsiftp://fg-vm/data/{workflow}_f{i}",
+                "dst_url": f"gsiftp://obelix/scratch/{workflow}_f{i}",
+                "nbytes": 1000,
+            }
+        ],
+    }
+
+
+def test_keep_alive_reuses_one_connection(server):
+    with _connect(server) as sock:
+        fp = sock.makefile("rb")
+        for i in range(3):
+            sock.sendall(
+                _request_bytes("POST", "/policy/transfers", _transfer_payload("wf", i))
+            )
+            status, headers, doc = _read_response(fp)
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+            assert len(doc["advice"]) == 1
+
+
+def test_pipelined_burst_is_answered_in_order(server):
+    """A burst of advice calls written back-to-back without waiting gets
+    one response per request, in request order, ids preserved."""
+    n = 20
+    with _connect(server) as sock:
+        burst = b"".join(
+            _request_bytes(
+                "POST", "/policy/transfers", _transfer_payload("wf", i), rid=f"burst-{i}"
+            )
+            for i in range(n)
+        )
+        sock.sendall(burst)
+        fp = sock.makefile("rb")
+        tids = []
+        for i in range(n):
+            status, headers, doc = _read_response(fp)
+            assert status == 200
+            assert headers["x-repro-request-id"] == f"burst-{i}"
+            advice = doc["advice"]
+            assert advice[0]["action"] == "transfer"
+            tids.append(advice[0]["tid"])
+    assert len(set(tids)) == n  # every request saw its own evaluation
+    log = server.access_log
+    assert [e["request_id"] for e in log] == [f"burst-{i}" for i in range(n)]
+
+
+def test_pipelined_mixed_methods_keep_order(server):
+    with _connect(server) as sock:
+        sock.sendall(
+            _request_bytes("POST", "/policy/transfers", _transfer_payload("wf", 0))
+            + _request_bytes("GET", "/policy/status")
+            + _request_bytes("POST", "/policy/transfers", _transfer_payload("wf", 1))
+        )
+        fp = sock.makefile("rb")
+        _, _, first = _read_response(fp)
+        _, _, status_doc = _read_response(fp)
+        _, _, second = _read_response(fp)
+    assert first["advice"][0]["action"] == "transfer"
+    # The GET observes the state after the first POST, before the second.
+    assert status_doc["memory"]["TransferFact"] == 1
+    assert second["advice"][0]["action"] == "transfer"
+
+
+def test_error_mid_pipeline_closes_connection_after_reply(server):
+    """A malformed request gets its 400 and ends the connection; the
+    later pipelined request is never half-applied."""
+    with _connect(server) as sock:
+        sock.sendall(
+            _request_bytes("POST", "/policy/transfers", {"job": "only"})
+            + _request_bytes("POST", "/policy/transfers", _transfer_payload("wf", 9))
+        )
+        fp = sock.makefile("rb")
+        status, headers, doc = _read_response(fp)
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert "workflow" in doc["error"]
+        assert fp.read() == b""  # server closed; second request discarded
+    assert server.controller.status()["memory"].get("TransferFact") is None
+
+
+def test_compiled_engine_is_served_over_async_http():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50),
+        engine="compiled",
+    )
+    with AsyncPolicyRestServer(service) as srv:
+        client = HTTPPolicyClient(srv.url)
+        advice = client.submit_transfers(
+            "wf1",
+            "j1",
+            [
+                {
+                    "lfn": "a",
+                    "src_url": "gsiftp://fg-vm/data/a",
+                    "dst_url": "gsiftp://obelix/scratch/a",
+                    "nbytes": 1000,
+                }
+            ],
+        )
+        assert advice[0].action == "transfer"
+        assert advice[0].streams == 4
+        client.complete_transfers(done=[advice[0].tid])
+        assert client.staging_state("a", "gsiftp://obelix/scratch/a") == "staged"

@@ -11,13 +11,23 @@ import pytest
 from repro.policy import PolicyConfig, PolicyService
 from repro.policy.client import HTTPPolicyClient, RetryPolicy
 from repro.policy.rest import PolicyRestServer
+from repro.policy.rest_async import AsyncPolicyRestServer
 
 
-def make_server(**kwargs):
-    service = PolicyService(
-        PolicyConfig(policy="greedy", default_streams=4, max_streams=50)
-    )
-    return PolicyRestServer(service, **kwargs)
+@pytest.fixture(
+    params=[
+        pytest.param(PolicyRestServer, id="threaded"),
+        pytest.param(AsyncPolicyRestServer, id="async"),
+    ]
+)
+def make_server(request):
+    def factory(**kwargs):
+        service = PolicyService(
+            PolicyConfig(policy="greedy", default_streams=4, max_streams=50)
+        )
+        return request.param(service, **kwargs)
+
+    return factory
 
 
 def post(url, payload: dict, timeout=5):
@@ -31,7 +41,7 @@ def post(url, payload: dict, timeout=5):
         return json.loads(response.read())
 
 
-def test_oversized_body_is_http_413():
+def test_oversized_body_is_http_413(make_server):
     with make_server(max_request_bytes=256) as server:
         payload = {"workflow": "wf", "job": "j", "transfers": [], "pad": "x" * 1024}
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -46,7 +56,7 @@ def test_oversized_body_is_http_413():
         assert doc["state"] == "unknown"
 
 
-def test_body_at_the_limit_is_accepted():
+def test_body_at_the_limit_is_accepted(make_server):
     payload = {"workflow": "wf", "job": "j", "transfers": []}
     size = len(json.dumps(payload).encode())
     with make_server(max_request_bytes=size) as server:
@@ -54,14 +64,14 @@ def test_body_at_the_limit_is_accepted():
         assert doc["advice"] == []
 
 
-def test_request_size_cap_validation():
+def test_request_size_cap_validation(make_server):
     with pytest.raises(ValueError):
         make_server(max_request_bytes=0)
     with pytest.raises(ValueError):
         make_server(drain_timeout=-1)
 
 
-def test_stop_drains_in_flight_request():
+def test_stop_drains_in_flight_request(make_server):
     server = make_server(drain_timeout=10.0)
     server.start()
     url = server.url
@@ -99,7 +109,7 @@ def test_stop_drains_in_flight_request():
     assert results["status"] == 200
 
 
-def test_requests_during_drain_get_http_503():
+def test_requests_during_drain_get_http_503(make_server):
     server = make_server(drain_timeout=5.0)
     server.start()
     url = server.url
@@ -112,7 +122,7 @@ def test_requests_during_drain_get_http_503():
         server.stop()
 
 
-def test_stop_reports_timeout_when_request_hangs():
+def test_stop_reports_timeout_when_request_hangs(make_server):
     server = make_server(drain_timeout=0.2)
     server.start()
     url = server.url
@@ -133,7 +143,7 @@ def test_stop_reports_timeout_when_request_hangs():
     t.join(timeout=5)
 
 
-def test_client_surfaces_413_without_retry():
+def test_client_surfaces_413_without_retry(make_server):
     calls = {"sleeps": 0}
     with make_server(max_request_bytes=128) as server:
         client = HTTPPolicyClient(

@@ -1,0 +1,402 @@
+"""Compiled join-network equivalence vs the interpreted engines.
+
+``CompiledSession`` (join-network plans, memoized partial matches, lazy
+probes) must produce the exact same firing sequence as the seed engine's
+full re-match and the incremental dirty-set agenda — same rules, same
+binding tuples, same order — across salience tiers, refraction,
+``no_loop``, ``halt``, updates, retracts, negations and keyed patterns.
+Every scenario runs in all three modes and the traces are compared; a
+hypothesis property does the same over randomized fact soups.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import (
+    Absent,
+    Collect,
+    CompiledSession,
+    Exists,
+    Fact,
+    Pattern,
+    Rule,
+    Session,
+    Test,
+    WorkingMemory,
+    compile_rules,
+    fast_path_report,
+)
+
+
+class Order(Fact):
+    def __init__(self, oid, item, qty, status="new"):
+        self.oid = oid
+        self.item = item
+        self.qty = qty
+        self.status = status
+
+
+class Stock(Fact):
+    def __init__(self, item, level):
+        self.item = item
+        self.level = level
+
+
+class Audit(Fact):
+    def __init__(self, note):
+        self.note = note
+
+
+def _make_session(mode, rules):
+    if mode == "compiled":
+        return CompiledSession(rules, memory=WorkingMemory(indexed=True))
+    incremental = mode == "incremental"
+    return Session(
+        rules, memory=WorkingMemory(indexed=incremental), incremental=incremental
+    )
+
+
+def run_all(make_rules, scenario):
+    """Run ``scenario(session, trace)`` in all three engines; compare."""
+    traces = {}
+    for mode in ("seed", "incremental", "compiled"):
+        trace = []
+        scenario(_make_session(mode, make_rules(trace)), trace)
+        traces[mode] = trace
+    assert traces["seed"] == traces["incremental"] == traces["compiled"]
+    return traces["seed"]
+
+
+# --------------------------------------------------------------- scenarios
+def test_join_rules_salience_and_fifo_order_match():
+    def make_rules(trace):
+        def fill(ctx):
+            trace.append(("fill", ctx.o.oid, ctx.s.item))
+            ctx.update(ctx.s, level=ctx.s.level - ctx.o.qty)
+            ctx.update(ctx.o, status="filled")
+
+        return [
+            Rule(
+                "audit",
+                salience=1,
+                when=[
+                    Pattern(Order, "o",
+                            where=lambda o, b: o.status == "filled",
+                            keys={"status": lambda b: "filled"}),
+                    Pattern(Stock, "s", where=lambda s, b: s.item == b["o"].item,
+                            keys={"item": lambda b: b["o"].item}),
+                ],
+                then=lambda ctx: trace.append(("audit", ctx.o.oid, ctx.s.level)),
+            ),
+            Rule(
+                "fill",
+                salience=5,
+                when=[
+                    Pattern(Order, "o", where=lambda o, b: o.status == "new",
+                            keys={"status": lambda b: "new"}),
+                    Pattern(Stock, "s",
+                            where=lambda s, b: s.item == b["o"].item
+                            and s.level >= b["o"].qty,
+                            keys={"item": lambda b: b["o"].item}),
+                ],
+                then=fill,
+            ),
+        ]
+
+    def scenario(s, trace):
+        s.insert(Stock("disk", 6))
+        s.insert(Stock("cpu", 3))
+        for i in range(5):
+            s.insert(Order(i, "disk" if i % 2 else "cpu", 2))
+        trace.append(("fired", s.fire_all()))
+        s.insert(Order(10, "disk", 1))
+        s.insert(Stock("ram", 9))
+        trace.append(("fired2", s.fire_all()))
+
+    trace = run_all(make_rules, scenario)
+    assert ("fill", 0, "cpu") in trace
+
+
+def test_mixed_join_and_gate_rules_match():
+    def make_rules(trace):
+        return [
+            Rule(
+                "pair",
+                salience=5,
+                when=[
+                    Pattern(Order, "o", where=lambda o, b: o.status == "new"),
+                    Pattern(Stock, "s", where=lambda s, b: s.item == b["o"].item),
+                ],
+                then=lambda ctx: (
+                    trace.append(("pair", ctx.o.oid)),
+                    ctx.update(ctx.o, status="seen"),
+                ),
+            ),
+            Rule(
+                "alarm",
+                salience=1,
+                no_loop=True,
+                when=[
+                    Pattern(Stock, "s", where=lambda s, b: s.level < 3),
+                    Absent(Audit, where=lambda a, b: a.note == f"low:{b['s'].item}"),
+                ],
+                then=lambda ctx: (
+                    trace.append(("alarm", ctx.s.item)),
+                    ctx.insert(Audit(f"low:{ctx.s.item}")),
+                ),
+            ),
+            Rule(
+                "census",
+                salience=0,
+                when=[
+                    Exists(Audit),
+                    Collect(Audit, "all", min_count=1),
+                    Test(lambda b: len(b["all"]) >= 1),
+                ],
+                then=lambda ctx: (
+                    trace.append(("census", len(ctx.all))),
+                    ctx.halt(),
+                ),
+            ),
+        ]
+
+    def scenario(s, trace):
+        s.insert(Stock("disk", 2))
+        s.insert(Stock("cpu", 1))
+        s.insert(Order(1, "disk", 1))
+        trace.append(("fired", s.fire_all()))
+        s.retract(s.memory.facts_of(Order)[0])
+        s.insert(Order(2, "cpu", 1))
+        trace.append(("fired2", s.fire_all()))
+
+    run_all(make_rules, scenario)
+
+
+def test_retract_during_firing_matches():
+    def make_rules(trace):
+        def consume(ctx):
+            trace.append(("consume", ctx.o.oid))
+            ctx.retract(ctx.o)
+
+        return [
+            Rule(
+                "consume",
+                when=[
+                    Pattern(Order, "o"),
+                    Pattern(Stock, "s", where=lambda s, b: s.item == b["o"].item),
+                ],
+                then=consume,
+            ),
+        ]
+
+    def scenario(s, trace):
+        s.insert(Stock("disk", 5))
+        for i in range(4):
+            s.insert(Order(i, "disk", 1))
+        trace.append(("fired", s.fire_all()))
+
+    trace = run_all(make_rules, scenario)
+    assert trace == [("consume", 0), ("consume", 1), ("consume", 2),
+                     ("consume", 3), ("fired", 4)]
+
+
+def test_reads_declaration_preserves_equivalence():
+    """A gate with a ``reads`` declaration lets the compiled engine skip
+    rebuilds for unrelated updates — without changing a single firing."""
+    def make_rules(trace):
+        return [
+            Rule(
+                "churn",
+                salience=5,
+                when=[Pattern(Stock, "s", where=lambda s, b: s.level > 0)],
+                no_loop=True,
+                then=lambda ctx: (
+                    trace.append(("churn", ctx.s.item)),
+                    ctx.update(ctx.s, level=ctx.s.level),  # no-op update
+                ),
+            ),
+            Rule(
+                "gated",
+                salience=1,
+                when=[
+                    Pattern(Order, "o", where=lambda o, b: o.status == "new"),
+                    Absent(Stock,
+                           where=lambda s, b: s.item == b["o"].item,
+                           reads=("item",)),
+                ],
+                then=lambda ctx: (
+                    trace.append(("gated", ctx.o.oid)),
+                    ctx.update(ctx.o, status="handled"),
+                ),
+            ),
+        ]
+
+    def scenario(s, trace):
+        s.insert(Stock("disk", 3))
+        s.insert(Order(1, "disk", 1))
+        s.insert(Order(2, "ram", 1))
+        trace.append(("fired", s.fire_all()))
+        s.insert(Stock("ram", 1))  # now blocks future "ram" orders
+        s.insert(Order(3, "ram", 1))
+        trace.append(("fired2", s.fire_all()))
+
+    trace = run_all(make_rules, scenario)
+    assert ("gated", 2) in trace
+    assert ("gated", 3) not in trace
+
+
+def test_compiled_session_over_scan_memory_composes():
+    # Like incremental=True over a scan memory, the compiled network only
+    # needs the change log — an unindexed memory is legal, just slower.
+    hits = []
+    rules = [Rule("any", when=[Pattern(Order, "o")],
+                  then=lambda ctx: hits.append(ctx.o.oid))]
+    s = CompiledSession(rules, memory=WorkingMemory(indexed=False))
+    s.insert(Order(1, "disk", 1))
+    assert s.fire_all() == 1
+    assert hits == [1]
+
+
+def test_foreign_ruleset_rejected():
+    rules = [Rule("r", when=[Pattern(Order, "o")], then=lambda ctx: None)]
+    other = compile_rules(
+        [Rule("q", when=[Pattern(Stock, "s")], then=lambda ctx: None)]
+    )
+    with pytest.raises(ValueError):
+        CompiledSession(rules, memory=WorkingMemory(indexed=True), ruleset=other)
+
+
+def test_shared_ruleset_across_sessions():
+    """Many sessions reuse one compiled ruleset (the Policy Service
+    pattern: compile once, evaluate per request)."""
+    fired = []
+    rules = [
+        Rule(
+            "join",
+            when=[
+                Pattern(Order, "o", where=lambda o, b: o.status == "new"),
+                Pattern(Stock, "s", where=lambda s, b: s.item == b["o"].item),
+            ],
+            then=lambda ctx: (
+                fired.append(ctx.o.oid),
+                ctx.update(ctx.o, status="filled"),
+            ),
+        )
+    ]
+    ruleset = compile_rules(rules)
+    memory = WorkingMemory(indexed=True)
+    memory.insert(Stock("disk", 1))
+    for i in range(3):
+        session = CompiledSession(rules, memory=memory, ruleset=ruleset)
+        memory.insert(Order(i, "disk", 1))
+        session.fire_all()
+    assert fired == [0, 1, 2]
+
+
+def test_fast_path_report_classifies_plans():
+    rules = [
+        Rule("join", when=[
+            Pattern(Order, "o"),
+            Pattern(Stock, "s", keys={"item": lambda b: b["o"].item}),
+        ], then=lambda ctx: None),
+        Rule("gated", when=[
+            Pattern(Order, "o"),
+            Absent(Audit),
+        ], then=lambda ctx: None),
+        Rule("single", when=[Pattern(Order, "o")], then=lambda ctx: None),
+        Rule("unbound", when=[
+            Pattern(Order, "o"),
+            Pattern(Stock),
+        ], then=lambda ctx: None),
+    ]
+    rows = {r["rule"]: r for r in fast_path_report(rules)}
+    assert rows["join"]["plan"] == "join"
+    assert rows["join"]["last_position_keyed"] is True
+    assert rows["gated"]["plan"] == "delta"
+    assert "Absent" in rows["gated"]["reason"]
+    assert rows["single"]["plan"] == "delta"
+    assert rows["unbound"]["plan"] == "delta"
+    assert "unbound" in rows["unbound"]["reason"]
+
+
+# ------------------------------------------------- randomized fact soups
+_ITEMS = ("disk", "cpu", "ram")
+
+_op = st.one_of(
+    st.tuples(st.just("order"), st.sampled_from(_ITEMS), st.integers(1, 3)),
+    st.tuples(st.just("stock"), st.sampled_from(_ITEMS), st.integers(0, 6)),
+    st.tuples(st.just("restock"), st.sampled_from(_ITEMS), st.integers(0, 6)),
+    st.tuples(st.just("cancel"), st.integers(0, 9)),
+    st.tuples(st.just("fire"),),
+)
+
+
+def _soup_rules(trace):
+    def fill(ctx):
+        trace.append(("fill", ctx.o.oid, ctx.s.level))
+        ctx.update(ctx.s, level=ctx.s.level - ctx.o.qty)
+        ctx.update(ctx.o, status="filled")
+
+    return [
+        Rule(
+            "fill",
+            salience=5,
+            when=[
+                Pattern(Order, "o", where=lambda o, b: o.status == "new",
+                        keys={"status": lambda b: "new"}),
+                Pattern(Stock, "s",
+                        where=lambda s, b: s.item == b["o"].item
+                        and s.level >= b["o"].qty,
+                        keys={"item": lambda b: b["o"].item}),
+            ],
+            then=fill,
+        ),
+        Rule(
+            "starved",
+            salience=1,
+            no_loop=True,
+            when=[
+                Pattern(Order, "o", where=lambda o, b: o.status == "new"),
+                Absent(Stock,
+                       where=lambda s, b: s.item == b["o"].item
+                       and s.level >= b["o"].qty,
+                       reads=("item", "level")),
+            ],
+            then=lambda ctx: trace.append(("starved", ctx.o.oid)),
+        ),
+    ]
+
+
+def _run_soup(mode, ops):
+    trace = []
+    session = _make_session(mode, _soup_rules(trace))
+    oid = 0
+    for op in ops:
+        if op[0] == "order":
+            session.insert(Order(oid, op[1], op[2]))
+            oid += 1
+        elif op[0] == "stock":
+            session.insert(Stock(op[1], op[2]))
+        elif op[0] == "restock":
+            for fact in session.memory.facts_of(Stock):
+                if fact.item == op[1]:
+                    session.update(fact, level=op[2])
+                    break
+        elif op[0] == "cancel":
+            orders = session.memory.facts_of(Order)
+            if orders:
+                session.retract(orders[op[1] % len(orders)])
+        else:
+            trace.append(("fired", session.fire_all()))
+    trace.append(("fired", session.fire_all()))
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, max_size=30))
+def test_compiled_matches_naive_on_random_fact_soups(ops):
+    """Property: on any interleaving of inserts / updates / retracts /
+    firings, the compiled join network fires exactly what the naive
+    full-rescan matcher fires, in the same order."""
+    assert _run_soup("compiled", ops) == _run_soup("seed", ops)

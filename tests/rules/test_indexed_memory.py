@@ -145,3 +145,37 @@ def test_changes_since_overflow_returns_none(wm):
     wm.update(a, status="done")
     changes = wm.changes_since(recent)
     assert changes is not None and len(changes) == 1
+
+
+def test_changes_since_none_fallback_at_eviction_edge(wm):
+    """The ring buffer serves exactly the last ``_CHANGELOG_CAP`` ticks:
+    one past the edge must return ``None`` (rebuild), the edge itself the
+    full window."""
+    a = wm.insert(Transfer("a", "u1"))
+    for _ in range(_CHANGELOG_CAP + 5):
+        wm.update(a, status="new")
+    oldest_retained = wm.clock - _CHANGELOG_CAP + 1
+    # The edge: every retained tick is the answer.
+    edge = wm.changes_since(oldest_retained - 1)
+    assert edge is not None and len(edge) == _CHANGELOG_CAP
+    # One tick older has been evicted — the caller cannot trust a partial
+    # answer and must rebuild.
+    assert wm.changes_since(oldest_retained - 2) is None
+    assert wm.changes_since_verbose(oldest_retained - 2) is None
+
+
+def test_update_records_attributes_that_actually_changed(wm):
+    start = wm.clock
+    a = wm.insert(Transfer("a", "u1"))
+    wm.update(a, status="done", dst="u1")     # dst unchanged
+    wm.update(a, status="done")               # nothing really changed
+    wm.update(a)                              # in-place announce: unknowable
+    changes = wm.changes_since_verbose(start)
+    assert [(op, changed) for _fid, _f, op, changed in changes] == [
+        ("i", None),
+        ("u", frozenset({"status"})),
+        ("u", frozenset()),
+        ("u", None),
+    ]
+    # The compact view carries the same mutations without the detail.
+    assert [op for _fid, _f, op in wm.changes_since(start)] == ["i", "u", "u", "u"]
