@@ -28,6 +28,18 @@ Scenarios
     request frontend and the asyncio frontend, plus a single-connection
     pipelined burst only the asyncio frontend can serve.  Reported for
     trend-watching; no pass/fail guard (HTTP timing is noisy in CI).
+``sharded``
+    Batch-advice throughput through the shard router with every shard a
+    separate :class:`~repro.policy.sharding.ProcessShardBackend` worker
+    process, 1 shard vs 4.  Pairs are spread over 16 source sites so the
+    consistent-hash ring splits each batch across the fleet and the
+    per-shard rule evaluations overlap.  On hosts with >= 4 cores the
+    shards run concurrently and wall-clock throughput is the metric; on
+    starved CI hosts the dispatch falls back to serial, each shard's RPC
+    is timed individually, and the metric is the measured **critical
+    path** (router overhead + slowest shard per batch — the wall time
+    the same run takes once each shard has a core).  Full runs must show
+    >= 1.6x critical-path throughput at 4 shards vs 1.
 
 Usage
 -----
@@ -283,6 +295,140 @@ def run_rest_concurrency(clients: int, requests_each: int) -> dict:
     return results
 
 
+# -- sharded batch-advice scaling --------------------------------------------
+SHARDED_SPEEDUP_FULL = 1.6  # 4-shard throughput bar vs 1 shard
+
+
+def _sharded_specs(batch: int, batch_size: int, sites: int):
+    """One batch whose (src, dst) pairs spread across ``sites`` sources."""
+    specs = []
+    for i in range(batch_size):
+        site = f"site{i % sites}"
+        lfn = f"b{batch}f{i}"
+        specs.append({
+            "lfn": lfn,
+            "src_url": f"gsiftp://{site}/data/{lfn}",
+            "dst_url": f"gsiftp://obelix/scratch/{lfn}",
+            "nbytes": 1000.0,
+        })
+    return specs
+
+
+class _TimedBackend:
+    """Shard-backend shim that records the wall time of every RPC."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls: list[float] = []
+
+    def invoke(self, name, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return self.inner.invoke(name, *args, **kwargs)
+        finally:
+            self.calls.append(time.perf_counter() - t0)
+
+    def metrics_text(self):
+        return self.inner.metrics_text()
+
+    def crash(self):
+        self.inner.crash()
+
+    def recover(self):
+        self.inner.recover()
+
+    def close(self):
+        self.inner.close()
+
+
+def run_sharded(num_shards: int, batches: int, batch_size: int,
+                sites: int = 16) -> dict:
+    """Drive submit_transfers batches through an N-process shard fleet.
+
+    Both arms (1 shard and 4) go through the router with process-backed
+    shards, so the pipe-RPC overhead cancels and the ratio isolates the
+    parallel rule evaluation.  When the host has fewer cores than
+    shards, dispatch runs serially (concurrent workers would only
+    contend) and the **critical path** is derived per batch from the
+    individually-timed shard RPCs: router overhead plus the slowest
+    shard — the wall time of the identical run on an unstarved host.
+    With enough cores the dispatch is concurrent and the critical path
+    IS the measured wall time.
+    """
+    from repro.policy import PolicyConfig
+    from repro.policy.sharding import ProcessShardBackend, ShardedPolicyService
+
+    cpus = len(os.sched_getaffinity(0))
+    concurrent = cpus >= num_shards
+    config = PolicyConfig(policy="greedy", default_streams=4, max_streams=4000)
+    backends = [
+        _TimedBackend(ProcessShardBackend(config, engine="compiled"))
+        for _ in range(num_shards)
+    ]
+    router = ShardedPolicyService(
+        config, num_shards=num_shards, engine="compiled", backends=backends,
+        concurrent=concurrent,
+    )
+    try:
+        # Warm up: fork the workers' rule sessions before the clock starts.
+        router.submit_transfers("bench", "warmup",
+                                _sharded_specs(-1, batch_size, sites))
+        total = 0
+        wall = 0.0
+        critical = 0.0
+        for b in range(batches):
+            for backend in backends:
+                backend.calls.clear()
+            t0 = time.perf_counter()
+            advice = router.submit_transfers(
+                "bench", f"job{b}", _sharded_specs(b, batch_size, sites))
+            elapsed = time.perf_counter() - t0
+            wall += elapsed
+            total += len(advice)
+            shard_times = [sum(backend.calls) for backend in backends]
+            if concurrent:
+                # Shards overlapped — the wall time already is the path.
+                critical += elapsed
+            else:
+                # Serial dispatch: replace the summed shard time with the
+                # slowest shard to get the unstarved-host wall time.
+                critical += elapsed - sum(shard_times) + max(shard_times)
+    finally:
+        router.close()
+    return {
+        "shards": num_shards,
+        "batches": batches,
+        "batch_size": batch_size,
+        "sites": sites,
+        "cpus": cpus,
+        "concurrent": concurrent,
+        "advice": total,
+        "elapsed_s": wall,
+        "advice_per_s": total / wall,
+        "critical_path_s": critical,
+        "critical_path_advice_per_s": total / critical,
+    }
+
+
+def run_sharded_scaling(batches: int, batch_size: int) -> dict:
+    results = {}
+    for shards in (1, 4):
+        results[str(shards)] = run_sharded(shards, batches, batch_size)
+        r = results[str(shards)]
+        print(f"  {shards} shard(s): {r['advice_per_s']:.0f} advice/s wall, "
+              f"{r['critical_path_advice_per_s']:.0f} advice/s critical-path "
+              f"({'concurrent' if r['concurrent'] else 'serial'}, "
+              f"{r['cpus']} cpus)", flush=True)
+    results["speedup_4_vs_1"] = (
+        results["4"]["advice_per_s"] / results["1"]["advice_per_s"]
+    )
+    results["critical_path_speedup_4_vs_1"] = (
+        results["4"]["critical_path_advice_per_s"]
+        / results["1"]["critical_path_advice_per_s"]
+    )
+    return results
+
+
 # -- subprocess driver -------------------------------------------------------
 def _worker_main(engine: str, staged: int, transfers: int) -> None:
     print(json.dumps(run_batch(engine, staged, transfers)))
@@ -395,6 +541,15 @@ def main(argv=None) -> int:
               f"last third {ll['mean_last_third_s'] * 1e3:.1f}ms/batch, "
               f"residual facts: {ll['residual_facts'] or '{}'}", flush=True)
 
+    print("[sharded]", flush=True)
+    sharded_batches, sharded_size = (4, 64) if quick else (12, 128)
+    report["scenarios"]["sharded"] = run_sharded_scaling(
+        sharded_batches, sharded_size)
+    print(f"  4-vs-1 shard speedup: "
+          f"{report['scenarios']['sharded']['speedup_4_vs_1']:.2f}x wall, "
+          f"{report['scenarios']['sharded']['critical_path_speedup_4_vs_1']:.2f}x "
+          f"critical-path", flush=True)
+
     print("[rest_concurrency]", flush=True)
     rest = run_rest_concurrency(clients, requests_each)
     report["scenarios"]["rest_concurrency"] = rest
@@ -422,12 +577,20 @@ def main(argv=None) -> int:
         if ll["residual_facts"]:
             failures.append(
                 f"long_lived[{engine}]: residual facts {ll['residual_facts']}")
+    sharded_speedup = report["scenarios"]["sharded"][
+        "critical_path_speedup_4_vs_1"]
+    if not quick and sharded_speedup < SHARDED_SPEEDUP_FULL:
+        failures.append(
+            f"sharded: 4-vs-1 critical-path speedup {sharded_speedup:.2f}x "
+            f"below {SHARDED_SPEEDUP_FULL:.1f}x")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(f"PASS: >=5x vs seed, >={compiled_bar:.0f}x compiled vs indexed, "
-          "no residual facts")
+          "no residual facts"
+          + ("" if quick else
+             f", >={SHARDED_SPEEDUP_FULL:.1f}x sharded 4-vs-1"))
     return 0
 
 

@@ -29,6 +29,10 @@ R009      warning   compiled-engine fast path — a join-plan rule whose
                     walks the whole prefix frontier instead of one bucket;
                     info — a multi-pattern rule that falls back to the
                     ``delta`` plan (reported with the compiler's reason).
+R010      error     duplicate rule name across the loaded packs — names key
+                    profiling rows, suppressions, and the compiler's plan
+                    report, so a collision silently merges two rules'
+                    diagnostics (and usually means a pack was loaded twice).
 ========  ========  ==========================================================
 
 Dynamic checks (R001/R003/R004/R005) probe the rule set against randomized
@@ -583,6 +587,30 @@ def _check_fast_path(rules: Sequence[Rule], report: Report) -> None:
 
 
 # --------------------------------------------------------------------------
+# R010: duplicate rule names across packs
+# --------------------------------------------------------------------------
+def _check_duplicate_names(rules: Sequence[Rule], report: Report) -> None:
+    first_seen: dict[str, Rule] = {}
+    for rule in rules:
+        if rule.name in first_seen:
+            original = first_seen[rule.name]
+            report.add(
+                "R010",
+                Severity.ERROR,
+                rule.name,
+                f"rule name {rule.name!r} is defined more than once across "
+                f"the loaded packs (first at "
+                f"{location_of(original.then)}); names key profiling, "
+                f"suppressions, and plan reports, so the duplicates' "
+                f"diagnostics merge silently",
+                location=location_of(rule.then),
+                first_location=location_of(original.then),
+            )
+        else:
+            first_seen[rule.name] = rule
+
+
+# --------------------------------------------------------------------------
 # R003 / R004: ties and shadowing
 # --------------------------------------------------------------------------
 class _ActivationLog:
@@ -675,6 +703,7 @@ def lint_rules(
     seed_bindings = {"_globals": session_globals}
 
     # Static checks first (no probing required).
+    _check_duplicate_names(rules, report)
     for rule in rules:
         _check_attribute_refs(rule, factory, report)
     _check_reachability(rules, entry_types, report)

@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "single asyncio loop with keep-alive pipelining")
     serve.add_argument("--access-control", action="store_true",
                        help="enable host denials and staging quotas")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition policy memory across N shards behind "
+                            "a consistent-hash router (0 = single service)")
+    serve.add_argument("--journal-root", default=None,
+                       help="per-shard journal directories under this path "
+                            "(shards only; enables crash replay)")
 
     lint = sub.add_parser(
         "lint",
@@ -297,7 +303,19 @@ def _cmd_serve(args, out) -> int:
         cluster_count=args.cluster_count,
         access_control=args.access_control,
     )
-    service = PolicyService(config, engine=args.engine)
+    if args.shards >= 1:
+        from repro.policy.sharding import ShardedPolicyService
+
+        service = ShardedPolicyService(
+            config,
+            num_shards=args.shards,
+            engine=args.engine,
+            journal_root=args.journal_root,
+        )
+        flavor = f"{args.shards}-shard router"
+    else:
+        service = PolicyService(config, engine=args.engine)
+        flavor = "single service"
     if args.frontend == "async":
         from repro.policy.rest_async import AsyncPolicyRestServer
 
@@ -307,7 +325,7 @@ def _cmd_serve(args, out) -> int:
     server.start()
     print(
         f"Policy Service ({args.policy}, {args.engine} engine, "
-        f"{args.frontend} frontend) listening on {server.url}",
+        f"{args.frontend} frontend, {flavor}) listening on {server.url}",
         file=out,
     )
     print("Ctrl-C to stop.", file=out)

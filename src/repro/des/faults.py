@@ -12,6 +12,15 @@ A :class:`FaultPlan` declares *when* things break; a
   probability ``rate`` during the window (flaky network, not a crash).
 * :class:`GridFTPStorm` — the transfer fabric's failure rate is raised
   to ``failure_rate`` for the window, then restored.
+* :class:`ShardCrash` — one shard of a
+  :class:`~repro.policy.sharding.router.ShardedPolicyService` dies at
+  ``at`` (working memory lost, journal kept) and is replayed from its
+  WAL/snapshot ``down_for`` seconds later; the other shards serve
+  uninterrupted throughout.
+* :class:`ShardSlowdown` — a fraction of one shard's calls time out
+  during the window, driving its circuit breaker.
+* :class:`RouterPartition` — one shard is unreachable from the router
+  for the window; its memory stays intact (no replay needed).
 
 The injector hooks the simulation through the
 :class:`~repro.policy.client.InProcessPolicyClient` ``fault_gate`` and
@@ -32,6 +41,9 @@ __all__ = [
     "ServiceOutage",
     "RpcDropWindow",
     "GridFTPStorm",
+    "ShardCrash",
+    "ShardSlowdown",
+    "RouterPartition",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -80,17 +92,77 @@ class GridFTPStorm:
 
 
 @dataclass(frozen=True)
+class ShardCrash:
+    """Shard ``shard`` crashes at ``at``; journal replay after ``down_for``."""
+
+    at: float
+    shard: int
+    down_for: float
+
+    def __post_init__(self):
+        if self.at < 0 or self.down_for <= 0:
+            raise ValueError("shard crash needs at >= 0 and down_for > 0")
+        if self.shard < 0:
+            raise ValueError("shard index must be >= 0")
+
+
+@dataclass(frozen=True)
+class ShardSlowdown:
+    """A fraction of shard ``shard``'s calls time out in the window."""
+
+    at: float
+    duration: float
+    shard: int
+    timeout_rate: float = 1.0
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("slowdown needs at >= 0 and duration > 0")
+        if self.shard < 0:
+            raise ValueError("shard index must be >= 0")
+        if not 0 < self.timeout_rate <= 1:
+            raise ValueError("timeout_rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RouterPartition:
+    """Shard ``shard`` is unreachable (memory intact) during the window."""
+
+    at: float
+    duration: float
+    shard: int
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("partition needs at >= 0 and duration > 0")
+        if self.shard < 0:
+            raise ValueError("shard index must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A declarative schedule of faults for one simulation run."""
 
     outages: tuple[ServiceOutage, ...] = ()
     rpc_drops: tuple[RpcDropWindow, ...] = ()
     storms: tuple[GridFTPStorm, ...] = ()
+    shard_crashes: tuple[ShardCrash, ...] = ()
+    shard_slowdowns: tuple[ShardSlowdown, ...] = ()
+    partitions: tuple[RouterPartition, ...] = ()
 
     @classmethod
     def single_crash(cls, at: float, duration: float) -> "FaultPlan":
         """The canonical chaos scenario: one mid-run service outage."""
         return cls(outages=(ServiceOutage(at=at, duration=duration),))
+
+    @classmethod
+    def single_shard_crash(
+        cls, at: float, shard: int, down_for: float
+    ) -> "FaultPlan":
+        """The canonical shard chaos scenario: one shard dies and replays."""
+        return cls(
+            shard_crashes=(ShardCrash(at=at, shard=shard, down_for=down_for),)
+        )
 
 
 class FaultInjector:
@@ -116,6 +188,7 @@ class FaultInjector:
         self._policy_client = None
         self._restart: Optional[Callable[[], object]] = None
         self._gridftp = None
+        self._router = None
         self.service_down = False
         self._drop_rate = 0.0
         #: (time, description) trace of everything the injector did
@@ -155,6 +228,15 @@ class FaultInjector:
         """Let storms drive ``gridftp.failure_rate``."""
         self._gridftp = gridftp
 
+    def attach_router(self, router) -> None:
+        """Let shard faults drive a :class:`ShardedPolicyService`.
+
+        The router must expose ``crash_shard`` / ``recover_shard`` /
+        ``slow_shard`` / ``partition_shard`` and a ``num_shards``
+        attribute (shard indices in the plan are validated against it).
+        """
+        self._router = router
+
     # ------------------------------------------------------------------ running
     def start(self) -> None:
         """Spawn one DES process per scheduled fault."""
@@ -164,12 +246,36 @@ class FaultInjector:
             raise RuntimeError("plan has rpc drops but no policy client attached")
         if self.plan.storms and self._gridftp is None:
             raise RuntimeError("plan has storms but no gridftp client attached")
+        shard_faults = (
+            self.plan.shard_crashes
+            + self.plan.shard_slowdowns
+            + self.plan.partitions
+        )
+        if shard_faults:
+            if self._router is None:
+                raise RuntimeError("plan has shard faults but no router attached")
+            for fault in shard_faults:
+                if fault.shard >= self._router.num_shards:
+                    raise RuntimeError(
+                        f"fault targets shard {fault.shard} but the router "
+                        f"has only {self._router.num_shards} shards"
+                    )
         for outage in self.plan.outages:
             self.env.process(self._run_outage(outage), name="fault-outage")
         for window in self.plan.rpc_drops:
             self.env.process(self._run_drop_window(window), name="fault-rpc-drop")
         for storm in self.plan.storms:
             self.env.process(self._run_storm(storm), name="fault-storm")
+        for crash in self.plan.shard_crashes:
+            self.env.process(self._run_shard_crash(crash), name="fault-shard-crash")
+        for slowdown in self.plan.shard_slowdowns:
+            self.env.process(
+                self._run_shard_slowdown(slowdown), name="fault-shard-slowdown"
+            )
+        for partition in self.plan.partitions:
+            self.env.process(
+                self._run_partition(partition), name="fault-router-partition"
+            )
 
     def _run_outage(self, outage: ServiceOutage):
         yield self.env.timeout(outage.at)
@@ -195,6 +301,57 @@ class FaultInjector:
         self._drop_rate = 0.0
         self.log.append((self.env.now, "rpc drops ended"))
         self._trace("fault.rpc_drop.end")
+
+    def _run_shard_crash(self, crash: ShardCrash):
+        yield self.env.timeout(crash.at)
+        self._router.crash_shard(crash.shard)
+        self.log.append((self.env.now, f"shard {crash.shard} crashed"))
+        self._trace(
+            "fault.shard_crash.begin", shard=crash.shard, down_for=crash.down_for
+        )
+        yield self.env.timeout(crash.down_for)
+        self._router.recover_shard(crash.shard)
+        self.log.append(
+            (self.env.now, f"shard {crash.shard} replayed from journal")
+        )
+        self._trace("fault.shard_crash.end", shard=crash.shard)
+
+    def _run_shard_slowdown(self, slowdown: ShardSlowdown):
+        yield self.env.timeout(slowdown.at)
+        self._router.slow_shard(slowdown.shard, slowdown.timeout_rate)
+        self.log.append(
+            (
+                self.env.now,
+                f"shard {slowdown.shard} slow: timeout rate "
+                f"{slowdown.timeout_rate:g}",
+            )
+        )
+        self._trace(
+            "fault.shard_slowdown.begin",
+            shard=slowdown.shard, timeout_rate=slowdown.timeout_rate,
+            duration=slowdown.duration,
+        )
+        yield self.env.timeout(slowdown.duration)
+        self._router.slow_shard(slowdown.shard, 0.0)
+        # The breaker may still be open from the timeouts; the next
+        # successful call (or probe after reset_timeout) closes it.
+        self.log.append((self.env.now, f"shard {slowdown.shard} back to speed"))
+        self._trace("fault.shard_slowdown.end", shard=slowdown.shard)
+
+    def _run_partition(self, partition: RouterPartition):
+        yield self.env.timeout(partition.at)
+        self._router.partition_shard(partition.shard, True)
+        self.log.append(
+            (self.env.now, f"shard {partition.shard} partitioned from router")
+        )
+        self._trace(
+            "fault.partition.begin",
+            shard=partition.shard, duration=partition.duration,
+        )
+        yield self.env.timeout(partition.duration)
+        self._router.partition_shard(partition.shard, False)
+        self.log.append((self.env.now, f"shard {partition.shard} reachable again"))
+        self._trace("fault.partition.end", shard=partition.shard)
 
     def _run_storm(self, storm: GridFTPStorm):
         yield self.env.timeout(storm.at)

@@ -11,6 +11,14 @@ journal-backed service, a retrying/circuit-breaking client, and a
 :class:`~repro.des.faults.FaultInjector` driving a :class:`FaultPlan`;
 :func:`compare_with_faultless` runs the same cell twice — once clean,
 once under the plan — and reports whether the staged file sets match.
+
+:func:`run_shard_chaos_montage` is the sharded variant: the cell runs
+against an N-shard :class:`~repro.policy.sharding.ShardedPolicyService`
+with per-shard journals, and the plan may crash / slow / partition
+individual shards (``ShardCrash`` replays the victim from its own WAL
+mid-run).  :func:`compare_sharded_with_single` proves the robustness
+claim end to end: the sharded run under shard chaos stages the same
+byte-identical file set as a clean single-service run.
 """
 
 from __future__ import annotations
@@ -31,9 +39,16 @@ from repro.policy import (
     RetryPolicy,
 )
 from repro.policy.model import CleanupFact, TransferFact
+from repro.policy.sharding import ShardedPolicyService
 from repro.workflow.montage import MB, MontageConfig, augmented_montage
 
-__all__ = ["ChaosResult", "run_chaos_montage", "compare_with_faultless"]
+__all__ = [
+    "ChaosResult",
+    "run_chaos_montage",
+    "compare_with_faultless",
+    "run_shard_chaos_montage",
+    "compare_sharded_with_single",
+]
 
 
 @dataclass
@@ -54,6 +69,12 @@ class ChaosResult:
     leaked_in_progress: int = 0
     #: transactions replayed / snapshots taken by the journal (0 without one)
     journal_commits: int = 0
+    #: requests the shard router served degraded (sharded runs only)
+    router_degraded: int = 0
+    #: per-shard health descriptors at end of run (sharded runs only)
+    shard_health: list = field(default_factory=list)
+    #: backlog replay failures during shard recovery (sharded runs only)
+    recovery_errors: list = field(default_factory=list)
 
 
 def _policy_config(cfg: ExperimentConfig) -> PolicyConfig:
@@ -157,6 +178,124 @@ def run_chaos_montage(
         leaked_in_progress=leaked,
         journal_commits=journal.commits if journal is not None else 0,
     )
+
+
+def run_shard_chaos_montage(
+    cfg: ExperimentConfig,
+    plan: Optional[FaultPlan] = None,
+    num_shards: int = 2,
+    journal_root=None,
+    breaker_threshold: int = 3,
+    breaker_reset: float = 60.0,
+    tracer=None,
+    metrics=None,
+) -> ChaosResult:
+    """Run the augmented-Montage cell against a sharded policy fleet.
+
+    Shard *i* journals under ``<journal_root>/shard-i``; a
+    :class:`~repro.des.faults.ShardCrash` in ``plan`` destroys that
+    shard's working memory mid-run and replays it from its own
+    WAL/snapshot while every other shard serves uninterrupted.  The
+    returned :class:`ChaosResult` carries the same staged-set /
+    leaked-grant evidence as the single-service runs plus the router's
+    degraded-request count and final shard health.
+    """
+    workflow = augmented_montage(
+        cfg.extra_file_mb * MB,
+        MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
+    )
+    bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
+    pconfig = _policy_config(cfg)
+    clock = lambda: bed.env.now  # noqa: E731 - tiny closure over the sim clock
+    router = ShardedPolicyService(
+        pconfig,
+        num_shards=num_shards,
+        engine=cfg.engine,
+        clock=clock,
+        journal_root=journal_root,
+        metrics=metrics,
+        tracer=tracer,
+        breaker_threshold=breaker_threshold,
+        breaker_reset=breaker_reset,
+    )
+    client = InProcessPolicyClient(
+        router, bed.env, latency=cfg.testbed.policy_latency
+    )
+
+    plan = plan or FaultPlan()
+    injector = FaultInjector(bed.env, plan, rng=bed.rng.stream("faults"))
+    injector.attach_policy(client)
+    injector.attach_gridftp(bed.gridftp)
+    injector.attach_router(router)
+
+    execution = WorkflowExecution(cfg, workflow, bed, client)
+    injector.start()
+    process = execution.start()
+    bed.env.run(until=process)
+    run_metrics = execution.metrics()
+
+    # Post-run hygiene, fleet-wide: reap any grant orphaned by degraded
+    # advice or lost completion reports past every possible deadline.
+    horizon = bed.env.now + (cfg.lease_seconds or 0.0) + 1.0
+    reaped = (
+        router.reap_expired(horizon)
+        if cfg.lease_seconds is not None
+        else {"transfers": [], "cleanups": []}
+    )
+    leaked = sum(
+        1
+        for fact_type in (TransferFact, CleanupFact)
+        for f in router.memory.facts_of(fact_type)
+        if f.status == "in_progress"
+    )
+    degraded = sum(
+        int(value)
+        for (_name, _suffix, value) in router._m_degraded.samples()
+    )
+    return ChaosResult(
+        metrics=run_metrics,
+        staged_files=sorted(set(execution.ptt.staged_log)),
+        fault_log=list(injector.log),
+        degraded_transfers=sum(r.degraded for r in execution.ptt.records),
+        reaped=reaped,
+        leaked_in_progress=leaked,
+        journal_commits=sum(
+            handle.backend.service.journal.commits
+            for handle in router.shards
+            if getattr(handle.backend, "service", None) is not None
+            and handle.backend.service.journal is not None
+        ),
+        router_degraded=degraded,
+        shard_health=router.shard_health(),
+        recovery_errors=list(router.recovery_errors),
+    )
+
+
+def compare_sharded_with_single(
+    cfg: ExperimentConfig,
+    plan: FaultPlan,
+    num_shards: int = 2,
+    journal_root=None,
+    **kwargs,
+) -> dict:
+    """Clean single-service run vs sharded run under shard chaos.
+
+    The acceptance check for the sharded fleet: byte-identical staged
+    sets and zero leaked in-progress grants even when a shard crashes
+    and replays mid-run.
+    """
+    clean = run_chaos_montage(cfg, plan=None, journal_dir=None)
+    chaotic = run_shard_chaos_montage(
+        cfg, plan=plan, num_shards=num_shards, journal_root=journal_root,
+        **kwargs,
+    )
+    return {
+        "clean": clean,
+        "chaotic": chaotic,
+        "staged_sets_equal": clean.staged_files == chaotic.staged_files,
+        "both_succeeded": clean.metrics.success and chaotic.metrics.success,
+        "leaked_in_progress": chaotic.leaked_in_progress,
+    }
 
 
 def compare_with_faultless(

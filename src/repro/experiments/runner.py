@@ -21,7 +21,12 @@ from repro.engine import CleanupTool, ClusterScheduler, DAGMan, PegasusTransferT
 from repro.experiments.environment import Testbed, TestbedParams, build_testbed
 from repro.metrics.collectors import RunMetrics
 from repro.planner import JobKind, Planner, PlanOptions
-from repro.policy import InProcessPolicyClient, PolicyConfig, PolicyService
+from repro.policy import (
+    InProcessPolicyClient,
+    PolicyConfig,
+    PolicyService,
+    ShardedPolicyService,
+)
 from repro.workflow.dag import Workflow
 from repro.workflow.montage import MB, MontageConfig, augmented_montage
 
@@ -62,6 +67,8 @@ class ExperimentConfig:
     retry_backoff: float = 0.0            # base delay between job retries
     n_images: int = 89                    # paper: 89 data staging jobs
     engine: str = "indexed"               # rule engine: "indexed" or "seed"
+    shards: int = 0                       # 0 = single service, N >= 1 = sharded router
+    journal_root: Optional[str] = None    # per-shard journals under this dir
     seed: int = 0
     testbed: TestbedParams = field(default_factory=TestbedParams)
 
@@ -83,23 +90,36 @@ def build_policy_client(
     """
     if cfg.policy is None:
         return None
-    service = PolicyService(
-        PolicyConfig(
-            policy=cfg.policy,
-            default_streams=cfg.default_streams,
-            max_streams=cfg.threshold,
-            cluster_count=cfg.cluster_factor if cfg.policy == "balanced" else None,
-            cluster_threshold=cfg.cluster_threshold,
-            order_by=cfg.order_by,
-            adaptive=cfg.adaptive,
-            lease_seconds=cfg.lease_seconds,
-        ),
-        clock=lambda: bed.env.now,
-        engine=cfg.engine,
-        metrics=metrics,
-        tracer=bed.env.tracer,
-        profiler=profiler,
+    policy_config = PolicyConfig(
+        policy=cfg.policy,
+        default_streams=cfg.default_streams,
+        max_streams=cfg.threshold,
+        cluster_count=cfg.cluster_factor if cfg.policy == "balanced" else None,
+        cluster_threshold=cfg.cluster_threshold,
+        order_by=cfg.order_by,
+        adaptive=cfg.adaptive,
+        lease_seconds=cfg.lease_seconds,
     )
+    if cfg.shards >= 1:
+        service = ShardedPolicyService(
+            policy_config,
+            num_shards=cfg.shards,
+            engine=cfg.engine,
+            clock=lambda: bed.env.now,
+            journal_root=cfg.journal_root,
+            metrics=metrics,
+            tracer=bed.env.tracer,
+            profiler=profiler,
+        )
+    else:
+        service = PolicyService(
+            policy_config,
+            clock=lambda: bed.env.now,
+            engine=cfg.engine,
+            metrics=metrics,
+            tracer=bed.env.tracer,
+            profiler=profiler,
+        )
     return InProcessPolicyClient(service, bed.env, latency=cfg.testbed.policy_latency)
 
 

@@ -27,7 +27,11 @@ Layering (paper Fig. 1):
   journal + snapshots from which :meth:`PolicyService.recover` rebuilds
   the service after a crash;
 * :mod:`repro.policy.allocation` — the analytic allocator (Table IV);
-* :mod:`repro.policy.tuning` — threshold auto-tuning (paper future work).
+* :mod:`repro.policy.tuning` — threshold auto-tuning (paper future work);
+* :mod:`repro.policy.sharding` — the consistent-hash shard router:
+  N independent policy shards with per-shard journals, circuit
+  breakers, degraded keyspace advice, and independent recovery (see
+  ``docs/sharding.md``).
 """
 
 from repro.policy.allocation import greedy_allocation_trace, max_streams_table
@@ -44,11 +48,17 @@ from repro.policy.model import PolicyConfig, TransferAdvice
 from repro.policy.rest import PolicyRestServer
 from repro.policy.rest_async import AsyncPolicyRestServer
 from repro.policy.service import PolicyService
+from repro.policy.sharding import (
+    HashRing,
+    ShardedPolicyService,
+    ShardUnavailableError,
+)
 
 __all__ = [
     "AsyncPolicyRestServer",
     "CircuitBreaker",
     "CircuitOpenError",
+    "HashRing",
     "InProcessPolicyClient",
     "JournalError",
     "PolicyConfig",
@@ -59,6 +69,8 @@ __all__ = [
     "PolicyService",
     "PolicyUnavailableError",
     "RetryPolicy",
+    "ShardUnavailableError",
+    "ShardedPolicyService",
     "TransferAdvice",
     "greedy_allocation_trace",
     "max_streams_table",

@@ -93,7 +93,15 @@ class CircuitBreaker:
     ``reset_timeout`` has elapsed, then one probe call is let through
     (``half_open``): success closes the breaker, failure re-opens it.
     Thread-safe so the blocking HTTP client can share one instance.
+
+    Every state change is counted in ``transitions`` (keys like
+    ``"closed->open"``), and :meth:`state_code` maps the state to the
+    gauge value exported as ``repro_policy_client_breaker_state``
+    (0 = closed, 1 = half_open, 2 = open).
     """
+
+    #: state -> metric gauge value (higher = less available)
+    STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 
     def __init__(
         self,
@@ -111,7 +119,16 @@ class CircuitBreaker:
         self.state = "closed"
         self.failures = 0
         self.opened_at: Optional[float] = None
+        self.transitions: dict[str, int] = {}
         self._lock = threading.Lock()
+
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state`` (under ``_lock``), counting the edge."""
+        if new_state == self.state:
+            return
+        key = f"{self.state}->{new_state}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self.state = new_state
 
     def allow(self) -> bool:
         """May a call proceed right now?  (May transition open -> half_open.)"""
@@ -120,7 +137,7 @@ class CircuitBreaker:
                 return True
             if self.state == "open":
                 if self.clock() - self.opened_at >= self.reset_timeout:
-                    self.state = "half_open"
+                    self._transition("half_open")
                     return True
                 return False
             # half_open: one probe is already in flight — hold the rest back
@@ -128,7 +145,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
-            self.state = "closed"
+            self._transition("closed")
             self.failures = 0
             self.opened_at = None
 
@@ -136,8 +153,23 @@ class CircuitBreaker:
         with self._lock:
             self.failures += 1
             if self.state == "half_open" or self.failures >= self.failure_threshold:
-                self.state = "open"
+                self._transition("open")
                 self.opened_at = self.clock()
+
+    def state_code(self) -> int:
+        """Numeric gauge value for the current state."""
+        return self.STATE_CODES[self.state]
+
+    def snapshot(self) -> dict:
+        """JSON-able health view (state, failures, transition counts)."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "state_code": self.STATE_CODES[self.state],
+                "failures": self.failures,
+                "opened_at": self.opened_at,
+                "transitions": dict(self.transitions),
+            }
 
 
 class HTTPPolicyClient:

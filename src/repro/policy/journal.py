@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Optional
@@ -72,6 +73,43 @@ _SNAPSHOT_VERSION = 1
 
 class JournalError(RuntimeError):
     """Unusable journal state (type mismatch, incompatible config...)."""
+
+
+# --------------------------------------------------------------------------
+# Journal-line integrity
+# --------------------------------------------------------------------------
+def _sealed_line(record: dict) -> str:
+    """Serialize ``record`` with a CRC32 seal over its canonical form.
+
+    A torn write usually truncates a line (caught by the JSON parser), but
+    a corrupted sector can also flip bits *inside* a line that still parses
+    — the seal lets :meth:`PolicyJournal.load` reject those too instead of
+    replaying silently wrong state.
+    """
+    payload = json.dumps(record, sort_keys=True)
+    sealed = dict(record)
+    sealed["ck"] = zlib.crc32(payload.encode("utf-8"))
+    return json.dumps(sealed, sort_keys=True)
+
+
+def _open_line(line: str) -> Optional[dict]:
+    """Parse + verify one sealed journal line; None when unusable.
+
+    Any defect — invalid JSON, a non-object record, a missing or wrong
+    seal — marks the line (and therefore everything after it) as a torn
+    tail to be discarded.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    seal = record.pop("ck", None)
+    payload = json.dumps(record, sort_keys=True)
+    if seal != zlib.crc32(payload.encode("utf-8")):
+        return None
+    return record
 
 
 # --------------------------------------------------------------------------
@@ -188,10 +226,10 @@ class PolicyJournal:
     def record_mutation(self, fact: Fact, fid: int, op: str) -> None:
         """Buffer one working-memory mutation (flushed at commit)."""
         if op == "r":
-            self._pending.append(json.dumps({"op": "r", "fid": fid}))
+            self._pending.append(_sealed_line({"op": "r", "fid": fid}))
         else:
             self._pending.append(
-                json.dumps({"op": op, "fid": fid, "fact": fact_to_doc(fact)})
+                _sealed_line({"op": op, "fid": fid, "fact": fact_to_doc(fact)})
             )
 
     def commit(
@@ -212,7 +250,7 @@ class PolicyJournal:
             record["failed"] = list(failed)
         lines = self._pending
         self._pending = []
-        lines.append(json.dumps(record))
+        lines.append(_sealed_line(record))
         handle = self._handle()
         handle.write("\n".join(lines) + "\n")
         handle.flush()
@@ -268,7 +306,11 @@ class PolicyJournal:
         Only complete transactions (terminated by a ``commit`` record)
         are applied; a torn or uncommitted tail is counted in
         ``discarded`` and ignored — the client never got that call's
-        response, so it will retry.
+        response, so it will retry.  "Torn" covers every way a crash can
+        mangle the file end: truncated lines, bit flips that break the
+        JSON or the per-line CRC seal, structurally valid records whose
+        facts cannot be revived.  Replay always stops cleanly at the last
+        intact committed transaction; it never raises on tail damage.
         """
         state = RecoveredState()
         if self.snapshot_path.exists():
@@ -288,29 +330,67 @@ class PolicyJournal:
         if not self.journal_path.exists():
             return state
 
+        # Binary read + per-line decode: a torn tail can hold bytes that
+        # are not valid UTF-8 at all, which must read as "torn", not as a
+        # UnicodeDecodeError out of recover().
+        raw_lines = self.journal_path.read_bytes().splitlines()
+        lines = []
+        for raw in raw_lines:
+            try:
+                text = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                text = "\x00torn"  # cannot be a sealed record; stops replay
+            if text:
+                lines.append(text)
+
         buffered: list[dict] = []
-        with open(self.journal_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn write: discard from here on
-                if record.get("op") != "commit":
-                    buffered.append(record)
-                    continue
+        torn_at: Optional[int] = None
+        for lineno, line in enumerate(lines):
+            record = _open_line(line)
+            if record is None:
+                torn_at = lineno  # torn write: discard from here on
+                break
+            if record.get("op") != "commit":
+                buffered.append(record)
+                continue
+            try:
+                # Stage the whole transaction before touching ``state`` so
+                # a record that decodes but cannot be applied (unknown
+                # fact type, malformed fid) discards the transaction, not
+                # half of it.
+                revived: list[tuple[int, Optional[Fact]]] = []
                 for mutation in buffered:
                     fid = int(mutation["fid"])
                     if mutation["op"] == "r":
-                        state.facts.pop(fid, None)
-                    else:  # "i" and "u" both carry the full fact state
-                        state.facts[fid] = fact_from_doc(mutation["fact"])
-                buffered = []
-                state.counters.update(record.get("counters", {}))
-                state.done_tids.extend(record.get("done", []))
-                state.failed_tids.extend(record.get("failed", []))
-                state.replayed += 1
-        state.discarded = len(buffered)
+                        revived.append((fid, None))
+                    elif mutation["op"] in ("i", "u"):
+                        # both ops carry the full fact state
+                        revived.append((fid, fact_from_doc(mutation["fact"])))
+                    else:
+                        raise JournalError(
+                            f"unknown journal op {mutation['op']!r}"
+                        )
+                counters = {
+                    key: int(value)
+                    for key, value in record.get("counters", {}).items()
+                }
+                done = [int(tid) for tid in record.get("done", [])]
+                failed = [int(tid) for tid in record.get("failed", [])]
+            except (JournalError, KeyError, TypeError, ValueError):
+                torn_at = lineno
+                break
+            for fid, fact in revived:
+                if fact is None:
+                    state.facts.pop(fid, None)
+                else:
+                    state.facts[fid] = fact
+            buffered = []
+            state.counters.update(counters)
+            state.done_tids.extend(done)
+            state.failed_tids.extend(failed)
+            state.replayed += 1
+        if torn_at is not None:
+            state.discarded = len(buffered) + (len(lines) - torn_at)
+        else:
+            state.discarded = len(buffered)
         return state

@@ -27,8 +27,14 @@ GET         /policy/status                       service snapshot
 ==========  ===================================  ===========================
 
 Malformed payloads return 400 with ``{"error": ...}``; unknown paths 404;
+bodies that stall past ``read_timeout`` mid-read 408 (connection closed);
 bodies larger than ``max_request_bytes`` 413 (without reading the body);
 requests arriving while the server drains for shutdown 503.
+
+Connections that idle past ``idle_timeout`` between requests — or trickle
+a request head slower than it — are closed without a response: the socket
+timeout covers both, so a slow-loris client cannot pin a handler thread
+indefinitely.
 
 Observability
 -------------
@@ -64,6 +70,10 @@ class _RequestTooLarge(Exception):
     """Body exceeds the configured cap (maps to HTTP 413)."""
 
 
+class _BodyReadTimeout(Exception):
+    """Body bytes stalled past ``read_timeout`` (maps to HTTP 408)."""
+
+
 class _PolicyHTTPServer(ThreadingHTTPServer):
     """Threading server whose handler threads don't block shutdown.
 
@@ -79,6 +89,11 @@ class _PolicyHTTPServer(ThreadingHTTPServer):
 def _make_handler(controller: PolicyController, lock: threading.Lock, server_state):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # Socket timeout for the whole connection: bounds both the idle
+        # wait between keep-alive requests and a trickled request head.
+        # The stdlib's handle_one_request catches the TimeoutError and
+        # closes the connection without a response.
+        timeout = server_state.idle_timeout
 
         def log_message(self, *args) -> None:  # silence test output
             pass
@@ -123,7 +138,24 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                     f"request body of {length} bytes exceeds the "
                     f"{server_state.max_request_bytes}-byte limit"
                 )
-            raw = self.rfile.read(length) if length else b"{}"
+            if length:
+                # Tighten the socket timeout for the body read: a client
+                # that sent a complete head must deliver the body it
+                # declared promptly, or the request is abandoned with 408.
+                if server_state.read_timeout is not None:
+                    self.connection.settimeout(server_state.read_timeout)
+                try:
+                    raw = self.rfile.read(length)
+                except TimeoutError as exc:
+                    raise _BodyReadTimeout(
+                        "timed out reading request body after "
+                        f"{server_state.read_timeout}s"
+                    ) from exc
+                finally:
+                    if server_state.read_timeout is not None:
+                        self.connection.settimeout(server_state.idle_timeout)
+            else:
+                raw = b"{}"
             try:
                 doc = json.loads(raw or b"{}")
             except json.JSONDecodeError as exc:
@@ -153,6 +185,11 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                 return
             try:
                 work()
+            except _BodyReadTimeout as exc:
+                # Part of the body never arrived — the stream position is
+                # unknowable, so the connection cannot be reused.
+                self.close_connection = True
+                self._reply(408, {"error": str(exc), "request_id": rid})
             except _RequestTooLarge as exc:
                 # The oversized body was never read — this connection
                 # cannot be reused.
@@ -248,9 +285,18 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
 class _ServerState:
     """In-flight request accounting, request ids, and the access log."""
 
-    def __init__(self, max_request_bytes: int, tracer=None, access_log_cap: int = 1024):
+    def __init__(
+        self,
+        max_request_bytes: int,
+        tracer=None,
+        access_log_cap: int = 1024,
+        idle_timeout: Optional[float] = 60.0,
+        read_timeout: Optional[float] = 10.0,
+    ):
         self.max_request_bytes = int(max_request_bytes)
         self.tracer = tracer
+        self.idle_timeout = idle_timeout
+        self.read_timeout = read_timeout
         self.access_log: list[dict] = []
         self._access_log_cap = int(access_log_cap)
         self._request_seq = 0
@@ -310,8 +356,12 @@ class PolicyRestServer:
     A lock serializes requests into the (single-threaded) rule engine, so
     concurrent clients are safe.  Request bodies above
     ``max_request_bytes`` are refused with 413 before being read;
+    connections idle (or trickling a request head) past ``idle_timeout``
+    seconds are closed without a response; declared bodies that stall
+    past ``read_timeout`` draw a 408 and a closed connection;
     :meth:`stop` first refuses new requests with 503, then waits up to
-    ``drain_timeout`` seconds for in-flight ones to complete.
+    ``drain_timeout`` seconds for in-flight ones to complete.  Either
+    timeout may be ``None`` to disable it.
     """
 
     def __init__(
@@ -322,11 +372,17 @@ class PolicyRestServer:
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         drain_timeout: float = 5.0,
         tracer=None,
+        idle_timeout: Optional[float] = 60.0,
+        read_timeout: Optional[float] = 10.0,
     ):
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
         if drain_timeout < 0:
             raise ValueError("drain_timeout must be >= 0")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be > 0 (or None to disable)")
+        if read_timeout is not None and read_timeout <= 0:
+            raise ValueError("read_timeout must be > 0 (or None to disable)")
         self.service = service
         self.controller = PolicyController(service)
         self.drain_timeout = drain_timeout
@@ -334,7 +390,10 @@ class PolicyRestServer:
         # A tracer given here should be wall-clock bound (e.g.
         # ``Tracer(clock=time.monotonic)``); defaults to the service's.
         self._state = _ServerState(
-            max_request_bytes, tracer=tracer if tracer is not None else service.tracer
+            max_request_bytes,
+            tracer=tracer if tracer is not None else service.tracer,
+            idle_timeout=idle_timeout,
+            read_timeout=read_timeout,
         )
         self._httpd = _PolicyHTTPServer(
             (host, port), _make_handler(self.controller, self._lock, self._state)

@@ -23,9 +23,12 @@ thread so ``start()`` / ``stop()`` look exactly like
 :class:`~repro.policy.rest.PolicyRestServer`'s.
 
 Error mapping is identical to the threaded frontend: malformed payloads
-400, unknown paths 404, oversized bodies 413 refused before the body is
-read, internal bugs 500, draining 503 — all with the request id echoed
-in header and body, and the connection closed afterwards.
+400, unknown paths 404, stalled body reads 408 (``read_timeout``),
+oversized bodies 413 refused before the body is read, internal bugs 500,
+draining 503 — all with the request id echoed in header and body, and
+the connection closed afterwards.  Connections that sit idle (or drip
+header bytes) past ``idle_timeout`` are closed without a response —
+the slow-loris defence.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -61,6 +65,10 @@ _REASONS = {
 
 class _BadRequestFraming(Exception):
     """Unparseable request head — the connection cannot continue."""
+
+
+class _BodyReadTimeout(Exception):
+    """The client stalled mid-body past ``read_timeout`` (slow-loris)."""
 
 
 #: POST path -> controller method name, resolved per request so tests
@@ -116,15 +124,27 @@ class AsyncPolicyRestServer:
         port: int = 0,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         drain_timeout: float = 5.0,
+        idle_timeout: Optional[float] = 60.0,
+        read_timeout: Optional[float] = 10.0,
         tracer=None,
     ):
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
         if drain_timeout < 0:
             raise ValueError("drain_timeout must be >= 0")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be > 0 (or None to disable)")
+        if read_timeout is not None and read_timeout <= 0:
+            raise ValueError("read_timeout must be > 0 (or None to disable)")
         self.service = service
         self.controller = PolicyController(service)
         self.drain_timeout = drain_timeout
+        #: seconds a connection may sit without *starting* a request
+        #: before the server closes it (slow-loris hardening)
+        self.idle_timeout = idle_timeout
+        #: seconds a client gets to deliver a request body it declared;
+        #: a stall answers 408 and closes the connection
+        self.read_timeout = read_timeout
         self._host = host
         self._port = port
         # Serializes service access against out-of-process users of the
@@ -231,7 +251,15 @@ class AsyncPolicyRestServer:
         host = peer[0]
         try:
             while True:
-                head = await self._read_head(reader)
+                try:
+                    # One budget covers waiting for a request *and* the
+                    # trickle-fed head itself: a slow-loris client that
+                    # drips header bytes never escapes the clock.
+                    head = await asyncio.wait_for(
+                        self._read_head(reader), self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle or stalled-in-head connection: just close
                 if head is None:
                     break  # clean EOF between requests
                 keep_alive = await self._handle_request(head, reader, host, writer)
@@ -359,6 +387,13 @@ class AsyncPolicyRestServer:
             # be reused.
             keep_alive = False
             reply(413, {"error": str(exc), "request_id": rid})
+        except _BodyReadTimeout:
+            # The client declared a body and then stalled; the wire still
+            # holds unread bytes, so answer and drop the connection.
+            keep_alive = False
+            reply(408, {
+                "error": "timed out reading request body", "request_id": rid,
+            })
         except PolicyRequestError as exc:
             # The body may be unread (bad framing) — do not reuse the
             # connection for a follow-up request.
@@ -392,7 +427,14 @@ class AsyncPolicyRestServer:
                 f"request body of {length} bytes exceeds the "
                 f"{self._state.max_request_bytes}-byte limit"
             )
-        return await reader.readexactly(length) if length else b""
+        if not length:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), self.read_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise _BodyReadTimeout() from exc
 
     async def _discard_get_body(
         self, head: _Head, reader: asyncio.StreamReader
@@ -407,7 +449,12 @@ class AsyncPolicyRestServer:
         if length > self._state.max_request_bytes:
             return False  # refuse to buffer it; close after responding
         if length:
-            await reader.readexactly(length)
+            try:
+                await asyncio.wait_for(
+                    reader.readexactly(length), self.read_timeout
+                )
+            except asyncio.TimeoutError:
+                return False  # stalled GET body: answer, then close
         return True
 
     def _dispatch(self, head: _Head, body: bytes, rid: str, reply, send) -> None:

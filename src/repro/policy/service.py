@@ -438,7 +438,12 @@ class PolicyService:
 
     # ------------------------------------------------------------------ transfers
     def submit_transfers(
-        self, workflow: str, job: str, transfers: Iterable[dict]
+        self,
+        workflow: str,
+        job: str,
+        transfers: Iterable[dict],
+        *,
+        tids: Optional[Sequence[int]] = None,
     ) -> list[TransferAdvice]:
         """Evaluate a batch of transfer requests; return per-transfer advice.
 
@@ -446,6 +451,11 @@ class PolicyService:
         ``nbytes``; optional ``streams`` (else the configured default),
         ``priority`` and ``cluster`` (defaults to the requesting job id,
         which is the Pegasus cluster identity for clustered staging jobs).
+
+        ``tids`` lets a router (sharded deployments) pre-assign globally
+        unique transfer ids, one per request in order; the caller is then
+        responsible for any priority pre-sort.  Without it the service
+        allocates ids from its own counter.
         """
         transfers = list(transfers)
         self._maybe_reap()
@@ -460,7 +470,7 @@ class PolicyService:
         t0 = time.perf_counter()
         try:
             with self._transaction():
-                advice = self._submit_transfers(workflow, job, transfers)
+                advice = self._submit_transfers(workflow, job, transfers, tids=tids)
         except BaseException as exc:
             if span is not None:
                 self.tracer.end(span, error=type(exc).__name__)
@@ -478,7 +488,11 @@ class PolicyService:
         return advice
 
     def _submit_transfers(
-        self, workflow: str, job: str, transfers: Iterable[dict]
+        self,
+        workflow: str,
+        job: str,
+        transfers: Iterable[dict],
+        tids: Optional[Sequence[int]] = None,
     ) -> list[TransferAdvice]:
         batch = self._next_batch()
         session = self._session()
@@ -488,12 +502,25 @@ class PolicyService:
             else self.clock() + self.config.lease_seconds
         )
         specs = list(transfers)
-        if self.config.order_by == "priority":
-            specs.sort(key=lambda s: -int(s.get("priority", 0)))
+        if tids is None:
+            if self.config.order_by == "priority":
+                specs.sort(key=lambda s: -int(s.get("priority", 0)))
+        else:
+            # Externally assigned ids (a shard router allocates globally):
+            # the caller pre-sorted the batch; keep the counter monotonic
+            # past the highest id so local and external allocation never
+            # collide.
+            tids = list(tids)
+            if len(tids) != len(specs):
+                raise ValueError(
+                    f"tids length {len(tids)} does not match batch size {len(specs)}"
+                )
+            if tids:
+                self._tid_last = max(self._tid_last, max(tids))
         facts: list[TransferFact] = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
             fact = TransferFact(
-                tid=self._next_tid(),
+                tid=self._next_tid() if tids is None else int(tids[index]),
                 workflow=workflow,
                 job=job,
                 lfn=spec["lfn"],
@@ -666,10 +693,27 @@ class PolicyService:
 
     # ------------------------------------------------------------------ cleanups
     def submit_cleanups(
-        self, workflow: str, job: str, files: Iterable[tuple[str, str]]
+        self,
+        workflow: str,
+        job: str,
+        files: Iterable[tuple[str, str]],
+        *,
+        cids: Optional[Sequence[int]] = None,
     ) -> list[CleanupAdvice]:
-        """Evaluate cleanup (deletion) requests for (lfn, url) pairs."""
+        """Evaluate cleanup (deletion) requests for (lfn, url) pairs.
+
+        ``cids`` mirrors ``submit_transfers(tids=...)``: a shard router
+        may pre-assign globally unique cleanup ids, one per file in order.
+        """
         files = list(files)
+        if cids is not None:
+            cids = list(cids)
+            if len(cids) != len(files):
+                raise ValueError(
+                    f"cids length {len(cids)} does not match batch size {len(files)}"
+                )
+            if cids:
+                self._cid_last = max(self._cid_last, max(cids))
         self._maybe_reap()
         self._m_cleanups["requests"].inc()
         self._m_calls["submit_cleanups"].inc()
@@ -687,9 +731,10 @@ class PolicyService:
                 else self.clock() + self.config.lease_seconds
             )
             facts = []
-            for lfn, url in files:
+            for index, (lfn, url) in enumerate(files):
                 fact = CleanupFact(
-                    cid=self._next_cid(), workflow=workflow, job=job, lfn=lfn,
+                    cid=self._next_cid() if cids is None else int(cids[index]),
+                    workflow=workflow, job=job, lfn=lfn,
                     url=url, batch=batch,
                 )
                 facts.append(fact)

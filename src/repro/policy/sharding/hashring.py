@@ -1,0 +1,89 @@
+"""Deterministic consistent-hash ring for policy shard routing.
+
+Keys are strings; placement is derived from SHA-256 so it is stable
+across processes and runs (``hash()`` randomisation never leaks in).
+The ring uses virtual nodes so that adding a shard moves only ~1/N of
+the keyspace, and so that small shard counts still spread host pairs
+evenly.
+
+Two key families matter to the router:
+
+* ``pair_key(src_host, dst_host)`` — transfers partition by their
+  (source, destination) host pair, which is also the grain of the
+  paper's pair-wise stream threshold and grouping state;
+* ``namespace_key(lfn)`` — cleanups and other per-file lookups that
+  have no pair fall back to the dataset namespace (the directory part
+  of the logical file name).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+__all__ = ["HashRing", "pair_key", "namespace_key", "url_key"]
+
+
+def pair_key(src_host: str, dst_host: str) -> str:
+    """Routing key for a (source, destination) host pair."""
+
+    return f"pair:{src_host}|{dst_host}"
+
+
+def namespace_key(lfn: str) -> str:
+    """Routing key for a logical file's dataset namespace.
+
+    The namespace is the directory prefix of the LFN; flat names form
+    their own singleton namespace.
+    """
+
+    namespace = lfn.rsplit("/", 1)[0] if "/" in lfn else lfn
+    return f"ns:{namespace}"
+
+
+def url_key(url: str) -> str:
+    """Routing key for a physical destination URL (cleanup fallback)."""
+
+    return f"url:{url}"
+
+
+def _digest(value: str) -> int:
+    return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to shard indices."""
+
+    def __init__(self, num_shards: int, replicas: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(replicas):
+                points.append((_digest(f"shard-{shard}#{replica}"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def node_for(self, key: str) -> int:
+        """Return the shard index owning ``key``."""
+
+        if self.num_shards == 1:
+            return 0
+        where = bisect.bisect(self._points, _digest(key))
+        if where == len(self._points):
+            where = 0
+        return self._owners[where]
+
+    def spread(self, keys) -> List[int]:
+        """Histogram of how ``keys`` land on shards (diagnostics)."""
+
+        counts = [0] * self.num_shards
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

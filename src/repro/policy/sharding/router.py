@@ -1,0 +1,1072 @@
+"""The consistent-hash router: N policy shards behind one service facade.
+
+:class:`ShardedPolicyService` implements the whole controller-visible
+surface of :class:`~repro.policy.service.PolicyService` — the transfer
+tool, cleanup tool, REST controllers, DES experiments, and the
+in-process client all work against it unchanged.  Internally it:
+
+* partitions transfer batches across shards by (source, destination)
+  host pair, and cleanups by destination URL / dataset namespace
+  (:mod:`~repro.policy.sharding.hashring`);
+* keeps an **ownership directory**: once a file (lfn, dst_url) has been
+  evaluated on a shard, every later request for that file — whatever
+  its source pair — forwards to that home shard, so refcounts and
+  dedup state for one file live in exactly one working memory;
+* allocates transfer/cleanup ids globally (shards receive them
+  pre-assigned) and renumbers group ids canonically in tid order, so
+  the merged advice is **byte-identical** to an unsharded service;
+* mirrors the single service's throttled lease sweep at router level
+  (shard-local sweeps are disabled) so lease reaping happens at the
+  same simulated instants;
+* wraps every shard call in the shard's circuit breaker; a dead,
+  partitioned, or breaker-open shard degrades *only its own keyspace*:
+  transfers get policy-free "transfer" advice (mirroring the transfer
+  tool's own degraded mode), cleanups get conservative "skip" advice,
+  queries answer ``"unknown"``, and admin traffic plus completion
+  reports for that shard are buffered and redelivered — in order —
+  after :meth:`ShardedPolicyService.recover_shard` replays its journal.
+
+See ``docs/sharding.md`` for the ownership protocol and the failure
+matrix (including the per-shard budget caveats for workflow quotas and
+tenant aggregate caps).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.gridftp import parse_url
+from repro.obs.metrics import MetricsRegistry
+
+from repro.policy.client import CircuitBreaker
+from repro.policy.model import CleanupAdvice, PolicyConfig, TransferAdvice
+from repro.policy.sharding.hashring import HashRing, pair_key, url_key
+from repro.policy.sharding.shard import (
+    InProcessShardBackend,
+    ShardHandle,
+    ShardUnavailableError,
+)
+
+__all__ = ["ShardedPolicyService"]
+
+#: same action ordering as PolicyService._order_advice
+_ADVICE_RANK = {"transfer": 0, "wait": 1, "skip": 2, "deny": 3}
+
+
+class _FleetMemoryView:
+    """Aggregate read-only view over shard working memories.
+
+    Supports the probes the rest of the codebase uses on
+    ``service.memory`` (``len``, ``snapshot``, ``facts_of``); down
+    shards contribute nothing.
+    """
+
+    def __init__(self, router: "ShardedPolicyService") -> None:
+        self._router = router
+
+    def __len__(self) -> int:
+        total = 0
+        for handle in self._router.shards:
+            if not handle.healthy():
+                continue
+            try:
+                total += handle.call("memory_len")
+            except ShardUnavailableError:
+                pass
+        return total
+
+    def snapshot(self) -> dict:
+        census: dict[str, int] = {}
+        for handle in self._router.shards:
+            if not handle.healthy():
+                continue
+            try:
+                part = handle.call("memory_census")
+            except ShardUnavailableError:
+                continue
+            for kind, count in part.items():
+                census[kind] = census.get(kind, 0) + count
+        return dict(sorted(census.items()))
+
+    def facts_of(self, fact_type):
+        """In-process backends only (DES/chaos introspection)."""
+
+        facts = []
+        for handle in self._router.shards:
+            service = getattr(handle.backend, "service", None)
+            if service is not None and handle.up:
+                facts.extend(service.memory.facts_of(fact_type))
+        return facts
+
+    def __iter__(self):
+        for handle in self._router.shards:
+            service = getattr(handle.backend, "service", None)
+            if service is not None and handle.up:
+                yield from iter(service.memory)
+
+
+class ShardedPolicyService:
+    """N independent `PolicyService` shards behind one routing facade.
+
+    Parameters
+    ----------
+    config:
+        The (single) policy configuration; every shard runs it.
+    num_shards:
+        Fleet size.  ``1`` is valid and byte-identical to an unsharded
+        service (useful as the benchmark baseline).
+    engine:
+        Rule engine for every shard (``indexed`` / ``compiled`` / ``seed``).
+    clock:
+        Shared clock (the DES passes simulated time); also drives the
+        per-shard circuit breakers and lease sweeps.
+    journal_root:
+        When set, shard *i* journals under ``<journal_root>/shard-i`` and
+        :meth:`recover_shard` replays it after a crash.  Without it,
+        recovery restarts the shard empty (equivalence tests).
+    backends:
+        Optional pre-built backend list (e.g.
+        :class:`~repro.policy.sharding.procshard.ProcessShardBackend`
+        instances); overrides the default in-process construction.
+    concurrent:
+        Dispatch per-shard sub-batches from worker threads.  Defaults
+        off for in-process backends (determinism costs nothing there)
+        and should be on for process backends (that is where the
+        scaling comes from).
+    breaker_threshold / breaker_reset:
+        Per-shard circuit breaker tuning (PR 2 semantics).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PolicyConfig] = None,
+        num_shards: int = 2,
+        engine: str = "indexed",
+        clock: Optional[Callable[[], float]] = None,
+        journal_root=None,
+        backends: Optional[Sequence] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        profiler=None,
+        concurrent: Optional[bool] = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 60.0,
+        snapshot_interval: int = 1000,
+        fsync: bool = False,
+        extra_rules=(),
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.config = config if config is not None else PolicyConfig()
+        self.engine = engine
+        self.clock = clock or time.monotonic
+        self.tracer = tracer
+        self.num_shards = num_shards
+        self.ring = HashRing(num_shards)
+
+        self.shards: List[ShardHandle] = []
+        if backends is not None:
+            backends = list(backends)
+            if len(backends) != num_shards:
+                raise ValueError("backends length must equal num_shards")
+        for index in range(num_shards):
+            if backends is not None:
+                backend = backends[index]
+            else:
+                journal_dir = (
+                    Path(journal_root) / f"shard-{index}"
+                    if journal_root is not None
+                    else None
+                )
+                backend = InProcessShardBackend(
+                    self.config,
+                    engine=engine,
+                    clock=clock,
+                    journal_dir=journal_dir,
+                    snapshot_interval=snapshot_interval,
+                    fsync=fsync,
+                    extra_rules=extra_rules,
+                    tracer=tracer,
+                    profiler=profiler,
+                )
+            breaker = CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset,
+                clock=self.clock,
+            )
+            self.shards.append(ShardHandle(index, backend, breaker=breaker))
+        if concurrent is None:
+            concurrent = backends is not None
+        self._concurrent = bool(concurrent) and num_shards > 1
+
+        # ---------------- global allocation + canonical numbering ----------
+        self._tid_last = 0
+        self._cid_last = 0
+        self._group_counter = 0
+        #: canonical (src_host, dst_host) -> group id, mirroring HostPairFact
+        self._pair_groups: dict[Tuple[str, str], int] = {}
+
+        # ---------------- ownership directory ------------------------------
+        #: (lfn, dst_url) -> home shard index
+        self._owner: dict[Tuple[str, str], int] = {}
+        #: dst_url -> home shard index (cleanup routing; first writer wins)
+        self._url_owner: dict[str, int] = {}
+
+        # ---------------- id -> shard maps (bounded) ------------------------
+        retention = max(int(self.config.completed_tid_retention), 1000)
+        self._tid_shard: OrderedDict[int, int] = OrderedDict()
+        self._cid_shard: OrderedDict[int, int] = OrderedDict()
+        self._cid_key: dict[int, Tuple[str, str]] = {}
+        self._id_retention = retention * 2
+
+        # ---------------- degraded mode ------------------------------------
+        #: tid -> (workflow, lfn, dst_url, home shard) for policy-free grants
+        self._degraded_tids: OrderedDict[int, Tuple[str, str, str, int]] = OrderedDict()
+        #: per-shard FIFO of (method, args, kwargs) to replay at recovery
+        self._pending_ops: dict[int, list] = {i: [] for i in range(num_shards)}
+        self.recovery_errors: list[str] = []
+
+        # ---------------- router-mirrored lease sweep -----------------------
+        self._next_sweep = float("-inf")
+
+        self._lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._init_metrics()
+
+    # ------------------------------------------------------------------ metrics
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_policy_router_requests_total",
+            "Requests handled by the shard router",
+            labelnames=("call",),
+        )
+        self._m_dispatch = m.counter(
+            "repro_policy_router_shard_dispatch_total",
+            "Sub-batches dispatched per shard",
+            labelnames=("shard",),
+        )
+        self._m_degraded = m.counter(
+            "repro_policy_router_degraded_total",
+            "Requests served degraded because a shard was unavailable",
+            labelnames=("kind",),
+        )
+        self._m_breaker_state = m.gauge(
+            "repro_policy_client_breaker_state",
+            "Per-shard circuit breaker state (0=closed,1=half_open,2=open)",
+            labelnames=("shard",),
+        )
+        self._m_breaker_transitions = m.counter(
+            "repro_policy_client_breaker_transitions_total",
+            "Per-shard circuit breaker state transitions",
+            labelnames=("shard", "transition"),
+        )
+        self._m_shard_up = m.gauge(
+            "repro_policy_shard_up",
+            "1 when the shard is serving, 0 when down/partitioned/open",
+            labelnames=("shard",),
+        )
+        self._m_pending_ops = m.gauge(
+            "repro_policy_router_pending_ops",
+            "Operations buffered for a shard awaiting recovery",
+            labelnames=("shard",),
+        )
+        self._m_recoveries = m.counter(
+            "repro_policy_router_shard_recoveries_total",
+            "Shard journal replays completed by the router",
+            labelnames=("shard",),
+        )
+        self._breaker_exported: dict[Tuple[str, str], int] = {}
+
+    def _refresh_health_metrics(self) -> None:
+        for handle in self.shards:
+            shard = str(handle.index)
+            self._m_breaker_state.set(handle.breaker.state_code(), shard=shard)
+            self._m_shard_up.set(1.0 if handle.healthy() else 0.0, shard=shard)
+            self._m_pending_ops.set(
+                float(len(self._pending_ops[handle.index])), shard=shard
+            )
+            for edge, count in handle.breaker.snapshot()["transitions"].items():
+                key = (shard, edge)
+                seen = self._breaker_exported.get(key, 0)
+                if count > seen:
+                    self._m_breaker_transitions.inc(
+                        count - seen, shard=shard, transition=edge
+                    )
+                    self._breaker_exported[key] = count
+
+    # ------------------------------------------------------------------ ids
+    def _next_tid(self) -> int:
+        self._tid_last += 1
+        return self._tid_last
+
+    def _next_cid(self) -> int:
+        self._cid_last += 1
+        return self._cid_last
+
+    def _remember(self, table: OrderedDict, key, value) -> None:
+        table[key] = value
+        while len(table) > self._id_retention:
+            table.popitem(last=False)
+
+    def counters(self) -> dict:
+        return {
+            "tid": self._tid_last,
+            "cid": self._cid_last,
+            "group": self._group_counter,
+        }
+
+    # ------------------------------------------------------------------ sweep
+    def _maybe_reap(self) -> None:
+        """Router-level mirror of the single service's throttled sweep."""
+
+        if self.config.lease_seconds is None:
+            return
+        now = self.clock()
+        if now < self._next_sweep:
+            return
+        self._next_sweep = now + self.config.sweep_interval()
+        self._broadcast_reap(now)
+
+    def _broadcast_reap(self, now: float) -> dict:
+        reaped = {"transfers": [], "cleanups": []}
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                part = handle.call("reap_expired", now)
+            except ShardUnavailableError:
+                continue
+            reaped["transfers"].extend(part.get("transfers", ()))
+            reaped["cleanups"].extend(part.get("cleanups", ()))
+        reaped["transfers"].sort()
+        reaped["cleanups"].sort()
+        return reaped
+
+    def reap_expired(self, now: Optional[float] = None) -> dict:
+        if now is None:
+            now = self.clock()
+        return self._broadcast_reap(float(now))
+
+    # ------------------------------------------------------------------ dispatch
+    def _dispatch(self, calls: list) -> list:
+        """Run ``[(handle, name, args, kwargs), ...]``; return results.
+
+        A :class:`ShardUnavailableError` becomes ``None`` in the result
+        slot (the caller degrades that sub-batch); other exceptions
+        propagate.  With ``concurrent`` enabled, calls run from one
+        thread per shard — results keep submission order either way.
+        """
+
+        results: list = [None] * len(calls)
+        errors: list = [None] * len(calls)
+
+        def run(slot: int) -> None:
+            handle, name, args, kwargs = calls[slot]
+            try:
+                results[slot] = handle.call(name, *args, **kwargs)
+            except ShardUnavailableError:
+                results[slot] = None
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors[slot] = exc
+
+        if self._concurrent and len(calls) > 1:
+            threads = [
+                threading.Thread(target=run, args=(slot,), daemon=True)
+                for slot in range(len(calls))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for slot in range(len(calls)):
+                run(slot)
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+    def _queue_pending(self, shard: int, name: str, *args, **kwargs) -> None:
+        self._pending_ops[shard].append((name, args, kwargs))
+
+    # ------------------------------------------------------------------ transfers
+    def submit_transfers(
+        self, workflow: str, job: str, transfers: Iterable[dict]
+    ) -> list[TransferAdvice]:
+        """Route a batch across shards; merge byte-identical advice."""
+
+        specs = list(transfers)
+        self._maybe_reap()
+        self._m_requests.inc(call="submit_transfers")
+        span = self._begin_span(
+            "router.submit_transfers", workflow=workflow, job=job,
+            batch=len(specs),
+        )
+        if self.config.order_by == "priority":
+            # The single service pre-sorts the batch before assigning
+            # tids; the router owns that sort now (shards are told to
+            # keep external order).
+            specs.sort(key=lambda s: -int(s.get("priority", 0)))
+
+        # Route each spec: ownership directory first, else the pair ring.
+        # ``batch_local`` pins every later occurrence of a file in this
+        # batch to the first occurrence's shard so in-batch dedup fires
+        # exactly like the single service.
+        assigned = []  # (tid, spec, shard_idx, key)
+        batch_local: dict[Tuple[str, str], int] = {}
+        for spec in specs:
+            tid = self._next_tid()
+            key = (spec["lfn"], spec["dst_url"])
+            shard_idx = self._owner.get(key)
+            if shard_idx is None:
+                shard_idx = batch_local.get(key)
+            if shard_idx is None:
+                src_host, _ = parse_url(spec["src_url"])
+                dst_host, _ = parse_url(spec["dst_url"])
+                shard_idx = self.ring.node_for(pair_key(src_host, dst_host))
+            batch_local[key] = shard_idx
+            assigned.append((tid, spec, shard_idx, key))
+
+        per_shard: dict[int, list] = {}
+        for tid, spec, shard_idx, key in assigned:
+            per_shard.setdefault(shard_idx, []).append((tid, spec, key))
+
+        order = sorted(per_shard)
+        calls = []
+        for shard_idx in order:
+            entries = per_shard[shard_idx]
+            calls.append((
+                self.shards[shard_idx],
+                "submit_transfers",
+                (workflow, job, [spec for _, spec, _ in entries]),
+                {"tids": [tid for tid, _, _ in entries]},
+            ))
+            self._m_dispatch.inc(shard=str(shard_idx))
+        results = self._dispatch(calls)
+
+        merged: dict[int, TransferAdvice] = {}
+        degraded: set[int] = set()
+        for shard_idx, result in zip(order, results):
+            entries = per_shard[shard_idx]
+            if result is None:
+                # Shard unavailable: policy-free advice for just this
+                # sub-batch, mirroring the transfer tool's degraded mode.
+                self._m_degraded.inc(len(entries), kind="transfers")
+                for tid, spec, key in entries:
+                    merged[tid] = self._degraded_advice(workflow, tid, spec, shard_idx)
+                    degraded.add(tid)
+                continue
+            for item in result:
+                merged[item.tid] = item
+            for tid, spec, key in entries:
+                self._remember(self._tid_shard, tid, shard_idx)
+                self._owner[key] = shard_idx
+                self._url_owner.setdefault(spec["dst_url"], shard_idx)
+
+        # Canonical group numbering: walk in tid (= submission) order and
+        # mint/reuse pair group ids exactly where the single service's
+        # GROUP_CREATE rule would (first executable transfer of a pair).
+        for tid, spec, shard_idx, key in assigned:
+            item = merged.get(tid)
+            if item is None or item.action != "transfer" or tid in degraded:
+                continue
+            src_host, _ = parse_url(item.src_url)
+            dst_host, _ = parse_url(item.dst_url)
+            pair = (src_host, dst_host)
+            group = self._pair_groups.get(pair)
+            if group is None:
+                self._group_counter += 1
+                group = self._group_counter
+                self._pair_groups[pair] = group
+            item.group_id = group
+
+        advice = self._order_advice(list(merged.values()))
+        if span is not None:
+            actions: dict[str, int] = {}
+            for item in advice:
+                actions[item.action] = actions.get(item.action, 0) + 1
+            self.tracer.end(
+                span, shards=len(order), degraded=len(degraded),
+                advice=dict(sorted(actions.items())),
+            )
+        return advice
+
+    def _degraded_advice(
+        self, workflow: str, tid: int, spec: dict, shard_idx: int
+    ) -> TransferAdvice:
+        streams = spec.get("streams") or self.config.default_streams or 1
+        self._remember(
+            self._degraded_tids,
+            tid,
+            (workflow, spec["lfn"], spec["dst_url"], shard_idx),
+        )
+        return TransferAdvice(
+            tid=tid,
+            lfn=spec["lfn"],
+            src_url=spec["src_url"],
+            dst_url=spec["dst_url"],
+            nbytes=float(spec.get("nbytes", 0.0)),
+            action="transfer",
+            streams=int(streams),
+            group_id=0,
+            priority=int(spec.get("priority", 0)),
+            reason=f"shard {shard_idx} unavailable; policy-free advice",
+        )
+
+    def _order_advice(self, advice: list[TransferAdvice]) -> list[TransferAdvice]:
+        def key(a: TransferAdvice):
+            if self.config.order_by == "priority":
+                return (_ADVICE_RANK[a.action], -a.priority, a.src_url, a.dst_url, a.tid)
+            return (_ADVICE_RANK[a.action], a.src_url, a.dst_url, a.tid)
+
+        return sorted(advice, key=key)
+
+    def complete_transfers(
+        self, done: Iterable[int] = (), failed: Iterable[int] = ()
+    ) -> dict:
+        self._maybe_reap()
+        self._m_requests.inc(call="complete_transfers")
+        done, failed = list(done), list(failed)
+        per_shard: dict[int, Tuple[list, list]] = {}
+        acknowledged = 0
+        for tid in done:
+            entry = self._degraded_tids.pop(tid, None)
+            if entry is not None:
+                # The home shard never saw this grant; once it is back,
+                # reconcile the staged file so dedup/refcounts catch up.
+                wf, lfn, dst_url, shard_idx = entry
+                self._queue_pending(
+                    shard_idx, "reconcile_staged", wf, [(lfn, dst_url)]
+                )
+                acknowledged += 1
+                continue
+            shard_idx = self._tid_shard.get(tid)
+            if shard_idx is None:
+                continue
+            per_shard.setdefault(shard_idx, ([], []))[0].append(tid)
+        for tid in failed:
+            if self._degraded_tids.pop(tid, None) is not None:
+                acknowledged += 1
+                continue
+            shard_idx = self._tid_shard.get(tid)
+            if shard_idx is None:
+                continue
+            per_shard.setdefault(shard_idx, ([], []))[1].append(tid)
+
+        order = sorted(per_shard)
+        calls = [
+            (
+                self.shards[shard_idx],
+                "complete_transfers",
+                (),
+                {"done": per_shard[shard_idx][0], "failed": per_shard[shard_idx][1]},
+            )
+            for shard_idx in order
+        ]
+        results = self._dispatch(calls)
+        for shard_idx, result in zip(order, results):
+            if result is None:
+                # Buffer the report; redelivered after journal replay so
+                # the recovered shard frees the same streams/resources.
+                self._queue_pending(
+                    shard_idx,
+                    "complete_transfers",
+                    done=per_shard[shard_idx][0],
+                    failed=per_shard[shard_idx][1],
+                )
+                self._m_degraded.inc(kind="completions")
+                continue
+            acknowledged += result.get("acknowledged", 0)
+        return {"acknowledged": acknowledged}
+
+    # ------------------------------------------------------------------ cleanups
+    def submit_cleanups(
+        self, workflow: str, job: str, files: Iterable[tuple[str, str]]
+    ) -> list[CleanupAdvice]:
+        files = [(lfn, url) for lfn, url in files]
+        self._maybe_reap()
+        self._m_requests.inc(call="submit_cleanups")
+        # URLs being written by an in-flight degraded transfer: no shard
+        # holds a fact proving deletion unsafe, so protect them here.
+        degraded_urls = {
+            dst_url for (_wf, _lfn, dst_url, _home)
+            in self._degraded_tids.values()
+        }
+        protected: dict[int, CleanupAdvice] = {}
+        assigned = []  # (cid, lfn, url, shard_idx)
+        batch_local: dict[str, int] = {}
+        for lfn, url in files:
+            cid = self._next_cid()
+            if url in degraded_urls:
+                self._m_degraded.inc(kind="cleanups")
+                protected[cid] = CleanupAdvice(
+                    cid=cid, lfn=lfn, url=url, action="skip",
+                    reason="degraded transfer in flight to this url; "
+                           "cleanup deferred",
+                )
+                assigned.append((cid, lfn, url, None))
+                continue
+            shard_idx = self._owner.get((lfn, url))
+            if shard_idx is None:
+                shard_idx = self._url_owner.get(url)
+            if shard_idx is None:
+                shard_idx = batch_local.get(url)
+            if shard_idx is None:
+                shard_idx = self.ring.node_for(url_key(url))
+            batch_local[url] = shard_idx
+            assigned.append((cid, lfn, url, shard_idx))
+
+        per_shard: dict[int, list] = {}
+        for entry in assigned:
+            if entry[3] is not None:
+                per_shard.setdefault(entry[3], []).append(entry)
+        order = sorted(per_shard)
+        calls = []
+        for shard_idx in order:
+            entries = per_shard[shard_idx]
+            calls.append((
+                self.shards[shard_idx],
+                "submit_cleanups",
+                (workflow, job, [(lfn, url) for _, lfn, url, _ in entries]),
+                {"cids": [cid for cid, _, _, _ in entries]},
+            ))
+            self._m_dispatch.inc(shard=str(shard_idx))
+        results = self._dispatch(calls)
+
+        merged: dict[int, CleanupAdvice] = dict(protected)
+        for shard_idx, result in zip(order, results):
+            entries = per_shard[shard_idx]
+            if result is None:
+                # A dead shard holds the refcounts that prove deletion is
+                # safe — the only safe degraded answer is "keep the file".
+                self._m_degraded.inc(len(entries), kind="cleanups")
+                for cid, lfn, url, _ in entries:
+                    merged[cid] = CleanupAdvice(
+                        cid=cid, lfn=lfn, url=url, action="skip",
+                        reason=f"shard {shard_idx} unavailable; cleanup deferred",
+                    )
+                continue
+            for item in result:
+                merged[item.cid] = item
+                if item.action == "delete":
+                    self._remember(self._cid_shard, item.cid, shard_idx)
+                    self._cid_key[item.cid] = (item.lfn, item.url)
+
+        # The single service answers in request order; cids are assigned
+        # in request order, so sorting by cid restores it.
+        return [merged[cid] for cid, _, _, _ in assigned]
+
+    def complete_cleanups(self, ids: Iterable[int]) -> dict:
+        self._maybe_reap()
+        self._m_requests.inc(call="complete_cleanups")
+        per_shard: dict[int, list] = {}
+        for cid in set(ids):
+            shard_idx = self._cid_shard.get(cid)
+            if shard_idx is None:
+                continue
+            per_shard.setdefault(shard_idx, []).append(cid)
+        order = sorted(per_shard)
+        calls = [
+            (self.shards[shard_idx], "complete_cleanups", (sorted(per_shard[shard_idx]),), {})
+            for shard_idx in order
+        ]
+        results = self._dispatch(calls)
+        acknowledged = 0
+        cleaned_urls: set[str] = set()
+        for shard_idx, result in zip(order, results):
+            if result is None:
+                self._queue_pending(
+                    shard_idx, "complete_cleanups", sorted(per_shard[shard_idx])
+                )
+                self._m_degraded.inc(kind="completions")
+                continue
+            acknowledged += result.get("acknowledged", 0)
+            for cid in per_shard[shard_idx]:
+                key = self._cid_key.pop(cid, None)
+                if key is not None:
+                    cleaned_urls.add(key[1])
+        if cleaned_urls:
+            # complete_cleanups retracts every staged fact at the URL, so
+            # the directory forgets the whole URL too.
+            self._owner = {
+                key: value
+                for key, value in self._owner.items()
+                if key[1] not in cleaned_urls
+            }
+            for url in cleaned_urls:
+                self._url_owner.pop(url, None)
+        return {"acknowledged": acknowledged}
+
+    # ------------------------------------------------------------------ queries
+    def staging_state(self, lfn: str, dst_url: str) -> str:
+        self._maybe_reap()
+        self._m_requests.inc(call="staging_state")
+        shard_idx = self._owner.get((lfn, dst_url))
+        if shard_idx is not None:
+            try:
+                return self.shards[shard_idx].call("staging_state", lfn, dst_url)
+            except ShardUnavailableError:
+                self._m_degraded.inc(kind="queries")
+                return "unknown"
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                state = handle.call("staging_state", lfn, dst_url)
+            except ShardUnavailableError:
+                continue
+            if state != "unknown":
+                return state
+        return "unknown"
+
+    def transfer_state(self, tid: int) -> str:
+        self._maybe_reap()
+        self._m_requests.inc(call="transfer_state")
+        shard_idx = self._tid_shard.get(tid)
+        if shard_idx is None:
+            if tid in self._degraded_tids:
+                return "in_progress"
+            return "unknown"
+        try:
+            return self.shards[shard_idx].call("transfer_state", tid)
+        except ShardUnavailableError:
+            self._m_degraded.inc(kind="queries")
+            return "unknown"
+
+    def reconcile_staged(
+        self, workflow: str, files: Iterable[tuple[str, str]]
+    ) -> dict:
+        self._m_requests.inc(call="reconcile_staged")
+        per_shard: dict[int, list] = {}
+        for lfn, url in files:
+            key = (lfn, url)
+            shard_idx = self._owner.get(key)
+            if shard_idx is None:
+                src = self._url_owner.get(url)
+                shard_idx = src if src is not None else self.ring.node_for(url_key(url))
+            per_shard.setdefault(shard_idx, []).append(key)
+        registered = joined = 0
+        for shard_idx, keys in sorted(per_shard.items()):
+            try:
+                result = self.shards[shard_idx].call(
+                    "reconcile_staged", workflow, keys
+                )
+            except ShardUnavailableError:
+                self._queue_pending(shard_idx, "reconcile_staged", workflow, keys)
+                self._m_degraded.inc(kind="reconciles")
+                continue
+            registered += result.get("registered", 0)
+            joined += result.get("joined", 0)
+            for key in keys:
+                self._owner[key] = shard_idx
+                self._url_owner.setdefault(key[1], shard_idx)
+        return {"registered": registered, "joined": joined}
+
+    # ------------------------------------------------------------------ admin
+    def _broadcast(self, name: str, *args, **kwargs):
+        """Apply an admin mutation on every shard; buffer for dead ones.
+
+        Returns the first live shard's result.  Domain errors (not
+        availability) propagate from the first shard that raises them.
+        """
+
+        self._m_requests.inc(call=name)
+        result = None
+        got_result = False
+        for handle in self.shards:
+            try:
+                value = handle.call(name, *args, **kwargs)
+            except ShardUnavailableError:
+                self._queue_pending(handle.index, name, *args, **kwargs)
+                continue
+            if not got_result:
+                result = value
+                got_result = True
+        return result
+
+    def deny_host(self, host: str, direction: str = "any", reason: str = "") -> None:
+        self._broadcast("deny_host", host, direction, reason)
+
+    def allow_host(self, host: str) -> int:
+        return self._broadcast("allow_host", host) or 0
+
+    def set_quota(self, workflow: str, max_bytes: float) -> None:
+        self._broadcast("set_quota", workflow, max_bytes)
+
+    def register_tenant(self, tenant: str, **kwargs) -> None:
+        self._broadcast("register_tenant", tenant, **kwargs)
+
+    def unregister_tenant(self, tenant: str) -> int:
+        return self._broadcast("unregister_tenant", tenant) or 0
+
+    def bind_workflow(self, workflow: str, tenant: str) -> None:
+        self._broadcast("bind_workflow", workflow, tenant)
+
+    def register_priorities(self, workflow: str, priorities: dict) -> int:
+        return self._broadcast("register_priorities", workflow, priorities) or 0
+
+    def tenants(self) -> list[dict]:
+        """Fleet tenant census: registration from any shard, ledgers summed."""
+
+        merged: dict[str, dict] = {}
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                census = handle.call("tenants")
+            except ShardUnavailableError:
+                continue
+            for row in census:
+                entry = merged.get(row["tenant"])
+                if entry is None:
+                    merged[row["tenant"]] = dict(row)
+                else:
+                    entry["inflight_streams"] += row["inflight_streams"]
+                    entry["bytes_staged"] += row["bytes_staged"]
+                    entry["workflows"] = sorted(
+                        set(entry["workflows"]) | set(row["workflows"])
+                    )
+        return [merged[tenant] for tenant in sorted(merged)]
+
+    def unregister_workflow(self, workflow: str, retain_staged: bool = False) -> None:
+        self._broadcast("unregister_workflow", workflow, retain_staged)
+        self._prune_directory()
+
+    def _prune_directory(self) -> None:
+        """Forget files and pairs no shard holds state for any more.
+
+        Entries homed on an unavailable shard are kept — the shard's
+        journal still holds their facts, so they become live again after
+        recovery.
+        """
+
+        survivors: set = set()
+        pairs_alive: set = set()
+        unknown_shards: set = set()
+        for handle in self.shards:
+            if not handle.healthy():
+                unknown_shards.add(handle.index)
+                continue
+            try:
+                survivors.update(tuple(key) for key in handle.call("staged_keys"))
+                pairs_alive.update(tuple(p) for p in handle.call("host_pairs"))
+            except ShardUnavailableError:
+                unknown_shards.add(handle.index)
+        self._owner = {
+            key: shard_idx
+            for key, shard_idx in self._owner.items()
+            if key in survivors or shard_idx in unknown_shards
+        }
+        live_urls = {key[1] for key in self._owner}
+        self._url_owner = {
+            url: shard_idx
+            for url, shard_idx in self._url_owner.items()
+            if url in live_urls or shard_idx in unknown_shards
+        }
+        if not unknown_shards:
+            # Mirror the single service's host-pair GC: a pruned pair
+            # re-mints a fresh group id on next use, exactly like a
+            # re-created HostPairFact.
+            self._pair_groups = {
+                pair: group
+                for pair, group in self._pair_groups.items()
+                if pair in pairs_alive
+            }
+
+    # ------------------------------------------------------------------ faults
+    def crash_shard(self, index: int) -> None:
+        """Kill shard ``index`` (chaos entry point): memory lost, WAL kept."""
+
+        self.shards[index].crash()
+        self._refresh_health_metrics()
+
+    def partition_shard(self, index: int, partitioned: bool = True) -> None:
+        """(Un)partition shard ``index``: unreachable, memory intact."""
+
+        self.shards[index].partitioned = bool(partitioned)
+        if not partitioned:
+            self.shards[index].breaker.record_success()
+        self._refresh_health_metrics()
+
+    def slow_shard(self, index: int, timeout_rate: float) -> None:
+        """Make a fraction of shard ``index``'s calls time out."""
+
+        self.shards[index].timeout_rate = float(timeout_rate)
+        self._refresh_health_metrics()
+
+    def recover_shard(self, index: int) -> dict:
+        """Replay shard ``index`` from its journal and redeliver backlog.
+
+        The buffered operations (admin mutations, completion reports,
+        degraded-grant reconciles) are replayed in their original
+        arrival order, so the recovered shard converges to the state it
+        would have reached without the outage.
+        """
+
+        handle = self.shards[index]
+        handle.recover()
+        self._m_recoveries.inc(shard=str(index))
+        backlog = self._pending_ops[index]
+        self._pending_ops[index] = []
+        replayed = 0
+        for name, args, kwargs in backlog:
+            try:
+                handle.call(name, *args, **kwargs)
+                replayed += 1
+            except Exception as exc:  # noqa: BLE001 - chaos bookkeeping
+                self.recovery_errors.append(f"shard {index} {name}: {exc!r}")
+        self._refresh_health_metrics()
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            self.tracer.instant(
+                "policy", "router.shard_recovered", track="policy-router",
+                shard=index, replayed=replayed,
+            )
+        return {"shard": index, "replayed": replayed, "pending": 0}
+
+    # ------------------------------------------------------------------ status
+    @property
+    def memory(self) -> _FleetMemoryView:
+        return _FleetMemoryView(self)
+
+    @property
+    def stats(self) -> dict:
+        """Summed per-shard stats under the single-service keys."""
+
+        totals: dict = {}
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                part = handle.call("stats")
+            except ShardUnavailableError:
+                continue
+            for key, value in part.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def config_fingerprint(self) -> dict:
+        for handle in self.shards:
+            try:
+                return handle.call("config_fingerprint")
+            except ShardUnavailableError:
+                continue
+        raise ShardUnavailableError("no shard available for config_fingerprint")
+
+    def shard_health(self) -> list[dict]:
+        return [handle.describe() for handle in self.shards]
+
+    def snapshot(self) -> dict:
+        self._refresh_health_metrics()
+        census = self.memory.snapshot()
+        pairs = {
+            f"{src}->{dst}": {"group_id": group}
+            for (src, dst), group in sorted(self._pair_groups.items())
+        }
+        return {
+            "policy": self.config.policy,
+            "default_streams": self.config.default_streams,
+            "max_streams": self.config.max_streams,
+            "shards": self.num_shards,
+            "shard_health": self.shard_health(),
+            "memory": census,
+            "host_pairs": pairs,
+            "tenants": self.tenants(),
+            "stats": dict(self.stats),
+            "counters": self.counters(),
+            "pending_ops": {
+                str(index): len(ops)
+                for index, ops in self._pending_ops.items()
+                if ops
+            },
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # ------------------------------------------------------------------ metrics text
+    def metrics_text(self) -> str:
+        """Router registry + every shard's registry with a shard label.
+
+        Per-shard families are merged so each family renders once with
+        samples from all shards, each sample tagged ``shard="i"``.
+        """
+
+        self._refresh_health_metrics()
+        families: "OrderedDict[str, dict]" = OrderedDict()
+
+        def absorb(text: str, shard: Optional[int]) -> None:
+            current = None
+            for line in text.splitlines():
+                if line.startswith("# HELP "):
+                    name = line.split(" ", 3)[2]
+                    current = families.setdefault(
+                        name, {"help": line, "type": None, "samples": []}
+                    )
+                    current["help"] = current["help"] or line
+                elif line.startswith("# TYPE "):
+                    name = line.split(" ", 3)[2]
+                    current = families.setdefault(
+                        name, {"help": None, "type": line, "samples": []}
+                    )
+                    if current["type"] is None:
+                        current["type"] = line
+                elif line.strip():
+                    if current is None:
+                        continue
+                    current["samples"].append(
+                        line if shard is None else _inject_label(line, shard)
+                    )
+
+        absorb(self.metrics.render(), None)
+        for handle in self.shards:
+            if not handle.up:
+                continue
+            try:
+                text = handle.backend.metrics_text()
+            except Exception:  # noqa: BLE001 - scraping must not fail
+                continue
+            absorb(text, handle.index)
+
+        lines: list[str] = []
+        for family in families.values():
+            if family["help"]:
+                lines.append(family["help"])
+            if family["type"]:
+                lines.append(family["type"])
+            lines.extend(family["samples"])
+        return "\n".join(lines) + "\n"
+
+    def profile_report(self) -> Optional[str]:
+        for handle in self.shards:
+            service = getattr(handle.backend, "service", None)
+            if service is not None:
+                report = service.profile_report()
+                if report:
+                    return report
+        return None
+
+    def _begin_span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return None
+        return tracer.begin("policy", name, track="policy-router", args=args)
+
+    def close(self) -> None:
+        for handle in self.shards:
+            close = getattr(handle.backend, "close", None)
+            if close is not None:
+                close()
+
+
+def _inject_label(sample_line: str, shard: int) -> str:
+    """Tag a rendered Prometheus sample line with ``shard="i"``."""
+
+    label = f'shard="{shard}"'
+    if "{" in sample_line:
+        name, rest = sample_line.split("{", 1)
+        return f"{name}{{{label},{rest}"
+    name, _, value = sample_line.partition(" ")
+    return f"{name}{{{label}}} {value}"

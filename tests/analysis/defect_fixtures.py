@@ -153,6 +153,17 @@ def magic_salience_rules():
     ]
 
 
+def duplicate_name_rules():
+    """R010: the same rule name appears in two loaded packs."""
+    pack_a = [
+        Rule("Grant the probe", when=[Pattern(ProbeFact, "t")], then=_noop)
+    ]
+    pack_b = [
+        Rule("Grant the probe", when=[Pattern(CounterFact, "c")], then=_noop)
+    ]
+    return pack_a + pack_b
+
+
 def unkeyed_join_rules():
     """R009: a join-plan rule whose last pattern declares no keys."""
     return [

@@ -117,6 +117,19 @@ def test_magic_salience_triggers_r008():
     assert hits and "magic number" in hits[0].message
 
 
+def test_duplicate_rule_name_triggers_r010():
+    report = _lint_defect(defects.duplicate_name_rules())
+    hits = [f for f in report.findings if f.check == "R010"]
+    assert hits and hits[0].severity == Severity.ERROR
+    assert hits[0].subject == "Grant the probe"
+    assert "more than once" in hits[0].message
+
+
+def test_unique_rule_names_do_not_trigger_r010():
+    report = _lint_defect(defects.shadowing_rules())
+    assert not any(f.check == "R010" for f in report.findings)
+
+
 def test_unkeyed_join_last_position_triggers_r009():
     report = _lint_defect(defects.unkeyed_join_rules())
     hits = [f for f in report.findings if f.check == "R009"]

@@ -1,0 +1,236 @@
+"""Shard crash, degraded advice, buffered replay, and health metrics."""
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyRestServer, ShardedPolicyService
+from repro.policy.sharding import ShardUnavailableError
+
+from tests.policy.sharding.conftest import make_router, make_single
+
+
+def _spec(lfn, site="siteA"):
+    return {
+        "lfn": lfn,
+        "src_url": f"gsiftp://{site}/data/{lfn}",
+        "dst_url": f"gsiftp://obelix/scratch/{lfn}",
+        "nbytes": 1000.0,
+    }
+
+
+def _shard_of(router, site):
+    from repro.policy.sharding import pair_key
+
+    return router.ring.node_for(pair_key(site, "obelix"))
+
+
+def _two_sites_on_distinct_shards(router):
+    """Find two source sites the ring homes on different shards."""
+    first = f"site{0}"
+    home = _shard_of(router, first)
+    for i in range(1, 64):
+        site = f"site{i}"
+        if _shard_of(router, site) != home:
+            return first, site
+    raise AssertionError("ring put 64 sites on one shard")
+
+
+def test_ownership_forwarding_keeps_dedup_exact():
+    """A second workflow requesting the same (lfn, dst) from a different
+    source pair is forwarded to the home shard, so dedup sees it."""
+    single = make_single()
+    router = make_router(4)
+    try:
+        for service in (single, router):
+            first = service.submit_transfers(
+                "wfA", "j1", [_spec("shared", site="siteX")])
+            service.complete_transfers(done=[first[0].tid])
+            again = service.submit_transfers(
+                "wfB", "j2", [_spec("shared", site="siteY")])
+            # The staged copy is reused whichever pair asks.
+            assert again[0].action == "skip", (type(service), again[0])
+        key = ("shared", "gsiftp://obelix/scratch/shared")
+        assert key in router._owner
+    finally:
+        router.close()
+
+
+def test_crash_degrades_only_the_dead_shards_keyspace():
+    router = make_router(4)
+    try:
+        site_dead, site_live = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+        router.crash_shard(victim)
+
+        advice = router.submit_transfers(
+            "wf", "j",
+            [_spec("a", site=site_dead), _spec("b", site=site_live)])
+        dead_a, live_b = advice
+        assert dead_a.action == "transfer" and dead_a.group_id == 0
+        assert f"shard {victim}" in dead_a.reason
+        assert live_b.action == "transfer" and live_b.group_id >= 1
+        assert "unavailable" not in live_b.reason
+
+        # Queries against the dead keyspace answer "unknown", cleanups skip.
+        assert router.staging_state("a", dead_a.url if hasattr(dead_a, "url")
+                                    else _spec("a")["dst_url"]) == "unknown"
+        assert router.transfer_state(dead_a.tid) == "in_progress"
+        cleanup = router.submit_cleanups(
+            "wf", "clean", [("a", _spec("a", site=site_dead)["dst_url"])])
+        assert cleanup[0].action == "skip"
+    finally:
+        router.close()
+
+
+def test_buffered_completions_replay_at_recovery(tmp_path):
+    router = make_router(2, journal_root=tmp_path)
+    try:
+        site_dead, _ = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+
+        granted = router.submit_transfers(
+            "wf", "j", [_spec("f1", site=site_dead)])
+        tid = granted[0].tid
+        router.crash_shard(victim)
+
+        # Completion while the shard is down is buffered, not lost.
+        ack = router.complete_transfers(done=[tid])
+        assert ack["acknowledged"] >= 1 or ack  # ack shape is service's own
+        assert router._pending_ops[victim]
+
+        result = router.recover_shard(victim)
+        assert result["replayed"] >= 1
+        assert not router._pending_ops[victim]
+        assert not router.recovery_errors
+        assert router.staging_state(
+            "f1", _spec("f1", site=site_dead)["dst_url"]) == "staged"
+        assert router.shards[victim].healthy()
+    finally:
+        router.close()
+
+
+def test_journal_replay_restores_staged_state(tmp_path):
+    router = make_router(2, journal_root=tmp_path)
+    try:
+        site_dead, _ = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+        granted = router.submit_transfers(
+            "wf", "j", [_spec("f1", site=site_dead)])
+        router.complete_transfers(done=[granted[0].tid])
+
+        router.crash_shard(victim)
+        assert not router.shards[victim].healthy()
+        router.recover_shard(victim)
+
+        # Staged fact came back from the shard's own WAL.
+        assert router.staging_state(
+            "f1", _spec("f1", site=site_dead)["dst_url"]) == "staged"
+        # Dedup still works post-replay.
+        again = router.submit_transfers(
+            "wf2", "j2", [_spec("f1", site=site_dead)])
+        assert again[0].action == "skip"
+    finally:
+        router.close()
+
+
+def test_partition_heals_without_replay():
+    router = make_router(2)
+    try:
+        site_dead, _ = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+        router.partition_shard(victim)
+        advice = router.submit_transfers(
+            "wf", "j", [_spec("p1", site=site_dead)])
+        assert advice[0].group_id == 0 and "unavailable" in advice[0].reason
+
+        router.partition_shard(victim, False)
+        assert router.shards[victim].healthy()
+        advice = router.submit_transfers(
+            "wf", "j2", [_spec("p2", site=site_dead)])
+        assert advice[0].group_id >= 1
+    finally:
+        router.close()
+
+
+def test_timeout_storm_trips_the_breaker():
+    router = make_router(2, breaker_threshold=3)
+    try:
+        site_dead, _ = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+        router.slow_shard(victim, 1.0)
+        for i in range(4):
+            router.submit_transfers(
+                "wf", f"j{i}", [_spec(f"t{i}", site=site_dead)])
+        handle = router.shards[victim]
+        assert handle.breaker.state == "open"
+        assert handle.breaker.transitions.get("closed->open", 0) >= 1
+
+        # Breaker-open means unavailable even after the slowdown clears.
+        router.slow_shard(victim, 0.0)
+        with pytest.raises(ShardUnavailableError):
+            handle.call("stats")
+
+        # Recovery closes the breaker and restores exact advice.
+        router.recover_shard(victim)
+        advice = router.submit_transfers(
+            "wf", "jz", [_spec("tz", site=site_dead)])
+        assert advice[0].group_id >= 1
+    finally:
+        router.close()
+
+
+def test_breaker_and_shard_health_exported_in_metrics():
+    router = make_router(2)
+    try:
+        router.submit_transfers("wf", "j", [_spec("m1")])
+        router.crash_shard(1)
+        router.submit_transfers("wf", "j2", [_spec("m2")])
+        text = router.metrics_text()
+    finally:
+        router.close()
+    assert 'repro_policy_client_breaker_state{shard="0"}' in text
+    assert 'repro_policy_client_breaker_state{shard="1"}' in text
+    assert "repro_policy_client_breaker_transitions_total" in text
+    assert 'repro_policy_shard_up{shard="1"} 0' in text
+    assert 'repro_policy_shard_up{shard="0"} 1' in text
+    # Per-shard service families carry the injected shard label.
+    assert 'shard="0"' in text and 'shard="1"' in text
+
+
+def test_rest_metrics_endpoint_includes_shard_health():
+    """Satellite: GET /policy/metrics over a sharded fleet reports
+    breaker state and shard health."""
+    import urllib.request
+
+    router = ShardedPolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=12),
+        num_shards=2,
+    )
+    server = PolicyRestServer(router)
+    try:
+        server.start()
+        router.crash_shard(0)
+        text = urllib.request.urlopen(
+            server.url + "/policy/metrics").read().decode()
+        assert "repro_policy_client_breaker_state" in text
+        assert 'repro_policy_shard_up{shard="0"} 0' in text
+        status = urllib.request.urlopen(server.url + "/policy/status")
+        import json
+
+        doc = json.loads(status.read())
+        assert any(not h["healthy"] for h in doc["shard_health"])
+    finally:
+        server.stop()
+        router.close()
+
+
+def test_snapshot_reports_fleet_state():
+    router = make_router(2)
+    try:
+        router.submit_transfers("wf", "j", [_spec("s1")])
+        snap = router.snapshot()
+    finally:
+        router.close()
+    assert snap["shards"] == 2
+    assert len(snap["shard_health"]) == 2
+    assert all(h["healthy"] for h in snap["shard_health"])
+    assert snap["memory"]

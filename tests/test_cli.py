@@ -194,6 +194,32 @@ def test_trace_command_chaos_scenario(tmp_path):
     assert "fault.outage.begin" in names
 
 
+def test_serve_sharded_command_over_http():
+    """`repro serve --shards N` wiring: a sharded fleet behind REST."""
+    from repro.policy import PolicyConfig, ShardedPolicyService
+    from repro.policy.rest import PolicyRestServer
+
+    router = ShardedPolicyService(
+        PolicyConfig(policy="greedy", max_streams=77), num_shards=2
+    )
+    server = PolicyRestServer(router).start()
+    try:
+        with urllib.request.urlopen(f"{server.url}/policy/status", timeout=5) as r:
+            doc = json.loads(r.read())
+        assert doc["max_streams"] == 77
+        assert doc["shards"] == 2
+        assert all(h["healthy"] for h in doc["shard_health"])
+    finally:
+        server.stop()
+        router.close()
+
+
+def test_serve_parser_accepts_shards():
+    args = build_parser().parse_args(
+        ["serve", "--shards", "4", "--journal-root", "/tmp/j"])
+    assert args.shards == 4 and args.journal_root == "/tmp/j"
+
+
 def test_trace_command_engines_agree(tmp_path):
     run_cli("trace", "--out", str(tmp_path / "a"), "--images", "4",
             "--extra-mb", "2", "--engine", "indexed")
