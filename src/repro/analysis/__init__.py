@@ -1,26 +1,58 @@
 """Static analysis of policy rule sets and staged execution plans.
 
-Two analyzers over a shared findings model:
+Three analyzers over a shared findings model:
 
-* :mod:`repro.analysis.rulelint` — checks built rule sets for unsound
-  ``keys`` hints, unknown fact attributes, salience ties/shadowing,
-  divergence risk, unreachable rules, and dependency cycles.
+* :mod:`repro.analysis.rulelint` — checks built rule sets one rule at a
+  time for unsound ``keys`` hints, unknown fact attributes, salience
+  ties/shadowing, divergence risk, unreachable rules, and dependency
+  cycles (R001–R010).
 * :mod:`repro.analysis.planlint` — checks planner output DAGs for cycles,
-  useless stage-ins, premature cleanup, and unproduced inputs.
+  useless stage-ins, premature cleanup, and unproduced inputs
+  (P001–P004).
+* :mod:`repro.analysis.verifier` — checks whole *compositions* of rule
+  packs for confluence, ledger balance, retract-while-referenced, engine
+  parity, and compiler agreement (V001–V005); every dynamic error carries
+  a machine-replayed counterexample.
 
-Run both from the command line with ``python -m repro lint``.
+Reports export as text, JSON, or SARIF 2.1.0
+(:mod:`repro.analysis.sarif`); dead suppressions surface as S001
+warnings (:func:`flag_dead_suppressions`).  Run everything from the
+command line with ``python -m repro lint --all --verify``.
 """
 
-from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.findings import (
+    Finding,
+    Report,
+    Severity,
+    flag_dead_suppressions,
+)
 from repro.analysis.planlint import lint_plan
 from repro.analysis.rulelint import lint_rule_set, lint_rules, shipped_rule_sets
+from repro.analysis.sarif import render_sarif, to_sarif
+from repro.analysis.verifier import (
+    VERIFY_SUPPRESSIONS,
+    VerifyOptions,
+    replay_counterexample,
+    verify_all,
+    verify_compositions,
+    verify_pack,
+)
 
 __all__ = [
     "Finding",
     "Report",
     "Severity",
+    "flag_dead_suppressions",
     "lint_plan",
     "lint_rule_set",
     "lint_rules",
     "shipped_rule_sets",
+    "render_sarif",
+    "to_sarif",
+    "VERIFY_SUPPRESSIONS",
+    "VerifyOptions",
+    "replay_counterexample",
+    "verify_all",
+    "verify_compositions",
+    "verify_pack",
 ]

@@ -14,7 +14,10 @@ A suppression spec is ``CHECK`` or ``CHECK:substring`` — e.g.
 ``R003`` silences every salience-tie finding, while
 ``R003:Remove a transfer`` silences only findings whose subject contains
 that substring.  ``Report.suppress`` applies a list of specs and records
-how many findings each one consumed, so dead suppressions are visible.
+how many findings each one consumed, so dead suppressions are visible:
+:func:`flag_dead_suppressions` turns specs that consumed nothing across a
+whole run into S001 warnings, so stale justifications rot loudly instead
+of silently masking future findings.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-__all__ = ["Severity", "Finding", "Report"]
+__all__ = ["Severity", "Finding", "Report", "flag_dead_suppressions"]
 
 
 class Severity:
@@ -177,3 +180,31 @@ class Report:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+
+def flag_dead_suppressions(reports: Iterable["Report"]) -> Report:
+    """S001 warnings for suppression specs that consumed nothing anywhere.
+
+    A suppression that stops matching is worse than noise: it documents a
+    finding that no longer exists and will silently swallow the next,
+    unrelated finding that happens to share its check id and substring.
+    Aggregates ``Report.suppressed`` counts across *all* reports of a run
+    (a spec alive in any one report is alive), and returns a report with
+    one S001 warning per globally-dead spec.
+    """
+    totals: dict[str, int] = {}
+    for report in reports:
+        for spec, count in report.suppressed.items():
+            totals[spec] = totals.get(spec, 0) + count
+    dead = Report("suppressions")
+    for spec in sorted(totals):
+        if totals[spec] == 0:
+            dead.add(
+                "S001",
+                Severity.WARNING,
+                spec,
+                "suppression matched no finding in this run: it is dead — "
+                "delete it (and its justification) or it will silently "
+                "swallow the next finding that matches",
+            )
+    return dead

@@ -30,10 +30,19 @@ from repro.rules.facts import Fact
 __all__ = [
     "harvest_constants",
     "fact_schema",
+    "signature_of",
     "FactFactory",
     "guard_attribute_refs",
     "callable_names",
     "referenced_fact_types",
+    "entry_defaults",
+    "snapshot_fact",
+    "clone_fact",
+    "snapshot_memory",
+    "clone_memory",
+    "ActionEffects",
+    "action_effects",
+    "guard_constraint_domains",
 ]
 
 
@@ -82,6 +91,24 @@ def harvest_constants(functions: Iterable[Callable]) -> dict[str, list]:
 # --------------------------------------------------------------------------
 # Fact construction
 # --------------------------------------------------------------------------
+#: per-type constructor signatures — inspect.signature dominates the cost
+#: of randomized fact synthesis, and fact classes never change mid-run.
+_SIGNATURES: dict[type, Optional[inspect.Signature]] = {}
+
+
+def signature_of(fact_type: Type[Fact]) -> Optional[inspect.Signature]:
+    """Cached constructor signature of a fact class (None if unretrievable)."""
+    try:
+        return _SIGNATURES[fact_type]
+    except KeyError:
+        try:
+            signature: Optional[inspect.Signature] = inspect.signature(fact_type)
+        except (TypeError, ValueError):
+            signature = None
+        _SIGNATURES[fact_type] = signature
+        return signature
+
+
 _HOSTS = ["alpha-host", "beta-host"]
 _LFNS = ["f1.dat", "f2.dat", "f3.dat"]
 _WORKFLOWS = ["wf-a", "wf-b"]
@@ -151,9 +178,8 @@ class FactFactory:
 
     def make(self, fact_type: Type[Fact], attempts: int = 8) -> Optional[Fact]:
         """Build one instance, or None if no argument synthesis succeeds."""
-        try:
-            signature = inspect.signature(fact_type)
-        except (TypeError, ValueError):
+        signature = signature_of(fact_type)
+        if signature is None:
             return None
         for attempt in range(attempts):
             kwargs = {}
@@ -200,6 +226,123 @@ class FactFactory:
         if fact is None:
             return None
         return self.perturb(fact)
+
+    # -- entry-shaped construction ------------------------------------------
+    def make_entry(self, fact_type: Type[Fact], attempts: int = 8) -> Optional[Fact]:
+        """Build an instance the way a service entry point would: only the
+        required constructor parameters are synthesized, every defaulted
+        parameter keeps its default, and nothing is perturbed afterwards —
+        so all internal bookkeeping attributes start pristine."""
+        signature = signature_of(fact_type)
+        if signature is None:
+            return None
+        for attempt in range(attempts):
+            kwargs = {}
+            for name, param in signature.parameters.items():
+                if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                    continue
+                if param.default is not param.empty:
+                    continue
+                kwargs[name] = self._value_for(name, attempt)
+            try:
+                return fact_type(**kwargs)
+            except Exception:
+                continue
+        return None
+
+
+# --------------------------------------------------------------------------
+# Entry defaults: the pristine value of each bookkeeping attribute
+# --------------------------------------------------------------------------
+def entry_defaults(fact_type: Type[Fact], factory: "FactFactory") -> dict[str, Any]:
+    """attr -> value an entry-shaped instance of ``fact_type`` starts with.
+
+    Covers defaulted constructor parameters and attributes ``__init__``
+    sets unconditionally (ledger counters, status machines).  Attributes
+    derived from required parameters (hosts parsed out of urls, etc.) are
+    excluded by building two samples with different random inputs and
+    keeping only the attributes whose values agree.
+    """
+    samples = [factory.make_entry(fact_type) for _ in range(3)]
+    if any(sample is None for sample in samples):
+        return {}
+    first, *rest = samples
+    signature = signature_of(fact_type)
+    required = {
+        name
+        for name, param in (signature.parameters.items() if signature else ())
+        if param.default is param.empty
+        and param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
+    }
+    # Strings sliced out of required inputs (hosts parsed from urls) can
+    # coincide across samples by rng luck; anything that substrings a
+    # required value is derived, not a default.
+    required_strings = [
+        v for n, v in vars(first).items() if n in required and isinstance(v, str)
+    ]
+    defaults: dict[str, Any] = {}
+    for name, value in vars(first).items():
+        if name in required:
+            continue
+        if isinstance(value, str) and any(value and value in rv for rv in required_strings):
+            continue
+        try:
+            stable = all(getattr(s, name, _MISSING) == value for s in rest)
+        except Exception:
+            stable = False
+        if stable:
+            defaults[name] = value
+    return defaults
+
+
+_MISSING = object()
+
+
+# --------------------------------------------------------------------------
+# Fact snapshot / clone (probe-session caching and counterexample replay)
+# --------------------------------------------------------------------------
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return set(value)
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _copy_value(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return tuple(_copy_value(v) for v in value)
+    return value
+
+
+def snapshot_fact(fact: Fact) -> tuple[Type[Fact], dict]:
+    """(type, attribute dict) capturing one fact; values are deep-copied
+    far enough (sets/lists/dicts) that mutating the original or a clone
+    cannot leak through."""
+    return type(fact), {name: _copy_value(v) for name, v in vars(fact).items()}
+
+
+def clone_fact(spec: tuple[Type[Fact], dict]) -> Fact:
+    """Rebuild a fact from a :func:`snapshot_fact` spec without calling its
+    constructor (constructors validate/derive; snapshots are literal)."""
+    fact_type, attrs = spec
+    fact = object.__new__(fact_type)
+    fact.__dict__.update({name: _copy_value(v) for name, v in attrs.items()})
+    return fact
+
+
+def snapshot_memory(memory) -> list[tuple[Type[Fact], dict]]:
+    """Snapshot every live fact in fact-id (arrival) order."""
+    return [snapshot_fact(fact) for fact in memory]
+
+
+def clone_memory(soup: Iterable[tuple[Type[Fact], dict]], indexed: bool = True):
+    """A fresh WorkingMemory holding clones of the snapshotted facts,
+    inserted in snapshot order (fact ids restart from 1)."""
+    from repro.rules.facts import WorkingMemory
+
+    memory = WorkingMemory(indexed=indexed)
+    for spec in soup:
+        memory.insert(clone_fact(spec))
+    return memory
 
 
 # --------------------------------------------------------------------------
@@ -314,3 +457,354 @@ def referenced_fact_types(func: Callable, depth: int = 2) -> set[Type[Fact]]:
         if isinstance(target, type) and issubclass(target, Fact):
             types.add(target)
     return types
+
+
+# --------------------------------------------------------------------------
+# Symbolic action/guard evaluation (the verifier's interaction substrate)
+# --------------------------------------------------------------------------
+# Tokens are tagged tuples describing the best-effort provenance of a
+# stack slot:  ("ctx",) the action context parameter, ("const", v),
+# ("param", name), ("attr", base, name), ("global", name), ("inst", cls),
+# ("elem", iterable) an item drawn from iterating a token, ("null",),
+# ("unknown",).  The evaluator walks bytecode linearly; branches can
+# misalign the model stack, but statement boundaries (POP_TOP / empty
+# stack) resynchronize it, and every consumer treats an unresolved token
+# as "could be anything" — degradation is conservative, never inventive.
+_UNKNOWN = ("unknown",)
+_NULL = ("null",)
+
+_LOAD_FAST_OPS = {"LOAD_FAST", "LOAD_FAST_CHECK", "LOAD_FAST_AND_CLEAR"}
+
+
+class _Event:
+    """One observed operation: a call, a comparison, or a containment."""
+
+    __slots__ = ("kind", "target", "args", "kwargs", "op")
+
+    def __init__(self, kind, target=None, args=(), kwargs=None, op=None):
+        self.kind = kind          # "call" | "cmp" | "contains"
+        self.target = target      # callable token / left operand
+        self.args = list(args)    # arg tokens / (right operand,)
+        self.kwargs = kwargs or {}
+        self.op = op              # comparison operator for "cmp"
+
+
+def _symbolic_events(
+    func: Callable,
+    env: dict[str, tuple],
+    depth: int = 3,
+    _seen: Optional[set] = None,
+) -> tuple[list[_Event], bool]:
+    """(events, or_logic): calls/comparisons observed in ``func``'s code,
+    with parameters substituted from ``env`` and module-level helper calls
+    inlined ``depth`` levels.  ``or_logic`` reports whether the code uses
+    OR-shaped control flow (so conjunctive constraint readers must bail).
+    """
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return [], True
+    if _seen is None:
+        _seen = set()
+    if id(code) in _seen:
+        return [], False
+    _seen.add(id(code))
+    module_globals = getattr(func, "__globals__", {})
+
+    events: list[_Event] = []
+    or_logic = False
+    stack: list[tuple] = []
+    kwnames: tuple = ()
+
+    def push(token):
+        stack.append(token)
+
+    def pop():
+        return stack.pop() if stack else _UNKNOWN
+
+    for instr in dis.get_instructions(code):
+        op = instr.opname
+        if op in _LOAD_FAST_OPS:
+            push(env.get(instr.argval, ("param", instr.argval)))
+        elif op == "LOAD_CONST":
+            push(("const", instr.argval))
+        elif op == "LOAD_GLOBAL":
+            if instr.arg is not None and instr.arg & 1:
+                push(_NULL)
+            push(("global", instr.argval))
+        elif op in ("LOAD_DEREF", "LOAD_CLASSDEREF"):
+            push(("param", instr.argval))
+        elif op in ("LOAD_ATTR", "LOAD_METHOD"):
+            base = pop()
+            if op == "LOAD_METHOD":
+                # layout: callable, then self (the receiver is implicit
+                # in the attr token, so a placeholder keeps CALL aligned)
+                push(("attr", base, instr.argval))
+                push(_NULL)
+            else:
+                push(("attr", base, instr.argval))
+        elif op == "KW_NAMES":
+            # dis leaves KW_NAMES' argval unresolved on 3.11: read co_consts.
+            names = instr.argval
+            if not isinstance(names, tuple) and instr.arg is not None:
+                try:
+                    names = code.co_consts[instr.arg]
+                except IndexError:
+                    names = ()
+            kwnames = names if isinstance(names, tuple) else ()
+        elif op == "BINARY_SUBSCR":
+            index = pop()
+            base = pop()
+            if index[0] == "const" and isinstance(index[1], str):
+                push(("item", base, index[1]))
+            else:
+                push(_UNKNOWN)
+        elif op in ("PRECALL", "NOP", "RESUME", "CACHE"):
+            continue
+        elif op == "CALL":
+            argc = instr.arg or 0
+            args = [pop() for _ in range(argc)][::-1]
+            second = pop()   # self / NULL placeholder
+            first = pop()    # callable (or NULL before a plain global)
+            if first == _NULL:
+                callee = second
+            else:
+                callee = first
+                if second != _NULL:
+                    args = [second] + args
+            kwargs: dict[str, tuple] = {}
+            if kwnames:
+                n = len(kwnames)
+                kwargs = dict(zip(kwnames, args[-n:]))
+                args = args[:-n]
+            kwnames = ()
+            events.append(_Event("call", callee, args, kwargs))
+            result: tuple = _UNKNOWN
+            if callee[0] == "global":
+                target = module_globals.get(callee[1])
+                if isinstance(target, type) and issubclass(target, Fact):
+                    result = ("inst", target)
+                elif (
+                    depth > 0
+                    and callable(target)
+                    and getattr(target, "__code__", None) is not None
+                ):
+                    helper_code = target.__code__
+                    names = helper_code.co_varnames[: helper_code.co_argcount]
+                    helper_env = dict(zip(names, args))
+                    sub_events, sub_or = _symbolic_events(
+                        target, helper_env, depth - 1, _seen
+                    )
+                    events.extend(sub_events)
+                    or_logic = or_logic or sub_or
+            push(result)
+        elif op == "COMPARE_OP":
+            right = pop()
+            left = pop()
+            events.append(_Event("cmp", left, (right,), op=instr.argval))
+            push(_UNKNOWN)
+        elif op == "CONTAINS_OP":
+            right = pop()
+            left = pop()
+            if instr.argval == 0 or instr.arg == 0:
+                events.append(_Event("contains", left, (right,)))
+            push(_UNKNOWN)
+        elif op == "STORE_FAST":
+            env[instr.argval] = pop()
+        elif op == "GET_ITER":
+            push(("iter", pop()))
+        elif op == "FOR_ITER":
+            top = stack[-1] if stack else _UNKNOWN
+            source = top[1] if top[0] == "iter" else top
+            push(("elem", source))
+        elif op == "POP_TOP":
+            pop()
+        elif op in ("UNARY_NOT",):
+            or_logic = True  # negation flips constraint polarity: bail
+            pop()
+            push(_UNKNOWN)
+        elif "JUMP_IF_TRUE" in op or op == "JUMP_IF_TRUE_OR_POP":
+            or_logic = True
+        else:
+            # Generic opcode: keep the stack depth roughly aligned, and
+            # clobber the top token — a mis-tracked token would be worse
+            # than an unknown one.
+            try:
+                effect = dis.stack_effect(instr.opcode, instr.arg)
+            except ValueError:
+                effect = 0
+            if effect < 0:
+                for _ in range(-effect):
+                    pop()
+            else:
+                for _ in range(effect):
+                    push(_UNKNOWN)
+            if stack:
+                stack[-1] = _UNKNOWN
+    return events, or_logic
+
+
+class ActionEffects:
+    """What a rule action does to working memory, by fact type/attribute.
+
+    ``updates`` maps fact type -> {attr: set of known written constants,
+    or None when some written value is opaque}.  ``opaque`` is True when
+    a working-memory operation's target could not be resolved — consumers
+    must then over-approximate (as :func:`rulelint._action_writes` does).
+    """
+
+    __slots__ = ("inserts", "updates", "retracts", "opaque")
+
+    def __init__(self) -> None:
+        self.inserts: set[Type[Fact]] = set()
+        self.updates: dict[Type[Fact], dict[str, Optional[set]]] = {}
+        self.retracts: set[Type[Fact]] = set()
+        self.opaque = False
+
+    def updated_attrs(self, fact_type: Type[Fact]) -> set[str]:
+        return set(self.updates.get(fact_type, ()))
+
+    def written_values(self, fact_type: Type[Fact], attr: str) -> Optional[set]:
+        """Known constants written to (type, attr); None = unknown value."""
+        return self.updates.get(fact_type, {}).get(attr)
+
+
+def _token_fact_type(
+    token: tuple, bound_types: dict[str, Type[Fact]]
+) -> Optional[Type[Fact]]:
+    """Resolve a token to the fact type it denotes, if determinable."""
+    if token[0] == "inst":
+        return token[1]
+    if token[0] == "attr" and token[1] == ("ctx",):
+        return bound_types.get(token[2])
+    if token[0] == "elem":
+        return _token_fact_type(token[1], bound_types)
+    if token[0] == "item" and token[1][0] == "attr":
+        # bindings dict subscript inside helpers: b["t"]
+        return bound_types.get(token[2])
+    return None
+
+
+def action_effects(
+    then: Callable, bound_types: dict[str, Type[Fact]], depth: int = 3
+) -> ActionEffects:
+    """Scan a rule action for its working-memory effects.
+
+    ``bound_types`` maps binding names to fact types (Pattern and Collect
+    bindings), so ``ctx.update(ctx.t, ...)`` resolves to a concrete type.
+    """
+    effects = ActionEffects()
+    code = getattr(then, "__code__", None)
+    if code is None:
+        effects.opaque = True
+        return effects
+    params = code.co_varnames[: code.co_argcount]
+    env: dict[str, tuple] = {params[0]: ("ctx",)} if params else {}
+    events, _ = _symbolic_events(then, env, depth)
+    for event in events:
+        if event.kind != "call":
+            continue
+        callee = event.target
+        if callee[0] != "attr" or callee[1] != ("ctx",):
+            continue
+        method = callee[2]
+        if method == "insert":
+            target = event.args[0] if event.args else _UNKNOWN
+            fact_type = _token_fact_type(target, bound_types)
+            if fact_type is None:
+                effects.opaque = True
+            else:
+                effects.inserts.add(fact_type)
+        elif method == "update":
+            target = event.args[0] if event.args else _UNKNOWN
+            fact_type = _token_fact_type(target, bound_types)
+            if fact_type is None:
+                effects.opaque = True
+                continue
+            attrs = effects.updates.setdefault(fact_type, {})
+            for attr, value in event.kwargs.items():
+                known = attrs.get(attr, set())
+                if known is None:
+                    continue
+                if value[0] == "const":
+                    known.add(value[1])
+                    attrs[attr] = known
+                else:
+                    attrs[attr] = None
+            if not event.kwargs:
+                effects.opaque = True
+        elif method == "retract":
+            target = event.args[0] if event.args else _UNKNOWN
+            fact_type = _token_fact_type(target, bound_types)
+            if fact_type is None:
+                effects.opaque = True
+            else:
+                effects.retracts.add(fact_type)
+    return effects
+
+
+def guard_constraint_domains(
+    func: Optional[Callable], depth: int = 2
+) -> Optional[dict[str, frozenset]]:
+    """Necessary equality constraints a guard imposes on its candidate fact.
+
+    Returns ``{attr: allowed values}`` — the guard can only accept a fact
+    whose ``attr`` is in the set — derived from ``==`` comparisons and
+    ``in (const, ...)`` tests against the guard's first parameter, with
+    module-level helper calls inlined.  Returns ``None`` when the guard
+    uses OR-shaped control flow or negation (no conjunctive reading) and
+    ``{}`` when no constraints are derivable.  Used by the verifier to
+    prune infeasible rule-interaction edges; an empty result just means
+    "no pruning", so under-reporting is safe.
+    """
+    if func is None:
+        return {}
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return {}
+    params = code.co_varnames[: code.co_argcount]
+    if not params:
+        return {}
+    env: dict[str, tuple] = {params[0]: ("cand",)}
+    events, or_logic = _symbolic_events(func, env, depth)
+    if or_logic:
+        return None
+
+    def candidate_attr(token: tuple) -> Optional[str]:
+        if token[0] == "attr" and token[1] == ("cand",):
+            return token[2]
+        return None
+
+    domains: dict[str, frozenset] = {}
+
+    def constrain(attr: str, values: Iterable) -> None:
+        allowed = frozenset(values)
+        if attr in domains:
+            allowed = domains[attr] & allowed
+        domains[attr] = allowed
+
+    for event in events:
+        if event.kind == "cmp" and event.op == "==":
+            left, right = event.target, event.args[0]
+            attr = candidate_attr(left)
+            const = right if right[0] == "const" else None
+            if attr is None:
+                attr = candidate_attr(right)
+                const = left if left[0] == "const" else None
+            if attr is not None and const is not None:
+                try:
+                    constrain(attr, (const[1],))
+                except TypeError:
+                    pass  # unhashable constant
+        elif event.kind == "contains":
+            attr = candidate_attr(event.target)
+            container = event.args[0]
+            if (
+                attr is not None
+                and container[0] == "const"
+                and isinstance(container[1], (tuple, frozenset))
+            ):
+                try:
+                    constrain(attr, container[1])
+                except TypeError:
+                    pass
+    return domains

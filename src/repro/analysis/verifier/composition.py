@@ -1,0 +1,235 @@
+"""V004/V005 — cross-engine parity and compiler-plan agreement.
+
+V004 (dynamic): the same fact soup fired through every engine the service
+ships (``seed`` full re-enumeration, ``indexed`` incremental agenda,
+``compiled`` join network) must land in the same canonical final state.
+Any split is an **error** carrying a minimized counterexample that
+replays the disagreement engine-by-engine.
+
+V005 (static-exact): the compiler's join/delta classification and the
+``reads=(...)`` change-gating declarations must agree with what the
+interaction graph sees in the same rules:
+
+* a rule whose condition shape (all bound Patterns, two or more) earns a
+  join plan but was classified delta — or vice versa — is an **error**
+  (the classifier and the engine disagree about the rule's semantics);
+* a gate's ``reads`` declaration that omits an attribute its guard or
+  keys provably read is an **error**: the compiled engine skips
+  re-checking a gate when an update's changed attributes are disjoint
+  from its declared reads, so the gate's truth goes stale.  These
+  findings are exact consequences of the scanned bytecode (the witness
+  is the read-set itself), not probe heuristics.
+
+Composition enumeration mirrors — and extends — ``shipped_rule_sets()``:
+every pack combination ``PolicyService`` instantiates, plus the
+access×balanced cross and a lease-enabled variant so expiry paths get
+verified too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.findings import Report, Severity, location_of
+from repro.analysis.verifier.interaction import InteractionGraph
+from repro.analysis.verifier.replay import (
+    counterexample_doc,
+    minimize_soup,
+    replay_counterexample,
+    run_engine_scenario,
+)
+from repro.rules.engine import Rule
+from repro.rules.patterns import Pattern, _TypedElement
+
+__all__ = ["check_engine_parity", "check_compiler_agreement", "verify_compositions"]
+
+ENGINES = ("seed", "indexed", "compiled")
+
+
+# --------------------------------------------------------------------------
+# V004: engine parity
+# --------------------------------------------------------------------------
+def check_engine_parity(
+    name: str,
+    rules: Sequence[Rule],
+    rule_builders: Sequence[Callable],
+    session_globals: dict,
+    soups: Sequence[Sequence[tuple]],
+    engines: Sequence[str],
+    report: Report,
+) -> None:
+    engines = [e for e in engines if e in ENGINES]
+    if len(engines) < 2:
+        return
+    for soup in soups:
+        states = run_engine_scenario(rules, session_globals, soup, engines)
+        if states is None:
+            continue  # an action crashed on synthetic facts: inconclusive
+        if len({tuple(s) for s in states.values()}) == 1:
+            continue
+
+        def still_splits(candidate: Sequence[tuple]) -> bool:
+            found = run_engine_scenario(rules, session_globals, candidate, engines)
+            return found is not None and len({tuple(s) for s in found.values()}) > 1
+
+        minimal = minimize_soup(soup, still_splits)
+        doc = counterexample_doc(
+            "engine", rule_builders, session_globals, minimal,
+            engines=list(engines), pack=name,
+        )
+        result = replay_counterexample(doc)
+        if not result["reproduced"]:
+            continue  # no heuristic-only errors
+        split = {
+            engine: tuple(state) for engine, state in result["states"].items()
+        }
+        groups: dict[tuple, list[str]] = {}
+        for engine, state in split.items():
+            groups.setdefault(state, []).append(engine)
+        report.add(
+            "V004",
+            Severity.ERROR,
+            f"pack:{name}",
+            f"engines disagree on the final working-memory state for a "
+            f"{len(minimal)}-fact soup: "
+            + "; ".join(
+                "{" + ",".join(sorted(members)) + "}"
+                for members in groups.values()
+            )
+            + " each reach different states — advice would depend on the "
+            "engine flag",
+            counterexample=doc,
+            engines=list(engines),
+        )
+        return  # one replayed split per composition is enough
+
+
+# --------------------------------------------------------------------------
+# V005: compiler-plan / interaction-graph agreement
+# --------------------------------------------------------------------------
+def check_compiler_agreement(
+    rules: Sequence[Rule], graph: InteractionGraph, report: Report
+) -> None:
+    from repro.rules.compiler import PLAN_JOIN, compile_rules
+
+    ruleset = compile_rules(rules)
+    for plan in ruleset.plans:
+        rule = plan.rule
+        typed = [e for e in rule.when if isinstance(e, _TypedElement)]
+        joinable = (
+            len(rule.when) >= 2
+            and len(typed) == len(rule.when)
+            and all(isinstance(e, Pattern) and e.binding for e in typed)
+        )
+        is_join = plan.kind == PLAN_JOIN
+        if joinable != is_join:
+            report.add(
+                "V005",
+                Severity.ERROR,
+                rule.name,
+                f"compiler classified this rule as {plan.kind!r} "
+                f"(reason: {plan.reason or 'n/a'}) but its condition shape "
+                f"({len(typed)} typed elements, "
+                f"{sum(1 for e in typed if isinstance(e, Pattern) and e.binding)}"
+                f" bound patterns) says it "
+                f"{'is' if joinable else 'is not'} join-eligible — the "
+                f"classifier and the interaction graph disagree",
+                location=location_of(rule.then),
+                plan=plan.kind,
+                reason=plan.reason,
+            )
+
+        # the compiled engine re-evaluates a rule only when a mutation
+        # touches a fact type the plan dispatches on: every type the
+        # interaction graph sees in the conditions must dispatch back.
+        io = graph.nodes[rule.name]
+        for element in io.elements:
+            dispatched = ruleset.dispatch(element.fact_type)
+            if not any(p.rule.name == rule.name for p, _info in dispatched):
+                report.add(
+                    "V005",
+                    Severity.ERROR,
+                    rule.name,
+                    f"mutations of {element.fact_type.__name__} (condition "
+                    f"{element.index}) do not dispatch to this rule's plan: "
+                    f"the compiled engine would never re-evaluate it",
+                    location=location_of(rule.then),
+                    fact_type=element.fact_type.__name__,
+                )
+
+    # reads-declaration soundness: the compiled engine only re-checks a
+    # gate (Absent/Exists/Collect) whose declared reads intersect an
+    # update's changed attrs, so the declaration must cover every
+    # attribute the gate's guard/keys actually read.
+    for rule in rules:
+        io = graph.nodes[rule.name]
+        for element_io, element in zip(
+            io.elements, (e for e in rule.when if isinstance(e, _TypedElement))
+        ):
+            declared = getattr(element, "reads", None)
+            if declared is None or element_io.reads is None:
+                continue  # undeclared = no gating; inexact scan = unprovable
+            if element_io.kind == "pattern":
+                continue  # reads only gates Absent/Exists/Collect re-checks
+            missing = sorted(set(element_io.reads) - set(declared))
+            if missing:
+                report.add(
+                    "V005",
+                    Severity.ERROR,
+                    rule.name,
+                    f"reads declaration on condition {element_io.index} "
+                    f"({element_io.fact_type.__name__}) omits "
+                    f"{', '.join(missing)} — the guard/keys read these, so "
+                    f"indexed/compiled change-gating skips re-evaluation "
+                    f"when they change and matches go stale",
+                    location=location_of(element.where or rule.then),
+                    missing=missing,
+                    declared=sorted(declared),
+                )
+
+
+# --------------------------------------------------------------------------
+# Composition enumeration
+# --------------------------------------------------------------------------
+def verify_compositions() -> dict[str, tuple[list, dict, list]]:
+    """name -> (rules, session globals, pack builders): every combination
+    ``PolicyService`` instantiates, plus the access×balanced cross and a
+    lease-enabled greedy variant (so lease grant/expiry paths verify)."""
+    from repro.policy.model import PolicyConfig
+    from repro.policy.rules_access import access_rules
+    from repro.policy.rules_balanced import balanced_rules
+    from repro.policy.rules_common import common_rules
+    from repro.policy.rules_fairshare import fairshare_rules
+    from repro.policy.rules_greedy import greedy_rules
+    from repro.policy.rules_priority import priority_rules
+
+    def build(config, *packs):
+        builders = [common_rules, priority_rules, fairshare_rules, *packs]
+        rules = []
+        for builder in builders:
+            rules.extend(builder())
+        return rules, {"config": config, "group_counter": 1}, builders
+
+    return {
+        "fifo": build(PolicyConfig(policy="fifo")),
+        "greedy": build(PolicyConfig(policy="greedy"), greedy_rules),
+        "balanced": build(
+            PolicyConfig(policy="balanced", cluster_count=2), balanced_rules
+        ),
+        "access": build(
+            PolicyConfig(policy="greedy", access_control=True),
+            access_rules,
+            greedy_rules,
+        ),
+        "priority": build(
+            PolicyConfig(policy="greedy", order_by="priority"), greedy_rules
+        ),
+        "access_balanced": build(
+            PolicyConfig(policy="balanced", cluster_count=2, access_control=True),
+            access_rules,
+            balanced_rules,
+        ),
+        "greedy_leases": build(
+            PolicyConfig(policy="greedy", lease_seconds=60.0), greedy_rules
+        ),
+    }

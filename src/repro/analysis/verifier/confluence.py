@@ -1,0 +1,191 @@
+"""V001 — confluence under agenda tie-break permutations.
+
+The engine breaks agenda ties (same salience) by the activation's fact-id
+tuple, then rule definition order.  A pack is *confluent* when the final
+working-memory state does not depend on that tie-break — definition order
+is then a formatting detail, not semantics.  This checker:
+
+1. asks the interaction graph for equal-salience rule pairs that can
+   statically interfere (one's action changes the other's matches, or
+   both write the same attribute of the same fact);
+2. model-checks each candidate pair exhaustively over small fact
+   universes: the pack runs twice per universe — default tie-break vs.
+   the pair's definition ranks swapped — and the canonical final states
+   are compared;
+3. additionally sweeps two whole-pack permutations (reversed and
+   rule-major tie-breaks) to catch interference the pairwise abstraction
+   missed.
+
+A V001 **error** is only ever reported with a concrete, minimized,
+machine-replayed counterexample (the finding's ``detail["counterexample"]``
+re-runs via :func:`repro.analysis.verifier.replay.replay_counterexample`).
+Statically-interfering pairs where no divergence could be produced are
+*not* findings — the static pass is a search heuristic, not evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.findings import Report, Severity, location_of
+from repro.analysis.verifier.interaction import InteractionGraph
+from repro.analysis.verifier.replay import (
+    counterexample_doc,
+    minimize_soup,
+    replay_counterexample,
+    run_confluence_scenario,
+)
+from repro.rules.engine import Rule
+
+__all__ = ["check_confluence"]
+
+
+def _divergence_probe(
+    rules: Sequence[Rule],
+    session_globals: dict,
+    permutation: dict,
+) -> Callable[[Sequence[tuple]], bool]:
+    """Predicate: does this soup produce different final states under the
+    default and the permuted tie-break?  (Crashed runs never count.)"""
+
+    def diverges(soup: Sequence[tuple]) -> bool:
+        baseline = run_confluence_scenario(
+            rules, session_globals, soup, {"kind": "default"}
+        )
+        if baseline is None:
+            return False
+        permuted = run_confluence_scenario(rules, session_globals, soup, permutation)
+        return permuted is not None and baseline != permuted
+
+    return diverges
+
+
+def _report_divergence(
+    name: str,
+    rules: Sequence[Rule],
+    rule_builders: Sequence[Callable],
+    session_globals: dict,
+    soup: Sequence[tuple],
+    permutation: dict,
+    subject: str,
+    message: str,
+    location: Optional[str],
+    report: Report,
+) -> bool:
+    """Minimize the soup, build the counterexample, verify it replays,
+    then emit the V001 error.  Returns False if replay verification
+    failed (the finding is withheld — no heuristic-only errors)."""
+    diverges = _divergence_probe(rules, session_globals, permutation)
+    minimal = minimize_soup(soup, diverges)
+    doc = counterexample_doc(
+        "confluence", rule_builders, session_globals, minimal,
+        permutation=permutation, pack=name,
+    )
+    result = replay_counterexample(doc)
+    if not result["reproduced"]:
+        return False
+    divergent = sorted(
+        set(result["baseline"]) ^ set(result["permuted"])
+    )
+    report.add(
+        "V001",
+        Severity.ERROR,
+        subject,
+        message
+        + f"; a {len(minimal)}-fact counterexample replays the divergence "
+        f"(facts differing between the two final states: {len(divergent)})",
+        location=location,
+        counterexample=doc,
+        divergent_facts=divergent[:6],
+    )
+    return True
+
+
+def check_confluence(
+    name: str,
+    rules: Sequence[Rule],
+    rule_builders: Sequence[Callable],
+    session_globals: dict,
+    soups: Sequence[Sequence[tuple]],
+    graph: InteractionGraph,
+    report: Report,
+) -> None:
+    """Run the V001 confluence check over prepared small-scope soups."""
+    # -- pairwise: statically interfering equal-salience pairs -------------
+    candidates = []
+    for a, b in itertools.combinations(rules, 2):
+        if a.salience != b.salience:
+            continue
+        reasons = graph.interference(a.name, b.name)
+        if reasons:
+            candidates.append((a, b, reasons))
+
+    reported: set = set()
+    for a, b, reasons in candidates:
+        permutation = {"kind": "swap", "rules": [a.name, b.name]}
+        diverges = _divergence_probe(rules, session_globals, permutation)
+        for soup in soups:
+            if not diverges(soup):
+                continue
+            ok = _report_divergence(
+                name, rules, rule_builders, session_globals, soup, permutation,
+                subject=a.name,
+                message=(
+                    f"not confluent with {b.name!r} (both salience "
+                    f"{a.salience}): swapping their agenda tie-break rank "
+                    f"changes the final working-memory state "
+                    f"(static interference: {reasons[0]})"
+                ),
+                location=location_of(a.then),
+                report=report,
+            )
+            if ok:
+                reported.add(frozenset((a.name, b.name)))
+            break
+
+    # -- whole-pack sweeps: catch what the pairwise abstraction missed -----
+    for permutation in ({"kind": "reverse"}, {"kind": "rulemajor"}):
+        diverges = _divergence_probe(rules, session_globals, permutation)
+        for soup in soups:
+            if not diverges(soup):
+                continue
+            culprits = _attribute_pack_divergence(
+                rules, session_globals, soup, permutation
+            )
+            if culprits and frozenset(culprits) in reported:
+                break  # already explained by a pairwise finding
+            subject = culprits[0] if culprits else f"pack:{name}"
+            _report_divergence(
+                name, rules, rule_builders, session_globals, soup, permutation,
+                subject=subject,
+                message=(
+                    f"pack is not confluent under the "
+                    f"{permutation['kind']!r} agenda tie-break"
+                    + (
+                        f" (narrowed to rules {', '.join(sorted(culprits))})"
+                        if culprits
+                        else ""
+                    )
+                ),
+                location=None,
+                report=report,
+            )
+            break
+
+
+def _attribute_pack_divergence(
+    rules: Sequence[Rule],
+    session_globals: dict,
+    soup: Sequence[tuple],
+    permutation: dict,
+) -> list[str]:
+    """Try to pin a whole-pack divergence on one equal-salience pair by
+    swapping each pair individually on the same soup."""
+    for a, b in itertools.combinations(rules, 2):
+        if a.salience != b.salience:
+            continue
+        swap = {"kind": "swap", "rules": [a.name, b.name]}
+        if _divergence_probe(rules, session_globals, swap)(soup):
+            return [a.name, b.name]
+    return []

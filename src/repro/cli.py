@@ -101,21 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically verify policy rule sets and staged plans",
         description=(
             "Run the repro.analysis checkers: the rule-set linter over "
-            "shipped (or all) rule sets and the plan validator over a "
-            "planned Montage workflow.  Exits 1 when any error-severity "
-            "finding survives suppression."
+            "shipped (or all) rule sets, the plan validator over a "
+            "planned Montage workflow, and (with --verify) the semantic "
+            "verifier over every composed rule pack.  Exits 1 when any "
+            "error-severity finding survives suppression; dead "
+            "suppressions are surfaced as S001 warnings."
         ),
     )
     lint.add_argument("--all", action="store_true",
                       help="lint every shipped rule set and a Montage plan")
     lint.add_argument("--rules", default=None, metavar="SET[,SET...]",
                       help="comma-separated rule sets to lint "
-                           "(fifo, greedy, balanced, access, priority)")
+                           "(fifo, greedy, balanced, access, priority, ...)")
     lint.add_argument("--plan", choices=["montage"], default=None,
                       help="also lint a freshly planned workflow")
     lint.add_argument("--images", type=int, default=20,
                       help="Montage input images for --plan (default 20)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text")
     lint.add_argument("--seed", type=int, default=0,
                       help="probing RNG seed (results are deterministic)")
     lint.add_argument("--trials", type=int, default=25,
@@ -125,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="suppress findings of a check id, optionally "
                            "only for subjects containing the substring "
                            "(repeatable)")
+    lint.add_argument("--verify", action="store_true",
+                      help="run the semantic verifier (V001-V005: "
+                           "confluence, ledger balance, engine parity, "
+                           "compiler agreement) over every composition "
+                           "the Policy Service instantiates — or only "
+                           "those named in --rules; every dynamic error "
+                           "carries a machine-replayed counterexample")
+    lint.add_argument("--engines", default=None, metavar="ENGINE[,ENGINE...]",
+                      help="engines the verifier cross-checks for V004 "
+                           "parity (default: seed,indexed,compiled)")
 
     trace = sub.add_parser(
         "trace",
@@ -370,11 +383,18 @@ def _lint_montage_plan(n_images: int):
 def _cmd_lint(args, out) -> int:
     import json
 
-    from repro.analysis import lint_plan, lint_rule_set, shipped_rule_sets
+    from repro.analysis import (
+        flag_dead_suppressions,
+        lint_plan,
+        lint_rule_set,
+        shipped_rule_sets,
+    )
 
-    rule_sets: list[str] = []
+    selected: list[str] = []
     if args.rules:
-        rule_sets = [name.strip() for name in args.rules.split(",") if name.strip()]
+        selected = [name.strip() for name in args.rules.split(",") if name.strip()]
+    rule_sets = list(selected)
+    if rule_sets:
         unknown = sorted(set(rule_sets) - set(shipped_rule_sets()))
         if unknown:
             print(f"unknown rule set(s): {', '.join(unknown)}", file=out)
@@ -383,8 +403,9 @@ def _cmd_lint(args, out) -> int:
     if args.all:
         rule_sets = sorted(shipped_rule_sets())
         plan_targets = ["montage"]
-    if not rule_sets and not plan_targets:
-        print("nothing to lint: pass --all, --rules, or --plan", file=out)
+    if not rule_sets and not plan_targets and not args.verify:
+        print("nothing to lint: pass --all, --rules, --plan, or --verify",
+              file=out)
         return 2
 
     reports = []
@@ -395,15 +416,51 @@ def _cmd_lint(args, out) -> int:
     for report in reports:
         report.suppress(args.suppress)
 
+    if args.verify:
+        from repro.analysis import VerifyOptions, verify_compositions, verify_pack
+        from repro.analysis.verifier import ENGINES
+
+        compositions = verify_compositions()
+        if selected and not args.all:
+            unknown = sorted(set(selected) - set(compositions))
+            if unknown:
+                print(f"unknown composition(s): {', '.join(unknown)}", file=out)
+                return 2
+            compositions = {n: compositions[n] for n in selected}
+        engines = tuple(ENGINES)
+        if args.engines:
+            engines = tuple(
+                e.strip() for e in args.engines.split(",") if e.strip()
+            )
+            bad = sorted(set(engines) - set(ENGINES))
+            if bad:
+                print(f"unknown engine(s): {', '.join(bad)}", file=out)
+                return 2
+        options = VerifyOptions(
+            seed=args.seed,
+            engines=engines,
+            extra_suppressions=tuple(args.suppress),
+        )
+        for name, (_rules, session_globals, builders) in compositions.items():
+            reports.append(verify_pack(name, builders, session_globals, options))
+
+    dead = flag_dead_suppressions(reports)
+    if dead.findings:
+        reports.append(dead)
+
     if args.format == "json":
         print(json.dumps([r.to_dict() for r in reports], indent=2), file=out)
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(reports), file=out)
     else:
         for report in reports:
             print(report.render_text(), file=out)
             print(file=out)
         errors = sum(len(r.errors()) for r in reports)
         warnings = sum(len(r.by_severity("warning")) for r in reports)
-        print(f"{len(reports)} target(s) linted: "
+        print(f"{len(reports)} target(s) analyzed: "
               f"{errors} error(s), {warnings} warning(s)", file=out)
     return 1 if any(r.errors() for r in reports) else 0
 

@@ -297,6 +297,12 @@ class Session:
         the session tallies per-rule match/action wall time, activation
         and fire counts, and samples the agenda size at each firing.
         ``None`` (the default) adds no timing calls to the hot path.
+    tie_break:
+        Optional ``(rule, order, key) -> rank`` hook replacing the default
+        within-tier activation rank ``(fact-id tuple, definition order)``.
+        The returned ranks must be mutually comparable; lower fires first.
+        Used by the confluence verifier to permute agenda tie-breaks
+        deterministically — production sessions leave it ``None``.
     """
 
     def __init__(
@@ -307,6 +313,7 @@ class Session:
         max_firings: int = 100_000,
         incremental: bool = True,
         profiler: Optional[Any] = None,
+        tie_break: Optional[Callable[[Rule, int, tuple], Any]] = None,
     ):
         names = [r.name for r in rules]
         dupes = {n for n in names if names.count(n) > 1}
@@ -331,6 +338,7 @@ class Session:
         self._match_cache: dict[str, tuple[int, list[dict]]] = {}
         self._agendas: dict[str, _Agenda] = {}
         self._halted = False
+        self._tie_break = tie_break
         self.trace: list[str] = []
         self.trace_enabled = False
         self.profiler = profiler
@@ -391,6 +399,7 @@ class Session:
     def _next_activation_full(self, seed: dict):
         # Rules grouped by salience tier, highest first; lower tiers are
         # only evaluated when every higher tier is quiescent.
+        tie_break = self._tie_break
         for tier in self._tiers:
             best = None
             for order, rule in tier:
@@ -402,7 +411,10 @@ class Session:
                         continue
                     # Within a salience tier the oldest matched fact set
                     # fires first (FIFO); definition order breaks ties.
-                    rank = (key[1], order)
+                    if tie_break is None:
+                        rank = (key[1], order)
+                    else:
+                        rank = tie_break(rule, order, key)
                     if best is None or rank < best[0]:
                         best = (rank, rule, bindings, key)
             if best is not None:
@@ -511,6 +523,7 @@ class Session:
         return True
 
     def _next_activation_incremental(self, seed: dict):
+        tie_break = self._tie_break
         for tier in self._tiers:
             best = None
             for order, rule in tier:
@@ -522,7 +535,10 @@ class Session:
                 for key, bindings in agenda.entries.items():
                     if key in fired:
                         continue
-                    rank = (key[1], order)
+                    if tie_break is None:
+                        rank = (key[1], order)
+                    else:
+                        rank = tie_break(rule, order, key)
                     if best is not None and rank >= best[0]:
                         continue
                     if self._suppressed_by_no_loop(rule, key):

@@ -11,7 +11,7 @@ from repro.planner.executable import (
     JobKind,
     TransferSpec,
 )
-from repro.rules import Fact, Pattern, Rule
+from repro.rules import Absent, Fact, Pattern, Rule
 
 
 class ProbeFact(Fact):
@@ -177,6 +177,156 @@ def unkeyed_join_rules():
             ],
             then=_noop,
         )
+    ]
+
+
+# -- verifier defects (V001/V002/V004/V005) ---------------------------------
+class GrantFact(Fact):
+    """Lifecycle subject: enters 'submitted', is driven to done/failed."""
+
+    def __init__(self, tid: int, status: str = "submitted"):
+        self.tid = tid
+        self.status = status
+
+
+class PoolFact(Fact):
+    """Carries a reserve-shaped ledger the defect pack fails to unwind."""
+
+    def __init__(self, pool: str):
+        self.pool = pool
+        self.reserved = 0
+
+
+def non_confluent_rules():
+    """V001: both rules claim the same 'new' probe at equal salience and
+    steer it to different states — whichever fires first wins, so the
+    final memory depends on the agenda tie-break."""
+
+    def _route_a(ctx):
+        ctx.update(ctx.t, status="path-a")
+
+    def _route_b(ctx):
+        ctx.update(ctx.t, status="path-b")
+
+    return [
+        Rule(
+            "Route new probes through path A",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.status == "new")],
+            then=_route_a,
+            salience=10,
+        ),
+        Rule(
+            "Route new probes through path B",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.status == "new")],
+            then=_route_b,
+            salience=10,
+        ),
+    ]
+
+
+def unbalanced_reserve_rules():
+    """V002: admission charges PoolFact.reserved, but only the 'done'
+    terminal releases it — failed grants leak their reservation."""
+
+    def _reserve(ctx):
+        ctx.update(ctx.g, status="held")
+        ctx.update(ctx.p, reserved=ctx.p.reserved + 1)
+
+    def _release_done(ctx):
+        ctx.update(ctx.p, reserved=ctx.p.reserved - 1)
+        ctx.retract(ctx.g)
+
+    return [
+        Rule(
+            "Reserve a pool slot for a submitted grant",
+            when=[
+                Pattern(GrantFact, "g", where=lambda g, b: g.status == "submitted"),
+                Pattern(PoolFact, "p"),
+            ],
+            then=_reserve,
+            salience=40,
+        ),
+        Rule(
+            "Release the pool slot of a completed grant",
+            when=[
+                Pattern(GrantFact, "g", where=lambda g, b: g.status == "done"),
+                Pattern(PoolFact, "p"),
+            ],
+            then=_release_done,
+            salience=90,
+        ),
+        # no release path for status == "failed": the planted defect
+    ]
+
+
+def approving_pack():
+    """Half of the V001 cross-pack conflict: approves pending probes.
+    Clean alone — the conflict only exists composed with denying_pack."""
+
+    def _approve(ctx):
+        ctx.update(ctx.t, status="approved")
+
+    return [
+        Rule(
+            "Approve pending probes",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.status == "pending")],
+            then=_approve,
+            salience=50,
+        )
+    ]
+
+
+def denying_pack():
+    """Other half of the cross-pack conflict: denies the same probes."""
+
+    def _deny(ctx):
+        ctx.update(ctx.t, status="denied")
+
+    return [
+        Rule(
+            "Deny pending probes",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.status == "pending")],
+            then=_deny,
+            salience=50,
+        )
+    ]
+
+
+def stale_reads_rules():
+    """V005 (static) and V004 (dynamic): the Absent gate declares
+    ``reads=("lfn",)`` although its guard tests ``status``.  When the
+    upstream rule moves the blocking probe out of 'submitted', the
+    compiled engine's change-gating sees a mutation disjoint from the
+    declared reads, skips re-checking the gate, and never activates the
+    downstream rule — while the re-enumerating engines fire it."""
+
+    def _promote(ctx):
+        ctx.update(ctx.t, status="new")
+
+    def _mark(ctx):
+        if ctx.c.value != 99:
+            ctx.update(ctx.c, value=99)
+
+    return [
+        Rule(
+            "Promote submitted probes",
+            when=[Pattern(ProbeFact, "t", where=lambda t, b: t.status == "submitted")],
+            then=_promote,
+            salience=20,
+        ),
+        Rule(
+            "Mark the counter once no probe is still submitted",
+            when=[
+                Pattern(CounterFact, "c"),
+                Absent(
+                    ProbeFact,
+                    where=lambda p, b: p.status == "submitted",
+                    reads=("lfn",),
+                ),
+            ],
+            then=_mark,
+            salience=10,
+        ),
     ]
 
 

@@ -451,3 +451,35 @@ def test_exists_validation():
 
     with pytest.raises(TypeError):
         Exists(int)  # type: ignore[arg-type]
+
+
+@pytest.mark.parametrize("incremental", [False, True])
+def test_tie_break_hook_permutes_equal_salience_order(incremental):
+    """The default within-tier rank is (fact-id tuple, definition order);
+    a tie_break hook can invert the definition-order component, which is
+    what the confluence verifier uses to probe agenda sensitivity."""
+    fired = []
+
+    def claim(label):
+        return lambda ctx: fired.append(label)
+
+    def rules():
+        return [
+            Rule("first claimer", when=[Pattern(Ticket, "t")], then=claim("a")),
+            Rule("second claimer", when=[Pattern(Ticket, "t")], then=claim("b")),
+        ]
+
+    default = Session(rules(), incremental=incremental)
+    default.insert(Ticket("A1", 10))
+    default.fire_all()
+    assert fired == ["a", "b"]
+
+    fired.clear()
+    inverted = Session(
+        rules(),
+        incremental=incremental,
+        tie_break=lambda rule, order, key: (key[1], -order),
+    )
+    inverted.insert(Ticket("A1", 10))
+    inverted.fire_all()
+    assert fired == ["b", "a"]

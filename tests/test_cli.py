@@ -164,6 +164,38 @@ def test_lint_suppression_is_reported():
     assert "suppressed" in text and "R007" in text
 
 
+def test_lint_verify_single_composition():
+    code, text = run_cli("lint", "--verify", "--rules", "greedy",
+                         "--trials", "3")
+    assert code == 0
+    assert "verify:greedy" in text
+    assert "0 error(s)" in text
+
+
+def test_lint_verify_rejects_unknown_engine():
+    code, text = run_cli("lint", "--verify", "--engines", "indexed,bogus")
+    assert code == 2
+    assert "unknown engine" in text
+
+
+def test_lint_sarif_output():
+    code, text = run_cli("lint", "--rules", "fifo", "--trials", "3",
+                         "--format", "sarif")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert "rules:fifo" in run["properties"]["targets"]
+
+
+def test_lint_dead_suppression_is_flagged_s001():
+    code, text = run_cli("lint", "--rules", "fifo", "--trials", "3",
+                         "--suppress", "R042:never matches")
+    assert code == 0
+    assert "S001" in text and "dead" in text
+
+
 def test_trace_command_writes_artifacts(tmp_path):
     outdir = tmp_path / "trace-out"
     code, text = run_cli(
