@@ -40,8 +40,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 def _build_service(tracer):
     from repro.policy import PolicyConfig, PolicyService
 
+    # decision_log off: this guard measures the cost of *disabled*
+    # observability, and the decision log has its own on/off knob.
     return PolicyService(
-        PolicyConfig(policy="greedy", default_streams=4, max_streams=4000),
+        PolicyConfig(
+            policy="greedy", default_streams=4, max_streams=4000,
+            decision_log=False,
+        ),
         tracer=tracer,
     )
 

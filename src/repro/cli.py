@@ -9,6 +9,7 @@ Subcommands::
     repro serve [...]                 start the RESTful Policy Service
     repro lint [...]                  statically verify rule sets and plans
     repro trace [scenario] [...]      run a traced cell, write trace artifacts
+    repro explain <tid> [...]         replay a seeded cell, explain one advice
     repro ensemble [...]              run a multi-tenant workflow ensemble
 
 (`python -m repro ...` works identically.)
@@ -173,6 +174,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--engine", choices=["indexed", "seed", "compiled"], default="indexed",
                        help="rule engine variant (traces are identical)")
     trace.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay a seeded cell and print one transfer's decision record",
+        description=(
+            "Re-run a deterministic experiment cell and print the "
+            "decision-provenance record for one transfer id: the rule "
+            "firings (with salience tiers and working-memory operations), "
+            "the ledger values that gated the advice, and the group/lease "
+            "ids it minted.  The same seed yields the same record — same "
+            "digest — whatever --engine or --shards is chosen."
+        ),
+    )
+    explain.add_argument("tid", type=int, help="transfer id to explain")
+    explain.add_argument("--extra-mb", type=float, default=20.0,
+                         help="extra staged file size per staging job (MB)")
+    explain.add_argument("--streams", type=int, default=4,
+                         help="default parallel streams per transfer")
+    explain.add_argument("--policy", choices=["greedy", "balanced", "fifo"],
+                         default="greedy")
+    explain.add_argument("--threshold", type=int, default=50,
+                         help="max streams between a host pair")
+    explain.add_argument("--images", type=int, default=12,
+                         help="Montage input images (= staging jobs)")
+    explain.add_argument("--engine", choices=["indexed", "seed", "compiled"],
+                         default="indexed",
+                         help="rule engine variant (records are identical)")
+    explain.add_argument("--shards", type=int, default=0,
+                         help="shard the policy service N ways "
+                              "(0 = single service; records are identical)")
+    explain.add_argument("--format", choices=["text", "json"], default="text")
+    explain.add_argument("--seed", type=int, default=0)
 
     ensemble = sub.add_parser(
         "ensemble",
@@ -627,6 +660,48 @@ def _cmd_trace(args, out) -> int:
     return 0 if run.metrics.success else 1
 
 
+def _cmd_explain(args, out) -> int:
+    import json as _json
+
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.environment import build_testbed
+    from repro.experiments.runner import WorkflowExecution, build_policy_client
+    from repro.planner.planner import fresh_plan_ids
+    from repro.policy.provenance import render_narrative
+    from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+    cfg = ExperimentConfig(
+        extra_file_mb=args.extra_mb,
+        default_streams=args.streams,
+        policy=args.policy,
+        threshold=args.threshold,
+        n_images=args.images,
+        engine=args.engine,
+        shards=args.shards,
+        seed=args.seed,
+    )
+    workflow = augmented_montage(
+        cfg.extra_file_mb * MB,
+        MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
+    )
+    bed = build_testbed(cfg.testbed, seed=cfg.seed)
+    policy = build_policy_client(cfg, bed)
+    with fresh_plan_ids():
+        execution = WorkflowExecution(cfg, workflow, bed, policy)
+        process = execution.start()
+        bed.env.run(until=process)
+    record = policy.service.explain(args.tid)
+    if record is None:
+        print(f"no decision record for transfer {args.tid} "
+              f"(this cell issued transfer ids starting at 1)", file=out)
+        return 1
+    if args.format == "json":
+        print(_json.dumps(record, indent=2, sort_keys=True), file=out)
+    else:
+        print(render_narrative(record), file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -639,6 +714,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "serve": lambda: _cmd_serve(args, out),
         "lint": lambda: _cmd_lint(args, out),
         "trace": lambda: _cmd_trace(args, out),
+        "explain": lambda: _cmd_explain(args, out),
         "ensemble": lambda: _cmd_ensemble(args, out),
     }
     return handlers[args.command]()

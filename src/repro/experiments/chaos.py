@@ -75,6 +75,9 @@ class ChaosResult:
     shard_health: list = field(default_factory=list)
     #: backlog replay failures during shard recovery (sharded runs only)
     recovery_errors: list = field(default_factory=list)
+    #: decision-provenance records the service(s) held at end of run —
+    #: degraded grants appear as synthetic policy-free records
+    decisions: list = field(default_factory=list)
 
 
 def _policy_config(cfg: ExperimentConfig) -> PolicyConfig:
@@ -177,6 +180,7 @@ def run_chaos_montage(
         reaped=reaped,
         leaked_in_progress=leaked,
         journal_commits=journal.commits if journal is not None else 0,
+        decisions=live_service.decision_records(),
     )
 
 
@@ -268,6 +272,7 @@ def run_shard_chaos_montage(
         router_degraded=degraded,
         shard_health=router.shard_health(),
         recovery_errors=list(router.recovery_errors),
+        decisions=router.decision_records(),
     )
 
 

@@ -376,6 +376,9 @@ class EnsembleResult:
     tenant_of: dict[str, str]
     tenant_bytes: dict[str, float]
     tenant_shares: dict[str, float]
+    #: decision-provenance records from the shared policy service
+    #: (empty without ``share_policy``)
+    decisions: list = field(default_factory=list)
 
 
 def run_tenant_ensemble(
@@ -490,6 +493,9 @@ def run_tenant_ensemble(
         tenant_of=tenant_of,
         tenant_bytes=tenant_bytes,
         tenant_shares={spec.tenant: registry.share(spec.tenant) for spec in registry},
+        decisions=(
+            shared.service.decision_records() if shared is not None else []
+        ),
     )
 
 

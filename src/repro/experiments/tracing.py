@@ -15,6 +15,9 @@ standard artifact set:
 ``metrics.prom``          Prometheus text exposition of the registry
 ``rule_profile.txt``      per-rule activation/fire/elapsed report
 ``provenance.json``       provenance document with a ``trace`` summary
+``decisions.jsonl``       decision-provenance records, one canonical JSON
+                          object per line, cross-referenced to the Chrome
+                          trace by span sequence (``meta.span_seq``)
 ========================  ==================================================
 
 Because trace events carry only simulation-derived data (wall-clock
@@ -26,7 +29,7 @@ deterministic function of (workflow, config, seed) — including across
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
@@ -46,10 +49,12 @@ from repro.obs import (
     Tracer,
     jsonl_lines,
     write_chrome_trace,
+    write_decisions,
     write_jsonl,
     write_prometheus,
     write_rule_profile,
 )
+from repro.policy.provenance import link_decisions_to_trace
 from repro.planner.planner import fresh_plan_ids
 from repro.workflow.dag import Workflow
 from repro.workflow.montage import MB, MontageConfig, augmented_montage
@@ -64,7 +69,9 @@ __all__ = [
 ]
 
 
-def _write_artifact_set(tracer, registry, profiler, provenance, outdir) -> dict[str, str]:
+def _write_artifact_set(
+    tracer, registry, profiler, provenance, outdir, decisions=(),
+) -> dict[str, str]:
     """Write the standard artifact set; returns {artifact: path}."""
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
@@ -74,6 +81,7 @@ def _write_artifact_set(tracer, registry, profiler, provenance, outdir) -> dict[
         "metrics.prom": out / "metrics.prom",
         "rule_profile.txt": out / "rule_profile.txt",
         "provenance.json": out / "provenance.json",
+        "decisions.jsonl": out / "decisions.jsonl",
     }
     write_chrome_trace(tracer, paths["trace.json"])
     write_jsonl(tracer, paths["events.jsonl"])
@@ -82,6 +90,7 @@ def _write_artifact_set(tracer, registry, profiler, provenance, outdir) -> dict[
     paths["provenance.json"].write_text(
         json.dumps(provenance, indent=2, sort_keys=True, default=repr) + "\n"
     )
+    write_decisions(list(decisions), paths["decisions.jsonl"])
     return {name: str(path) for name, path in paths.items()}
 
 
@@ -94,6 +103,8 @@ class TracedRun:
     registry: MetricsRegistry
     profiler: RuleProfiler
     provenance: dict
+    #: decision-provenance records, span-linked to the trace
+    decisions: list = field(default_factory=list)
 
     def jsonl(self) -> list[str]:
         """The canonical JSONL event lines (deterministic per seed)."""
@@ -102,7 +113,8 @@ class TracedRun:
     def write_artifacts(self, outdir) -> dict[str, str]:
         """Write the standard artifact set; returns {artifact: path}."""
         return _write_artifact_set(
-            self.tracer, self.registry, self.profiler, self.provenance, outdir
+            self.tracer, self.registry, self.profiler, self.provenance, outdir,
+            decisions=self.decisions,
         )
 
 
@@ -125,7 +137,11 @@ def run_traced_workflow(
         bed.env.run(until=process)
     metrics = execution.metrics()
     provenance = run_provenance(
-        metrics, result=execution.result, config=cfg, tracer=tracer
+        metrics, result=execution.result, config=cfg, tracer=tracer,
+        frontend="in-process",
+    )
+    decisions = link_decisions_to_trace(
+        policy.service.decision_records(), tracer
     )
     return TracedRun(
         metrics=metrics,
@@ -133,6 +149,7 @@ def run_traced_workflow(
         registry=registry,
         profiler=profiler,
         provenance=provenance,
+        decisions=decisions,
     )
 
 
@@ -145,6 +162,8 @@ class TracedEnsemble:
     registry: MetricsRegistry
     profiler: RuleProfiler
     provenance: dict
+    #: decision-provenance records, span-linked to the trace
+    decisions: list = field(default_factory=list)
 
     def jsonl(self) -> list[str]:
         """The canonical JSONL event lines (deterministic per seed)."""
@@ -153,7 +172,8 @@ class TracedEnsemble:
     def write_artifacts(self, outdir) -> dict[str, str]:
         """Write the standard artifact set; returns {artifact: path}."""
         return _write_artifact_set(
-            self.tracer, self.registry, self.profiler, self.provenance, outdir
+            self.tracer, self.registry, self.profiler, self.provenance, outdir,
+            decisions=self.decisions,
         )
 
 
@@ -212,6 +232,7 @@ def run_traced_ensemble(
         registry=registry,
         profiler=profiler,
         provenance=provenance,
+        decisions=link_decisions_to_trace(list(result.decisions), tracer),
     )
 
 
@@ -243,7 +264,9 @@ def run_traced_chaos(cfg: ExperimentConfig, plan=None, journal_dir=None) -> Trac
             cfg, plan=plan, journal_dir=journal_dir,
             tracer=tracer, metrics=registry, profiler=profiler,
         )
-    provenance = run_provenance(result.metrics, config=cfg, tracer=tracer)
+    provenance = run_provenance(
+        result.metrics, config=cfg, tracer=tracer, frontend="in-process"
+    )
     provenance["fault_log"] = [[t, what] for t, what in result.fault_log]
     return TracedRun(
         metrics=result.metrics,
@@ -251,4 +274,5 @@ def run_traced_chaos(cfg: ExperimentConfig, plan=None, journal_dir=None) -> Trac
         registry=registry,
         profiler=profiler,
         provenance=provenance,
+        decisions=link_decisions_to_trace(list(result.decisions), tracer),
     )

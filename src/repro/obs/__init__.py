@@ -6,18 +6,22 @@ exporter formats.
 
 from .exporters import (
     chrome_trace_doc,
+    decision_lines,
     jsonl_lines,
     write_chrome_trace,
+    write_decisions,
     write_jsonl,
     write_prometheus,
     write_rule_profile,
 )
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import RuleProfiler, RuleStats
-from .tracer import SpanHandle, Tracer
+from .tracer import NullTracer, SpanHandle, Tracer, as_tracer
 
 __all__ = [
     "Tracer",
+    "NullTracer",
+    "as_tracer",
     "SpanHandle",
     "MetricsRegistry",
     "Counter",
@@ -27,8 +31,10 @@ __all__ = [
     "RuleProfiler",
     "RuleStats",
     "chrome_trace_doc",
+    "decision_lines",
     "jsonl_lines",
     "write_chrome_trace",
+    "write_decisions",
     "write_jsonl",
     "write_prometheus",
     "write_rule_profile",

@@ -29,6 +29,8 @@ __all__ = [
     "write_jsonl",
     "write_prometheus",
     "write_rule_profile",
+    "decision_lines",
+    "write_decisions",
 ]
 
 _PID = 1
@@ -110,6 +112,30 @@ def write_prometheus(registry: "MetricsRegistry", dest: Union[str, IO[str]]) -> 
 
 def write_rule_profile(profiler: "RuleProfiler", dest: Union[str, IO[str]]) -> None:
     text = profiler.report() + "\n"
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def decision_lines(records: list[dict]) -> list[str]:
+    """Decision-provenance records as canonical JSONL (one per line).
+
+    Same canonical encoding as the event log: sorted keys, no
+    whitespace — same-seed runs byte-compare cleanly.
+    """
+    return [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records
+    ]
+
+
+def write_decisions(records: list[dict], dest: Union[str, IO[str]]) -> None:
+    """Write decision records to ``decisions.jsonl`` (path or open file)."""
+    text = "\n".join(decision_lines(records))
+    if text:
+        text += "\n"
     if hasattr(dest, "write"):
         dest.write(text)
     else:

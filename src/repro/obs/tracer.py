@@ -32,7 +32,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
-__all__ = ["Tracer", "SpanHandle"]
+__all__ = ["Tracer", "SpanHandle", "NullTracer", "as_tracer"]
 
 
 class SpanHandle:
@@ -169,3 +169,42 @@ class Tracer:
             "spans": spans,
             "categories": dict(sorted(categories.items())),
         }
+
+
+class NullTracer(Tracer):
+    """A permanently disabled tracer: every emit method is a no-op.
+
+    Instrumented code holds a tracer unconditionally and calls it without
+    ``if tracer is not None and tracer.enabled`` guards — the null object
+    absorbs the calls.  :attr:`enabled` is pinned ``False`` so existing
+    ``tracer.enabled`` checks keep working.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(clock=None, enabled=False)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError("a NullTracer cannot be enabled; use Tracer()")
+
+    def _emit(self, record: dict) -> None:  # pragma: no cover - never reached
+        raise AssertionError("NullTracer must not emit events")
+
+
+#: shared instance — NullTracer keeps no state, so one is enough
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """``tracer`` itself, or the shared :class:`NullTracer` for ``None``.
+
+    The uniform-instrumentation helper: call sites keep a tracer from
+    ``as_tracer(tracer)`` and invoke ``begin``/``end``/``instant``
+    unconditionally instead of re-testing ``tracer is not None``.
+    """
+    return tracer if tracer is not None else NULL_TRACER

@@ -84,6 +84,12 @@ class PolicyController:
             raise PolicyRequestError("transfer id must be an integer")
         return {"tid": tid, "state": self.service.transfer_state(tid)}
 
+    def explain(self, tid: int) -> Optional[dict]:
+        """The decision-provenance record for a transfer (None = unknown)."""
+        if not isinstance(tid, int):
+            raise PolicyRequestError("transfer id must be an integer")
+        return self.service.explain(tid)
+
     def staging_state(self, payload: dict) -> dict:
         lfn = _require(payload, "lfn")
         url = _require(payload, "url")

@@ -162,6 +162,8 @@ class RecoveredState:
     )
     done_tids: list[int] = field(default_factory=list)
     failed_tids: list[int] = field(default_factory=list)
+    #: decision-provenance records in their original emission order
+    decisions: list[dict] = field(default_factory=list)
     fingerprint: Optional[dict] = None
     #: committed transactions replayed from the journal
     replayed: int = 0
@@ -232,6 +234,15 @@ class PolicyJournal:
                 _sealed_line({"op": op, "fid": fid, "fact": fact_to_doc(fact)})
             )
 
+    def record_decision(self, record: dict) -> None:
+        """Buffer one decision-provenance record (flushed at commit).
+
+        Decision records ride the same transaction as the mutations that
+        produced them, so recovery replays exactly the decisions whose
+        advice the client could have observed.
+        """
+        self._pending.append(_sealed_line({"op": "d", "record": record}))
+
     def commit(
         self,
         counters: dict[str, int],
@@ -286,6 +297,11 @@ class PolicyJournal:
             "failed": service._failed_tids.ids(),
             "facts": facts,
         }
+        # Optional key (read back via .get): snapshots from services
+        # without a decision log stay loadable and vice versa.
+        decisions = getattr(service, "decision_records", None)
+        if decisions is not None:
+            doc["decisions"] = decisions()
         tmp = self.snapshot_path.with_suffix(".json.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(doc, handle)
@@ -324,6 +340,7 @@ class PolicyJournal:
             state.counters.update(snap.get("counters", {}))
             state.done_tids = list(snap.get("done", []))
             state.failed_tids = list(snap.get("failed", []))
+            state.decisions = list(snap.get("decisions", []))
             for doc in snap.get("facts", []):
                 state.facts[int(doc["fid"])] = fact_from_doc(doc)
 
@@ -359,7 +376,12 @@ class PolicyJournal:
                 # fact type, malformed fid) discards the transaction, not
                 # half of it.
                 revived: list[tuple[int, Optional[Fact]]] = []
+                decided: list[dict] = []
                 for mutation in buffered:
+                    if mutation["op"] == "d":
+                        # decision records carry no fid — branch first
+                        decided.append(dict(mutation["record"]))
+                        continue
                     fid = int(mutation["fid"])
                     if mutation["op"] == "r":
                         revived.append((fid, None))
@@ -388,6 +410,7 @@ class PolicyJournal:
             state.counters.update(counters)
             state.done_tids.extend(done)
             state.failed_tids.extend(failed)
+            state.decisions.extend(decided)
             state.replayed += 1
         if torn_at is not None:
             state.discarded = len(buffered) + (len(lines) - torn_at)

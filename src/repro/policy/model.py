@@ -73,6 +73,15 @@ class PolicyConfig:
     adaptive / adaptive_settings:
         Enable runtime threshold adaptation from recent transfer
         performance (:mod:`repro.policy.adaptive`); greedy policy only.
+    decision_log / decision_log_cap:
+        Decision provenance: with ``decision_log`` on (the default) the
+        service records a causal "why" record for every advice it emits
+        (:mod:`repro.policy.provenance`), bounded to the most recent
+        ``decision_log_cap`` decisions, queryable via
+        :meth:`PolicyService.explain`.  Turn it off for benchmark runs
+        that must pay zero provenance overhead.  Neither knob is part of
+        the config fingerprint — provenance observes decisions, it never
+        changes them.
     """
 
     policy: str = "greedy"
@@ -88,6 +97,8 @@ class PolicyConfig:
     completed_tid_retention: int = 10_000
     lease_seconds: Optional[float] = None
     lease_sweep_interval: Optional[float] = None
+    decision_log: bool = True
+    decision_log_cap: int = 4096
 
     def __post_init__(self) -> None:
         if self.policy not in ("greedy", "balanced", "fifo"):
@@ -114,6 +125,8 @@ class PolicyConfig:
                 raise ValueError("lease_sweep_interval requires lease_seconds")
             if self.lease_sweep_interval < 0:
                 raise ValueError("lease_sweep_interval must be >= 0")
+        if self.decision_log_cap < 1:
+            raise ValueError("decision_log_cap must be >= 1")
 
     def sweep_interval(self) -> float:
         """Throttle between automatic lease sweeps (0 when leasing is off)."""

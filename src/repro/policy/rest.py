@@ -10,6 +10,7 @@ Endpoints
 POST        /policy/transfers                    submit transfer batch
 POST        /policy/transfers/complete           report done/failed ids
 GET         /policy/transfers/<tid>              one transfer's state
+GET         /policy/explain/<tid>                decision-provenance record
 POST        /policy/staging                      staged-state of (lfn, url)
 POST        /policy/cleanups                     submit cleanup batch
 POST        /policy/cleanups/complete            report finished cleanups
@@ -56,6 +57,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.obs.tracer import as_tracer
 from repro.policy.controller import PolicyController, PolicyRequestError
 from repro.policy.service import PolicyService
 
@@ -172,7 +174,7 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
             self._t0 = time.perf_counter()
             tracer = server_state.tracer
             self._span = None
-            if tracer is not None and tracer.enabled:
+            if tracer.enabled:
                 self._span = tracer.begin(
                     "rest", f"{self.command} {self.path}", track="rest",
                     request_id=rid, host=self.client_address[0],
@@ -221,9 +223,7 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                 "status": self._status,
                 "latency_s": time.perf_counter() - self._t0,
             })
-            tracer = server_state.tracer
-            if tracer is not None:
-                tracer.end(self._span, status=self._status)
+            server_state.tracer.end(self._span, status=self._status)
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             def work():
@@ -239,6 +239,18 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                         if not tid_text.isdigit():
                             raise PolicyRequestError("transfer id must be an integer")
                         self._reply(200, controller.transfer_state(int(tid_text)))
+                    elif self.path.startswith("/policy/explain/"):
+                        tid_text = self.path.rsplit("/", 1)[-1]
+                        if not tid_text.isdigit():
+                            raise PolicyRequestError("transfer id must be an integer")
+                        record = controller.explain(int(tid_text))
+                        if record is None:
+                            self._reply(404, {
+                                "error": f"no decision record for transfer {tid_text}",
+                                "request_id": self._request_id,
+                            })
+                        else:
+                            self._reply(200, record)
                     else:
                         self._reply(404, {
                             "error": f"no such endpoint {self.path!r}",
@@ -294,7 +306,7 @@ class _ServerState:
         read_timeout: Optional[float] = 10.0,
     ):
         self.max_request_bytes = int(max_request_bytes)
-        self.tracer = tracer
+        self.tracer = as_tracer(tracer)
         self.idle_timeout = idle_timeout
         self.read_timeout = read_timeout
         self.access_log: list[dict] = []

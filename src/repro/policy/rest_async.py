@@ -321,7 +321,7 @@ class AsyncPolicyRestServer:
         t0 = time.perf_counter()
         tracer = state.tracer
         span = None
-        if tracer is not None and tracer.enabled:
+        if tracer.enabled:
             span = tracer.begin(
                 "rest", f"{head.method} {head.path}", track="rest",
                 request_id=rid, host=host,
@@ -343,8 +343,7 @@ class AsyncPolicyRestServer:
                 "status": code,
                 "latency_s": time.perf_counter() - t0,
             })
-            if tracer is not None:
-                tracer.end(span, status=code)
+            tracer.end(span, status=code)
 
         def send(code: int, body: bytes, content_type: str) -> None:
             nonlocal status
@@ -476,6 +475,18 @@ class AsyncPolicyRestServer:
                     if not tid_text.isdigit():
                         raise PolicyRequestError("transfer id must be an integer")
                     reply(200, controller.transfer_state(int(tid_text)))
+                elif path.startswith("/policy/explain/"):
+                    tid_text = path.rsplit("/", 1)[-1]
+                    if not tid_text.isdigit():
+                        raise PolicyRequestError("transfer id must be an integer")
+                    record = controller.explain(int(tid_text))
+                    if record is None:
+                        reply(404, {
+                            "error": f"no decision record for transfer {tid_text}",
+                            "request_id": rid,
+                        })
+                    else:
+                        reply(200, record)
                 else:
                     reply(404, {
                         "error": f"no such endpoint {path!r}", "request_id": rid,

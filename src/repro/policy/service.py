@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import as_tracer
 from repro.rules import CompiledSession, Rule, Session, WorkingMemory, compile_rules
 
 from repro.policy.adaptive import AdaptiveThresholdController
@@ -29,6 +30,14 @@ from repro.policy.model import (
     StagedFileFact,
     TransferAdvice,
     TransferFact,
+)
+from repro.policy.provenance import (
+    DecisionLog,
+    FiringCollector,
+    attribute_firings,
+    cleanup_record,
+    ledger_snapshot,
+    transfer_record,
 )
 from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact, access_rules
 from repro.policy.rules_balanced import balanced_rules
@@ -157,8 +166,17 @@ class PolicyService:
         self._failed_tids = _BoundedIdSet(retention)
         self._next_sweep = float("-inf")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = tracer
+        self.tracer = as_tracer(tracer)
         self.profiler = profiler
+        #: decision-provenance log (None when config.decision_log is off)
+        self.decisions: Optional[DecisionLog] = (
+            DecisionLog(self.config.decision_log_cap)
+            if self.config.decision_log
+            else None
+        )
+        #: shard index stamped into decision records (set by the sharding
+        #: backend; None on a standalone service)
+        self.shard_index: Optional[int] = None
         self._init_metrics()
         self.journal: Optional[PolicyJournal] = None
         self._last_committed_counters: Optional[dict] = None
@@ -241,6 +259,32 @@ class PolicyService:
             "Workflows currently bound to a tenant",
             ("tenant",),
         )
+        # Per-rule profiler families, refreshed at scrape time from the
+        # attached RuleProfiler (no samples without one).
+        self._m_rule_fires = m.gauge(
+            "repro_policy_rule_profile_fires",
+            "Rule action executions tallied by the profiler",
+            ("rule",),
+        )
+        self._m_rule_match_seconds = m.gauge(
+            "repro_policy_rule_profile_match_seconds",
+            "Wall time matching a rule's conditions",
+            ("rule",),
+        )
+        self._m_rule_action_seconds = m.gauge(
+            "repro_policy_rule_profile_action_seconds",
+            "Wall time executing a rule's action",
+            ("rule",),
+        )
+
+    def _refresh_profiler_metrics(self) -> None:
+        """Mirror the profiler's per-rule tallies into the registry."""
+        if self.profiler is None:
+            return
+        for row in self.profiler.stats.values():
+            self._m_rule_fires.set(row.fires, rule=row.name)
+            self._m_rule_match_seconds.set(row.match_s, rule=row.name)
+            self._m_rule_action_seconds.set(row.action_s, rule=row.name)
 
     def _refresh_tenant_metrics(self) -> None:
         bound: dict[str, int] = {}
@@ -273,9 +317,8 @@ class PolicyService:
         }
 
     def _begin_span(self, name: str, **args):
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            return tracer.begin("policy", name, track="policy", **args)
+        if self.tracer.enabled:
+            return self.tracer.begin("policy", name, track="policy", **args)
         return None
 
     def profile_report(self) -> Optional[str]:
@@ -410,6 +453,13 @@ class PolicyService:
             service._done_tids.add(tid)
         for tid in state.failed_tids:
             service._failed_tids.add(tid)
+        if service.decisions is not None:
+            # Replay in original order: the bounded log evicts exactly as
+            # the live one did, so the recovered log is byte-identical.
+            # Must run before attach_journal — the fresh compaction
+            # snapshot it writes includes these records.
+            for record in state.decisions:
+                service.decisions.add(record)
         service.attach_journal(journal)
         return service
 
@@ -484,6 +534,7 @@ class PolicyService:
                 span,
                 rule_firings=int(self._m_firings.value - firings_before),
                 advice=dict(sorted(actions.items())),
+                batch_id=self._batch_last,
             )
         return advice
 
@@ -496,6 +547,12 @@ class PolicyService:
     ) -> list[TransferAdvice]:
         batch = self._next_batch()
         session = self._session()
+        collector: Optional[FiringCollector] = None
+        before: Optional[dict] = None
+        if self.decisions is not None:
+            collector = FiringCollector()
+            session.firing_listener = collector
+            before = ledger_snapshot(self.memory)
         lease = (
             None
             if self.config.lease_seconds is None
@@ -610,8 +667,35 @@ class PolicyService:
                 self.memory.retract(fact)
                 self._m_transfers["skipped"].inc()
 
+        if collector is not None:
+            after = ledger_snapshot(self.memory)
+            by_tid = {item.tid: item for item in advice}
+            for fact in facts:
+                item = by_tid.get(fact.tid)
+                if item is None:  # pragma: no cover - defensive
+                    continue
+                self._record_decision(
+                    transfer_record(
+                        fact,
+                        item,
+                        attribute_firings(
+                            collector.firings, tids=frozenset((fact.tid,))
+                        ),
+                        before,
+                        after,
+                        batch=batch,
+                        engine=self.engine,
+                        shard=self.shard_index,
+                    )
+                )
         self._commit_journal()
         return self._order_advice(advice)
+
+    def _record_decision(self, record: dict) -> None:
+        """Retain a decision record and journal it with this transaction."""
+        self.decisions.add(record)
+        if self.journal is not None:
+            self.journal.record_decision(record)
 
     def _order_advice(self, advice: list[TransferAdvice]) -> list[TransferAdvice]:
         """Order: executable transfers first ("Sort the list of transfers by
@@ -725,6 +809,12 @@ class PolicyService:
         with self._transaction():
             batch = self._next_batch()
             session = self._session()
+            collector: Optional[FiringCollector] = None
+            before: Optional[dict] = None
+            if self.decisions is not None:
+                collector = FiringCollector()
+                session.firing_listener = collector
+                before = ledger_snapshot(self.memory)
             lease = (
                 None
                 if self.config.lease_seconds is None
@@ -763,12 +853,30 @@ class PolicyService:
                     )
                     self.memory.retract(fact)
                     self._m_cleanups["skipped"].inc()
+            if collector is not None:
+                after = ledger_snapshot(self.memory)
+                by_cid = {item.cid: item for item in advice}
+                for fact in facts:
+                    self._record_decision(
+                        cleanup_record(
+                            fact,
+                            by_cid[fact.cid],
+                            attribute_firings(
+                                collector.firings, cids=frozenset((fact.cid,))
+                            ),
+                            before,
+                            after,
+                            batch=batch,
+                            engine=self.engine,
+                            shard=self.shard_index,
+                        )
+                    )
             self._commit_journal()
             self._m_call_seconds["submit_cleanups"].observe(time.perf_counter() - t0)
             if span is not None:
                 self.tracer.end(
                     span, rule_firings=fired, approved=approved,
-                    skipped=len(facts) - approved,
+                    skipped=len(facts) - approved, batch_id=batch,
                 )
             return advice
 
@@ -837,14 +945,10 @@ class PolicyService:
             self._m_cleanups["reaped"].inc(len(reaped_cids))
             self._commit_journal(failed=reaped_tids)
             self._m_call_seconds["reap"].observe(time.perf_counter() - t0)
-            tracer = self.tracer
-            if (
-                tracer is not None and tracer.enabled
-                and (reaped_tids or reaped_cids)
-            ):
+            if self.tracer.enabled and (reaped_tids or reaped_cids):
                 # Only sweeps that actually reclaim something are traced;
                 # the throttled no-op sweeps would drown the timeline.
-                tracer.instant(
+                self.tracer.instant(
                     "policy", "policy.lease_reap", track="policy",
                     transfers=len(reaped_tids), cleanups=len(reaped_cids),
                 )
@@ -915,6 +1019,30 @@ class PolicyService:
         if tid in self._failed_tids:
             return "failed"
         return "unknown"
+
+    def explain(self, tid: int) -> Optional[dict]:
+        """The decision-provenance record for a transfer id.
+
+        None when the decision log is disabled, the id was never decided
+        here, or the record aged out of the bounded log.
+        """
+        if self.decisions is None:
+            return None
+        record = self.decisions.transfer(int(tid))
+        return dict(record) if record is not None else None
+
+    def explain_cleanup(self, cid: int) -> Optional[dict]:
+        """The decision-provenance record for a cleanup id (or None)."""
+        if self.decisions is None:
+            return None
+        record = self.decisions.cleanup(int(cid))
+        return dict(record) if record is not None else None
+
+    def decision_records(self) -> list[dict]:
+        """All retained decision records, oldest first (empty when off)."""
+        if self.decisions is None:
+            return []
+        return [dict(record) for record in self.decisions.records()]
 
     # ------------------------------------------------------------------ admin
     def deny_host(self, host: str, direction: str = "any", reason: str = "") -> None:
@@ -1120,4 +1248,5 @@ class PolicyService:
         for kind, value in self.counters().items():
             self._m_ids.set(value, kind=kind)
         self._refresh_tenant_metrics()
+        self._refresh_profiler_metrics()
         return self.metrics.render()

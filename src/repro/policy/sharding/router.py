@@ -41,9 +41,16 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.gridftp import parse_url
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import as_tracer
 
 from repro.policy.client import CircuitBreaker
 from repro.policy.model import CleanupAdvice, PolicyConfig, TransferAdvice
+from repro.policy.provenance import (
+    DecisionLog,
+    degraded_cleanup_record,
+    degraded_record,
+    rewrite_group_id,
+)
 from repro.policy.sharding.hashring import HashRing, pair_key, url_key
 from repro.policy.sharding.shard import (
     InProcessShardBackend,
@@ -164,7 +171,7 @@ class ShardedPolicyService:
         self.config = config if config is not None else PolicyConfig()
         self.engine = engine
         self.clock = clock or time.monotonic
-        self.tracer = tracer
+        self.tracer = as_tracer(tracer)
         self.num_shards = num_shards
         self.ring = HashRing(num_shards)
 
@@ -222,6 +229,12 @@ class ShardedPolicyService:
         self._cid_shard: OrderedDict[int, int] = OrderedDict()
         self._cid_key: dict[int, Tuple[str, str]] = {}
         self._id_retention = retention * 2
+        #: tid -> canonical group id stamped on the merged advice, so
+        #: ``explain`` can rewrite shard-local group ids (bounded)
+        self._tid_group: OrderedDict[int, int] = OrderedDict()
+        #: cid -> home shard for *every* routed cleanup (``_cid_shard``
+        #: only tracks deletes, which is all completion routing needs)
+        self._cid_home: OrderedDict[int, int] = OrderedDict()
 
         # ---------------- degraded mode ------------------------------------
         #: tid -> (workflow, lfn, dst_url, home shard) for policy-free grants
@@ -229,6 +242,13 @@ class ShardedPolicyService:
         #: per-shard FIFO of (method, args, kwargs) to replay at recovery
         self._pending_ops: dict[int, list] = {i: [] for i in range(num_shards)}
         self.recovery_errors: list[str] = []
+        #: router-minted synthetic records for degraded advice — the home
+        #: shard never saw those ids, so the router is their only witness
+        self._decisions: Optional[DecisionLog] = (
+            DecisionLog(self.config.decision_log_cap)
+            if self.config.decision_log
+            else None
+        )
 
         # ---------------- router-mirrored lease sweep -----------------------
         self._next_sweep = float("-inf")
@@ -484,6 +504,7 @@ class ShardedPolicyService:
                 group = self._group_counter
                 self._pair_groups[pair] = group
             item.group_id = group
+            self._remember(self._tid_group, tid, group)
 
         advice = self._order_advice(list(merged.values()))
         if span is not None:
@@ -505,6 +526,11 @@ class ShardedPolicyService:
             tid,
             (workflow, spec["lfn"], spec["dst_url"], shard_idx),
         )
+        if self._decisions is not None:
+            self._decisions.add(degraded_record(
+                tid, workflow, spec["lfn"], spec["dst_url"], shard=shard_idx,
+                reason=f"shard {shard_idx} unavailable; policy-free advice",
+            ))
         return TransferAdvice(
             tid=tid,
             lfn=spec["lfn"],
@@ -604,11 +630,17 @@ class ShardedPolicyService:
             cid = self._next_cid()
             if url in degraded_urls:
                 self._m_degraded.inc(kind="cleanups")
-                protected[cid] = CleanupAdvice(
-                    cid=cid, lfn=lfn, url=url, action="skip",
-                    reason="degraded transfer in flight to this url; "
-                           "cleanup deferred",
+                reason = (
+                    "degraded transfer in flight to this url; "
+                    "cleanup deferred"
                 )
+                protected[cid] = CleanupAdvice(
+                    cid=cid, lfn=lfn, url=url, action="skip", reason=reason,
+                )
+                if self._decisions is not None:
+                    self._decisions.add(degraded_cleanup_record(
+                        cid, workflow, lfn, url, reason=reason,
+                    ))
                 assigned.append((cid, lfn, url, None))
                 continue
             shard_idx = self._owner.get((lfn, url))
@@ -646,13 +678,19 @@ class ShardedPolicyService:
                 # safe — the only safe degraded answer is "keep the file".
                 self._m_degraded.inc(len(entries), kind="cleanups")
                 for cid, lfn, url, _ in entries:
+                    reason = f"shard {shard_idx} unavailable; cleanup deferred"
                     merged[cid] = CleanupAdvice(
-                        cid=cid, lfn=lfn, url=url, action="skip",
-                        reason=f"shard {shard_idx} unavailable; cleanup deferred",
+                        cid=cid, lfn=lfn, url=url, action="skip", reason=reason,
                     )
+                    if self._decisions is not None:
+                        self._decisions.add(degraded_cleanup_record(
+                            cid, workflow, lfn, url, shard=shard_idx,
+                            reason=reason,
+                        ))
                 continue
             for item in result:
                 merged[item.cid] = item
+                self._remember(self._cid_home, item.cid, shard_idx)
                 if item.action == "delete":
                     self._remember(self._cid_shard, item.cid, shard_idx)
                     self._cid_key[item.cid] = (item.lfn, item.url)
@@ -737,6 +775,96 @@ class ShardedPolicyService:
         except ShardUnavailableError:
             self._m_degraded.inc(kind="queries")
             return "unknown"
+
+    def explain(self, tid: int) -> Optional[dict]:
+        """The decision record for transfer ``tid``, shard-independent.
+
+        Shard-evaluated transfers are fetched from their home shard with
+        the shard-local group id rewritten to the router's canonical
+        numbering (and the digest recomputed), so the answer is
+        byte-identical to an unsharded service's.  Degraded grants answer
+        with the router's synthetic policy-free record.  ``None`` when
+        the tid is unknown, the shard is unavailable, or the decision
+        log is disabled.
+        """
+
+        self._maybe_reap()
+        self._m_requests.inc(call="explain")
+        tid = int(tid)
+        if self._decisions is not None:
+            synthetic = self._decisions.transfer(tid)
+            if synthetic is not None:
+                return dict(synthetic)
+        shard_idx = self._tid_shard.get(tid)
+        if shard_idx is None:
+            return None
+        try:
+            record = self.shards[shard_idx].call("explain", tid)
+        except ShardUnavailableError:
+            self._m_degraded.inc(kind="queries")
+            return None
+        if record is None:
+            return None
+        return self._canonical_record(record)
+
+    def explain_cleanup(self, cid: int) -> Optional[dict]:
+        """The decision record for cleanup ``cid`` (see :meth:`explain`)."""
+
+        self._maybe_reap()
+        self._m_requests.inc(call="explain_cleanup")
+        cid = int(cid)
+        if self._decisions is not None:
+            synthetic = self._decisions.cleanup(cid)
+            if synthetic is not None:
+                return dict(synthetic)
+        shard_idx = self._cid_home.get(cid)
+        if shard_idx is None:
+            return None
+        try:
+            record = self.shards[shard_idx].call("explain_cleanup", cid)
+        except ShardUnavailableError:
+            self._m_degraded.inc(kind="queries")
+            return None
+        if record is None:
+            return None
+        return self._canonical_record(record)
+
+    def decision_records(self) -> list[dict]:
+        """Fleet decision log: every live shard's records plus synthetics.
+
+        Returned in a deterministic, shard-count-independent order —
+        transfers by tid, then cleanups by cid (per-shard interleavings
+        are not comparable across fleet sizes).  Down shards contribute
+        nothing until they recover and replay their journals.
+        """
+
+        self._m_requests.inc(call="decision_records")
+        records: list[dict] = []
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                part = handle.call("decision_records")
+            except ShardUnavailableError:
+                continue
+            records.extend(self._canonical_record(r) for r in part)
+        if self._decisions is not None:
+            records.extend(dict(r) for r in self._decisions.records())
+        transfers = [r for r in records if r.get("kind") == "transfer"]
+        cleanups = [r for r in records if r.get("kind") != "transfer"]
+        transfers.sort(key=lambda r: r["tid"])
+        cleanups.sort(key=lambda r: r["cid"])
+        return transfers + cleanups
+
+    def _canonical_record(self, record: dict) -> dict:
+        """Rewrite a shard record's group id to the canonical numbering."""
+
+        record = dict(record)
+        if record.get("kind") == "transfer":
+            group = self._tid_group.get(record.get("tid"))
+            if group is not None:
+                return rewrite_group_id(record, group)
+        return record
 
     def reconcile_staged(
         self, workflow: str, files: Iterable[tuple[str, str]]
@@ -921,7 +1049,7 @@ class ShardedPolicyService:
             except Exception as exc:  # noqa: BLE001 - chaos bookkeeping
                 self.recovery_errors.append(f"shard {index} {name}: {exc!r}")
         self._refresh_health_metrics()
-        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+        if self.tracer.enabled:
             self.tracer.instant(
                 "policy", "router.shard_recovered", track="policy-router",
                 shard=index, replayed=replayed,
@@ -1050,7 +1178,7 @@ class ShardedPolicyService:
 
     def _begin_span(self, name: str, **args):
         tracer = self.tracer
-        if tracer is None or not getattr(tracer, "enabled", False):
+        if not tracer.enabled:
             return None
         return tracer.begin("policy", name, track="policy-router", args=args)
 

@@ -249,6 +249,14 @@ class ShardHandle:
         self.crashes = 0
         self.recoveries = 0
         self._rng = rng or random.Random(0xC0FFEE + index)
+        self._stamp_shard_index()
+
+    def _stamp_shard_index(self) -> None:
+        """Tell an in-process service which shard it is (decision meta)."""
+
+        service = getattr(self.backend, "service", None)
+        if service is not None:
+            service.shard_index = self.index
 
     # ------------------------------------------------------------------ calls
     def call(self, name: str, *args, **kwargs):
@@ -301,6 +309,7 @@ class ShardHandle:
         """Replay the shard from its journal and mark it serving again."""
 
         self.backend.recover()
+        self._stamp_shard_index()
         self.up = True
         self.partitioned = False
         self.timeout_rate = 0.0

@@ -341,6 +341,11 @@ class Session:
         self._tie_break = tie_break
         self.trace: list[str] = []
         self.trace_enabled = False
+        #: optional ``(rule, bindings, ops)`` callback invoked after every
+        #: firing with the change-log slice the action produced — the
+        #: decision-provenance hook.  Lives here (not in subclasses) so
+        #: all engines report identically.
+        self.firing_listener: Optional[Callable[[Rule, dict, list], None]] = None
         self.profiler = profiler
         if profiler is not None:
             profiler.register(rule.name for rule in self.rules)
@@ -586,6 +591,8 @@ class Session:
                     if isinstance(v, (Fact, list))
                 }
                 self.trace.append(f"FIRE {rule.name} {bound}")
+            listener = self.firing_listener
+            seq0 = self.memory.clock if listener is not None else 0
             profiler = self.profiler
             if profiler is not None:
                 profiler.sample_agenda(self._agenda_sample_size())
@@ -594,6 +601,8 @@ class Session:
                 profiler.record_fire(rule.name, profiler.clock() - t0)
             else:
                 rule.then(ActivationContext(self, rule, bindings))
+            if listener is not None:
+                listener(rule, bindings, self.memory.changes_since_verbose(seq0) or [])
             fired += 1
             if fired > self.max_firings:
                 raise RuleEngineError(

@@ -80,7 +80,7 @@ def test_write_artifacts_produces_the_standard_set(tmp_path, traced_run):
     paths = traced_run.write_artifacts(tmp_path / "out")
     assert set(paths) == {
         "trace.json", "events.jsonl", "metrics.prom",
-        "rule_profile.txt", "provenance.json",
+        "rule_profile.txt", "provenance.json", "decisions.jsonl",
     }
     chrome = json.loads((tmp_path / "out" / "trace.json").read_text())
     assert chrome["traceEvents"]
@@ -112,3 +112,34 @@ def test_traced_chaos_marks_fault_windows():
     assert begin["ts"] == 20.0
     assert begin["args"]["duration"] == 15.0
     assert run.provenance["fault_log"]
+
+
+def test_traced_run_carries_span_linked_decisions(traced_run):
+    """Every policy decision of a traced run is retained, digest-verified,
+    and cross-referenced to its submit span in the Chrome trace."""
+    from repro.policy.provenance import decision_digest
+
+    assert traced_run.decisions
+    span_seqs = {e["seq"] for e in traced_run.tracer.events}
+    linked = 0
+    for record in traced_run.decisions:
+        assert record["digest"] == decision_digest(record)
+        seq = record["meta"].get("span_seq")
+        if seq is not None:
+            assert seq in span_seqs
+            linked += 1
+    assert linked > 0, "no decision was linked to a trace span"
+
+
+def test_decisions_jsonl_artifact_round_trips(tmp_path, traced_run):
+    paths = traced_run.write_artifacts(tmp_path / "out")
+    lines = (tmp_path / "out" / "decisions.jsonl").read_text().splitlines()
+    assert len(lines) == len(traced_run.decisions)
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == traced_run.decisions
+
+
+def test_provenance_doc_names_engine_and_frontend(traced_run):
+    assert traced_run.provenance["engine"] == SMALL.engine
+    assert traced_run.provenance["shard_count"] == SMALL.shards
+    assert traced_run.provenance["frontend"] == "in-process"

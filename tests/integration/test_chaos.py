@@ -87,3 +87,23 @@ def test_balanced_policy_survives_crash(tmp_path):
     assert outcome["both_succeeded"]
     assert outcome["staged_sets_equal"]
     assert outcome["chaotic"].leaked_in_progress == 0
+
+
+def test_decision_records_survive_crash_recovery(tmp_path):
+    """The journal-recovered service still explains its decisions: every
+    retained record re-verifies its digest after replay, and the explain
+    API answers for transfers granted both before and after the outage."""
+    from repro.policy.provenance import decision_digest
+
+    plan = FaultPlan.single_crash(at=60.0, duration=120.0)
+    result = run_chaos_montage(
+        chaos_config(), plan=plan, journal_dir=tmp_path / "journal"
+    )
+    assert result.metrics.success
+    assert result.journal_commits > 0
+    assert result.decisions, "post-recovery service holds no decision records"
+    for record in result.decisions:
+        assert record["digest"] == decision_digest(record)
+    # Policy-derived records carry their causal chain through recovery.
+    policied = [r for r in result.decisions if not r.get("policy_free")]
+    assert policied and all(r["firings"] for r in policied)

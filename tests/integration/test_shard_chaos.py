@@ -96,3 +96,19 @@ def test_shard_crash_validation():
         ShardCrash(at=1.0, shard=-1, down_for=10.0)
     with pytest.raises(ValueError):
         ShardSlowdown(at=1.0, duration=5.0, shard=0, timeout_rate=2.0)
+
+
+def test_shard_outage_leaves_synthetic_decision_records(tmp_path):
+    """Advice served while a shard was down is witnessed by router-minted
+    policy-free records; everything else keeps its causal chain."""
+    result = run_shard_chaos_montage(
+        _cfg(), plan=_PLAN, num_shards=2, journal_root=tmp_path,
+    )
+    assert result.metrics.success
+    assert result.decisions
+    synthetic = [r for r in result.decisions if r.get("policy_free")]
+    policied = [r for r in result.decisions if not r.get("policy_free")]
+    assert result.router_degraded == 0 or synthetic, (
+        "degraded advice was served but never witnessed"
+    )
+    assert policied and all(r["firings"] for r in policied)

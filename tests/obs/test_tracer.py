@@ -139,3 +139,28 @@ def test_environment_binds_tracer_to_sim_clock():
     env.run()
     assert env.tracer is tracer
     assert tracer.events[0]["ts"] == 4.0
+
+
+def test_null_tracer_absorbs_all_emission():
+    from repro.obs.tracer import NULL_TRACER, NullTracer, as_tracer
+
+    null = NullTracer()
+    assert null.enabled is False
+    span = null.begin("cat", "name", args={"k": 1})
+    null.end(span)
+    null.instant("cat", "mark")
+    with null.span("cat", "scoped"):
+        pass
+    assert null.events == []
+    assert null.summary()["events"] == 0
+    with pytest.raises(ValueError):
+        null.enabled = True
+    null.enabled = False  # explicit re-disable stays legal
+
+
+def test_as_tracer_substitutes_the_shared_null_object():
+    from repro.obs.tracer import NULL_TRACER, Tracer, as_tracer
+
+    assert as_tracer(None) is NULL_TRACER
+    real = Tracer()
+    assert as_tracer(real) is real

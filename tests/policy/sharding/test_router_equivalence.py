@@ -119,3 +119,40 @@ def test_config_fingerprint_matches_single_service():
         assert router.config_fingerprint() == single.config_fingerprint()
     finally:
         router.close()
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_explain_digests_invariant_across_shard_counts(num_shards):
+    """``explain`` must return the same causal record (same digest) for
+    the same request stream whatever the shard count: pair/cluster
+    ledgers are shard-complete by routing, and the router rewrites the
+    one shard-local value (the advice's group id) to the canonical one."""
+    single = make_single()
+    multi_site_drive(single)
+    expected = {
+        (r["kind"], r.get("tid", r.get("cid"))): r for r in single.decision_records()
+    }
+    router = make_router(num_shards)
+    try:
+        multi_site_drive(router)
+        got = {
+            (r["kind"], r.get("tid", r.get("cid"))): r
+            for r in router.decision_records()
+        }
+        assert set(got) == set(expected)
+        for key, record in got.items():
+            reference = expected[key]
+            assert record["digest"] == reference["digest"], key
+            # Byte-identical once the digest-excluded meta is dropped.
+            a = {k: v for k, v in record.items() if k != "meta"}
+            b = {k: v for k, v in reference.items() if k != "meta"}
+            assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        # The point query agrees with the aggregate, both kinds.
+        some_tid = next(i for (kind, i) in got if kind == "transfer")
+        assert router.explain(some_tid)["digest"] == expected[
+            ("transfer", some_tid)]["digest"]
+        some_cid = next(i for (kind, i) in got if kind == "cleanup")
+        assert router.explain_cleanup(some_cid)["digest"] == expected[
+            ("cleanup", some_cid)]["digest"]
+    finally:
+        router.close()

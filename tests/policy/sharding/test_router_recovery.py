@@ -234,3 +234,59 @@ def test_snapshot_reports_fleet_state():
     assert len(snap["shard_health"]) == 2
     assert all(h["healthy"] for h in snap["shard_health"])
     assert snap["memory"]
+
+
+def test_degraded_advice_gets_synthetic_explain_record():
+    """The home shard never saw a degraded grant, so the router itself
+    must witness it: ``explain`` returns a policy-free record naming the
+    dead shard, and the aggregate stream includes it."""
+    router = make_router(4)
+    try:
+        site_dead, site_live = _two_sites_on_distinct_shards(router)
+        victim = _shard_of(router, site_dead)
+        router.crash_shard(victim)
+
+        dead_a, live_b = router.submit_transfers(
+            "wf", "j",
+            [_spec("a", site=site_dead), _spec("b", site=site_live)])
+
+        synthetic = router.explain(dead_a.tid)
+        assert synthetic["policy_free"] is True
+        assert synthetic["firings"] == [] and synthetic["ledger"] == {}
+        assert synthetic["meta"]["shard"] == victim
+        assert f"shard {victim}" in synthetic["advice"]["reason"]
+
+        real = router.explain(live_b.tid)
+        assert real["policy_free"] is False and real["firings"]
+
+        # Cleanups the router answered conservatively are witnessed too.
+        cleanup = router.submit_cleanups(
+            "wf", "clean", [("a", _spec("a", site=site_dead)["dst_url"])])
+        record = router.explain_cleanup(cleanup[0].cid)
+        assert record["policy_free"] is True
+        assert record["advice"]["action"] == "skip"
+
+        records = router.decision_records()
+        assert any(r.get("policy_free") for r in records)
+        assert any(not r.get("policy_free") for r in records)
+    finally:
+        router.close()
+
+
+def test_explain_survives_shard_crash_and_recovery(tmp_path):
+    """A journaled shard reproduces its decision records byte-identically
+    after crash + recovery, and the router serves them transparently."""
+    router = make_router(2, journal_root=tmp_path)
+    try:
+        granted = router.submit_transfers(
+            "wf", "j", [_spec(f"f{i}", site=f"site{i}") for i in range(6)])
+        before = {a.tid: router.explain(a.tid) for a in granted}
+        assert all(before.values())
+
+        for victim in range(2):
+            router.crash_shard(victim)
+            router.recover_shard(victim)
+        after = {a.tid: router.explain(a.tid) for a in granted}
+        assert after == before
+    finally:
+        router.close()

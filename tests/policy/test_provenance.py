@@ -1,0 +1,240 @@
+"""Decision provenance: per-advice "why" records and the explain API.
+
+The acceptance bar: ``explain`` returns the **same causal record (same
+digest)** for the same seeded request stream across all three rule
+engines and before/after crash recovery.  Shard-count invariance lives
+in ``tests/policy/sharding/``; REST surfacing in ``test_rest.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.policy import PolicyConfig, PolicyJournal, PolicyService
+from repro.policy.model import HostPairFact, StagedFileFact, TransferFact
+from repro.policy.provenance import (
+    DecisionLog,
+    decision_digest,
+    degraded_cleanup_record,
+    degraded_record,
+    render_narrative,
+    rewrite_group_id,
+    stable_ref,
+    tier_name,
+)
+
+from tests.policy.conftest import spec
+
+
+def drive(service):
+    """A small request stream touching every decision shape."""
+    service.submit_transfers("wf1", "j1", [spec("a"), spec("b"), spec("a")])
+    service.complete_transfers(done=[1, 2])
+    service.submit_transfers("wf2", "j2", [spec("a"), spec("c")])
+    service.submit_cleanups(
+        "wf1", "clean", [("a", "gsiftp://obelix/scratch/a")]
+    )
+
+
+def make_service(engine="indexed", **kw):
+    cfg = dict(policy="greedy", default_streams=4, max_streams=8)
+    cfg.update(kw)
+    return PolicyService(PolicyConfig(**cfg), engine=engine)
+
+
+# ------------------------------------------------------------ record shape
+def test_explain_returns_causal_record():
+    service = make_service()
+    drive(service)
+    record = service.explain(1)
+    assert record["kind"] == "transfer"
+    assert record["tid"] == 1
+    assert record["workflow"] == "wf1"
+    assert record["lfn"] == "a"
+    assert record["policy_free"] is False
+    assert record["advice"]["action"] == "transfer"
+    assert record["advice"]["streams"] == 4
+    tiers = [f["tier"] for f in record["firings"]]
+    assert "ACK" in tiers and "ALLOCATION" in tiers
+    # Every firing carries a named tier and stable fact refs.
+    for firing in record["firings"]:
+        assert firing["tier"]
+        for op in firing["ops"]:
+            assert ":" in op["fact"] or op["fact"] == "sweep"
+    assert record["ledger"]["pair"]["key"] == "fg-vm->obelix"
+    assert record["ledger"]["pair"]["after"]["allocated"] >= 4
+    assert record["digest"] == decision_digest(record)
+
+
+def test_duplicate_and_skip_records_tell_why():
+    service = make_service()
+    drive(service)
+    # tid 3 duplicated tid 1 in-batch: advice was wait/skip, not transfer.
+    dup = service.explain(3)
+    assert dup["advice"]["action"] in ("wait", "skip")
+    # wf2 resubmitted "a" after it staged: the skip names the staged file.
+    skip = service.explain(4)
+    assert skip["advice"]["action"] == "skip"
+
+
+def test_explain_cleanup_records_staged_ledger():
+    service = make_service()
+    drive(service)
+    record = service.explain_cleanup(1)
+    assert record["kind"] == "cleanup"
+    assert record["cid"] == 1
+    assert record["advice"]["action"] in ("delete", "skip", "defer")
+    assert record["digest"] == decision_digest(record)
+
+
+def test_unknown_ids_return_none():
+    service = make_service()
+    drive(service)
+    assert service.explain(999) is None
+    assert service.explain_cleanup(999) is None
+
+
+def test_decision_log_off_disables_explain():
+    service = make_service(decision_log=False)
+    drive(service)
+    assert service.explain(1) is None
+    assert service.explain_cleanup(1) is None
+    assert service.decision_records() == []
+
+
+def test_decision_records_oldest_first():
+    service = make_service()
+    drive(service)
+    records = service.decision_records()
+    tids = [r["tid"] for r in records if r["kind"] == "transfer"]
+    assert tids == sorted(tids)
+    assert any(r["kind"] == "cleanup" for r in records)
+
+
+# ------------------------------------------------------- engine equivalence
+def test_records_byte_identical_across_engines():
+    logs = {}
+    for engine in ("seed", "indexed", "compiled"):
+        service = make_service(engine=engine)
+        drive(service)
+        records = service.decision_records()
+        # meta names the engine (differs by construction); the digest and
+        # the digest-covered content must not.
+        for record in records:
+            assert record["meta"]["engine"] == engine
+            record.pop("meta")
+        logs[engine] = json.dumps(records, sort_keys=True)
+    assert logs["seed"] == logs["indexed"] == logs["compiled"]
+
+
+# ------------------------------------------------------------ crash recovery
+@pytest.mark.parametrize("engine", ["indexed", "seed"])
+def test_records_byte_identical_after_recovery(tmp_path, engine):
+    reference = make_service(engine=engine)
+    drive(reference)
+
+    journaled = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=8),
+        engine=engine,
+        journal=PolicyJournal(tmp_path / "j"),
+    )
+    drive(journaled)
+    recovered = PolicyService.recover(
+        tmp_path / "j",
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=8),
+        engine=engine,
+    )
+    assert json.dumps(recovered.decision_records(), sort_keys=True) == json.dumps(
+        reference.decision_records(), sort_keys=True
+    )
+    assert recovered.explain(1) == reference.explain(1)
+
+
+def test_recovery_replays_eviction_order(tmp_path):
+    """A recovered bounded log holds exactly what the live one held."""
+    config = PolicyConfig(
+        policy="greedy", default_streams=4, max_streams=50, decision_log_cap=3
+    )
+    journaled = PolicyService(config, journal=PolicyJournal(tmp_path / "j"))
+    for i in range(6):
+        journaled.submit_transfers("wf", f"j{i}", [spec(f"f{i}")])
+    live = journaled.decision_records()
+    assert len(live) == 3 and live[0]["tid"] == 4
+    recovered = PolicyService.recover(tmp_path / "j", config)
+    assert json.dumps(recovered.decision_records(), sort_keys=True) == json.dumps(
+        live, sort_keys=True
+    )
+
+
+# ------------------------------------------------------------------ helpers
+def test_decision_log_is_bounded_and_moves_readds_to_end():
+    log = DecisionLog(cap=2)
+    log.add({"kind": "transfer", "tid": 1, "digest": "x"})
+    log.add({"kind": "transfer", "tid": 2, "digest": "x"})
+    log.add({"kind": "transfer", "tid": 1, "digest": "y"})  # re-add: moves to end
+    log.add({"kind": "cleanup", "cid": 1, "digest": "x"})   # evicts tid 2
+    assert log.transfer(2) is None
+    assert log.transfer(1)["digest"] == "y"
+    assert log.cleanup(1) is not None
+    assert len(log) == 2
+    with pytest.raises(ValueError):
+        DecisionLog(cap=0)
+
+
+def test_stable_refs_use_domain_identity():
+    t = TransferFact(tid=7, workflow="wf", job="j", lfn="f",
+                     src_url="gsiftp://a/f", dst_url="gsiftp://b/f", nbytes=1.0)
+    assert stable_ref(t) == "transfer:7"
+    assert stable_ref(
+        HostPairFact(src_host="a", dst_host="b", group_id=1)
+    ) == "pair:a->b"
+    staged = StagedFileFact(lfn="f", dst_url="gsiftp://b/f",
+                            owner_tid=7, workflow="wf")
+    assert stable_ref(staged) == "staged:f@gsiftp://b/f"
+    assert tier_name(90) == "ACK"
+    assert tier_name(-123) == "-123"
+
+
+def test_digest_ignores_meta_but_covers_content():
+    base = {"kind": "transfer", "tid": 1, "advice": {"action": "transfer"},
+            "meta": {"shard": 0, "batch": 3}}
+    other = dict(base, meta={"shard": 7, "batch": 99})
+    assert decision_digest(base) == decision_digest(other)
+    assert decision_digest(base) != decision_digest(
+        dict(base, advice={"action": "skip"})
+    )
+
+
+def test_degraded_records_are_policy_free():
+    record = degraded_record(5, "wf", "f", "gsiftp://b/f", shard=2)
+    assert record["policy_free"] is True
+    assert record["firings"] == [] and record["ledger"] == {}
+    assert record["meta"]["shard"] == 2
+    assert record["digest"] == decision_digest(record)
+    clean = degraded_cleanup_record(3, "wf", "f", "gsiftp://b/f")
+    assert clean["advice"]["action"] == "skip"
+    assert "POLICY-FREE" in render_narrative(clean)
+
+
+def test_rewrite_group_id_recomputes_digest():
+    service = make_service()
+    drive(service)
+    record = service.explain(1)
+    rewritten = rewrite_group_id(record, 42)
+    assert rewritten["advice"]["group_id"] == 42
+    assert rewritten["digest"] == decision_digest(rewritten)
+    assert record["advice"]["group_id"] != 42  # original untouched
+    # A record whose advice carries no group id is left alone.
+    bare = {"kind": "transfer", "tid": 9,
+            "advice": {"action": "skip", "group_id": None}}
+    assert rewrite_group_id(bare, 42)["advice"]["group_id"] is None
+
+
+def test_narrative_tells_the_causal_story():
+    service = make_service()
+    drive(service)
+    text = render_narrative(service.explain(1))
+    assert "transfer 1: transfer" in text
+    assert "ALLOCATION" in text
+    assert "pair ledger fg-vm->obelix" in text
+    assert "digest" in text

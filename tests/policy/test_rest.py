@@ -275,3 +275,33 @@ def test_post_internal_error_is_http_500(server):
         assert excinfo.value.code == 500
     finally:
         server.controller.submit_transfers = original
+
+
+def test_explain_over_http(client, server):
+    """Both frontends serve the decision-provenance record for a tid."""
+    advice = client.submit_transfers("wf1", "j1", transfers_for("x", "y"))
+    tid = advice[0].tid
+    with urllib.request.urlopen(
+        f"{server.url}/policy/explain/{tid}", timeout=5
+    ) as resp:
+        record = json.loads(resp.read())
+    assert record["kind"] == "transfer" and record["tid"] == tid
+    assert record["advice"]["action"] == "transfer"
+    assert record["firings"] and record["digest"]
+    # The REST record is exactly what the in-process API returns.
+    assert record == server.service.explain(tid)
+
+
+def test_explain_unknown_tid_is_http_404(client, server):
+    client.submit_transfers("wf1", "j1", transfers_for("z"))
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{server.url}/policy/explain/424242", timeout=5)
+    assert excinfo.value.code == 404
+    body = json.loads(excinfo.value.read())
+    assert "424242" in body["error"]
+
+
+def test_explain_non_integer_tid_is_http_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{server.url}/policy/explain/abc", timeout=5)
+    assert excinfo.value.code == 400

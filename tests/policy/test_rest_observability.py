@@ -136,3 +136,34 @@ def test_access_log_is_bounded():
     for i in range(5):
         state.log_request({"request_id": f"r{i}"})
     assert [e["request_id"] for e in state.access_log] == ["r2", "r3", "r4"]
+
+
+def test_metrics_endpoint_exports_rule_profile_families():
+    """With a RuleProfiler attached, /policy/metrics gains per-rule
+    fire counts and match/action wall-time gauges."""
+    from repro.obs import RuleProfiler
+
+    profiler = RuleProfiler()
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50),
+        profiler=profiler,
+    )
+    with PolicyRestServer(service) as srv:
+        client = HTTPPolicyClient(srv.url)
+        client.submit_transfers("wf1", "j1", [{
+            "lfn": "f", "src_url": "gsiftp://fg-vm/data/f",
+            "dst_url": "gsiftp://obelix/scratch/f", "nbytes": 10,
+        }])
+        with get(f"{srv.url}/policy/metrics") as response:
+            text = response.read().decode()
+    assert "# TYPE repro_policy_rule_profile_fires gauge" in text
+    assert ('repro_policy_rule_profile_fires'
+            '{rule="Insert new transfers into policy memory"}') in text
+    assert "repro_policy_rule_profile_match_seconds" in text
+    assert "repro_policy_rule_profile_action_seconds" in text
+
+
+def test_rule_profile_families_absent_without_profiler(server):
+    with get(f"{server.url}/policy/metrics") as response:
+        text = response.read().decode()
+    assert 'repro_policy_rule_profile_fires{' not in text

@@ -368,3 +368,30 @@ def test_ensemble_trace_deterministic_across_processes(tmp_path):
         )
     assert (tmp_path / "a" / "events.jsonl").read_bytes() == \
         (tmp_path / "b" / "events.jsonl").read_bytes()
+
+
+def test_explain_command_text():
+    code, text = run_cli("explain", "2", "--images", "6")
+    assert code == 0
+    assert "transfer 2:" in text
+    assert "causal chain" in text
+    assert "digest" in text
+
+
+def test_explain_command_json_digest_invariant_across_engines_and_shards():
+    digests = set()
+    for extra in (["--engine", "seed"], ["--engine", "compiled"],
+                  ["--shards", "2"], []):
+        code, text = run_cli("explain", "3", "--images", "6",
+                             "--format", "json", *extra)
+        assert code == 0
+        record = json.loads(text)
+        assert record["tid"] == 3
+        digests.add(record["digest"])
+    assert len(digests) == 1, "explain digests diverged across engines/shards"
+
+
+def test_explain_command_unknown_tid():
+    code, text = run_cli("explain", "424242", "--images", "6")
+    assert code == 1
+    assert "no decision record" in text
