@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Guard: the staged-data catalog must actually save bytes.
+
+Two measurements over a shared-dataset, two-tenant ensemble (both
+workflows read the SAME input set):
+
+* **replica selection / retention** — total bytes staged with the
+  catalog on vs off.  The catalog retains shared inputs across workflow
+  boundaries, so the second tenant stages from the cache; the run fails
+  (exit 1) unless the catalog saves at least ``--threshold`` percent
+  (default 25, the paper-level acceptance bar).
+* **eviction policies** — the same overflow scenario at three site
+  capacities under ``lru`` and ``size`` eviction, reporting victims and
+  bytes shed per policy (informational: documents the trade-off).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_catalog.py [--quick]
+        [--threshold PCT] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _shared_ensemble(catalog, n_images: int):
+    from repro.experiments import ExperimentConfig, run_tenant_ensemble
+    from repro.tenancy import AdmissionConfig
+    from repro.workflow.montage import MB, MontageConfig, augmented_montage
+
+    submissions = []
+    for tenant, name in (("astro", "astro-wf"), ("climate", "climate-wf")):
+        wf = augmented_montage(
+            10.0 * MB,
+            MontageConfig(n_images=n_images, name=name, lfn_prefix=""),
+        )
+        submissions.append((tenant, wf))
+    cfg = ExperimentConfig(
+        extra_file_mb=10.0, n_images=n_images, policy="greedy",
+        catalog=catalog, seed=7,
+    )
+    t0 = time.perf_counter()
+    result = run_tenant_ensemble(
+        cfg,
+        tenants=[{"tenant": "astro"}, {"tenant": "climate"}],
+        submissions=submissions,
+        admission=AdmissionConfig(max_concurrent=1),
+        scheduler="fifo",
+    )
+    elapsed = time.perf_counter() - t0
+    assert all(m.success for m in result.metrics)
+    return sum(m.bytes_staged for m in result.metrics), elapsed
+
+
+def measure_savings(n_images: int) -> dict:
+    from repro.datacatalog.model import CatalogConfig
+
+    bytes_off, t_off = _shared_ensemble(None, n_images)
+    bytes_on, t_on = _shared_ensemble(
+        CatalogConfig(default_capacity=50e9), n_images
+    )
+    return {
+        "images": n_images,
+        "bytes_staged_without_catalog": bytes_off,
+        "bytes_staged_with_catalog": bytes_on,
+        "savings_pct": (1.0 - bytes_on / bytes_off) * 100.0,
+        "run_seconds_without": t_off,
+        "run_seconds_with": t_on,
+    }
+
+
+def measure_eviction(capacities) -> list[dict]:
+    """LRU vs size-aware eviction on one overflow scenario per capacity."""
+    from repro.datacatalog.model import CatalogConfig
+    from repro.policy import PolicyConfig, PolicyService
+
+    rows = []
+    for capacity in capacities:
+        for policy in ("lru", "size"):
+            clock = {"now": 0.0}
+            service = PolicyService(
+                PolicyConfig(
+                    policy="greedy", default_streams=4, max_streams=50,
+                    catalog=CatalogConfig(
+                        site_capacity={"obelix": capacity},
+                        eviction_policy=policy,
+                    ),
+                ),
+                clock=lambda: clock["now"],
+            )
+            # Fill with a spread of sizes, release, then overflow.
+            sizes = [400.0, 900.0, 1600.0, 700.0, 1100.0]
+            for i, nbytes in enumerate(sizes):
+                advice = service.submit_transfers(
+                    "warm", f"j{i}",
+                    [{
+                        "lfn": f"f{i}",
+                        "src_url": f"gsiftp://fg-vm/data/f{i}",
+                        "dst_url": f"gsiftp://obelix/scratch/f{i}",
+                        "nbytes": nbytes,
+                    }],
+                )
+                service.complete_transfers(
+                    done=[a.tid for a in advice if a.action == "transfer"]
+                )
+                clock["now"] += 10.0
+            service.unregister_workflow("warm")
+            advice = service.submit_transfers(
+                "hot", "jx",
+                [{
+                    "lfn": "hot",
+                    "src_url": "gsiftp://fg-vm/data/hot",
+                    "dst_url": "gsiftp://obelix/scratch/hot",
+                    "nbytes": 500.0,
+                }],
+            )
+            response = service.complete_transfers(done=[advice[0].tid])
+            victims = response["evicted"]
+            rows.append({
+                "capacity_bytes": capacity,
+                "eviction_policy": policy,
+                "victims": [v["lfn"] for v in victims],
+                "bytes_shed": sum(v["nbytes"] for v in victims),
+                "used_bytes_after": service.catalog_census()["sites"][0][
+                    "used_bytes"
+                ],
+            })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI smoke runs")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="minimum required savings percent (default 25)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or os.environ.get("REPRO_QUICK") == "1"
+    n_images = 6 if quick else 10
+
+    report = {
+        "python": platform.python_version(),
+        "threshold_pct": args.threshold,
+        "savings": measure_savings(n_images),
+        "eviction": measure_eviction([2000.0, 3500.0, 6000.0]),
+    }
+
+    savings = report["savings"]
+    print(f"bytes without catalog: {savings['bytes_staged_without_catalog']:,.0f}")
+    print(f"bytes with catalog   : {savings['bytes_staged_with_catalog']:,.0f}")
+    print(f"savings              : {savings['savings_pct']:.1f}% "
+          f"(threshold {args.threshold:.1f}%)")
+    for row in report["eviction"]:
+        print(f"capacity {row['capacity_bytes']:7,.0f}  "
+              f"{row['eviction_policy']:<4}  victims={row['victims']}  "
+              f"shed={row['bytes_shed']:,.0f}B")
+
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+
+    if savings["savings_pct"] < args.threshold:
+        print("FAIL: the catalog does not meet the bytes-saved bar",
+              file=sys.stderr)
+        return 1
+    print("OK: catalog meets the bytes-saved bar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,11 @@ def _guard_accepts(guard, fact, bindings) -> bool:
 #: (request_transfers, request_cleanups, reap_expired, reconcile_staged,
 #: deny_host, set_quota, register_priorities)
 def _service_entry_types() -> tuple[Type[Fact], ...]:
+    from repro.datacatalog.model import (
+        EvictionSweepFact,
+        ReplicaRecordFact,
+        SiteCapacityFact,
+    )
     from repro.policy.model import (
         CleanupFact,
         LeaseSweepFact,
@@ -107,6 +112,9 @@ def _service_entry_types() -> tuple[Type[Fact], ...]:
         JobPriorityFact,
         TenantFact,
         TenantWorkflowFact,
+        ReplicaRecordFact,
+        SiteCapacityFact,
+        EvictionSweepFact,
     )
 
 
@@ -115,6 +123,8 @@ SERVICE_ENTRY_TYPES: Callable[[], tuple[Type[Fact], ...]] = _service_entry_types
 
 def shipped_rule_sets() -> dict[str, tuple[list[Rule], dict]]:
     """name -> (rules, session globals), matching PolicyService composition."""
+    from repro.datacatalog.model import CatalogConfig
+    from repro.datacatalog.rules_eviction import eviction_rules
     from repro.policy.model import PolicyConfig
     from repro.policy.rules_access import access_rules
     from repro.policy.rules_balanced import balanced_rules
@@ -149,6 +159,14 @@ def shipped_rule_sets() -> dict[str, tuple[list[Rule], dict]]:
             PolicyConfig(policy="balanced", cluster_count=2, access_control=True),
             access_rules,
             balanced_rules,
+        ),
+        "catalog": build(
+            PolicyConfig(
+                policy="greedy",
+                catalog=CatalogConfig(default_capacity=1e9),
+            ),
+            greedy_rules,
+            eviction_rules,
         ),
     }
 

@@ -195,6 +195,8 @@ def verify_compositions() -> dict[str, tuple[list, dict, list]]:
     """name -> (rules, session globals, pack builders): every combination
     ``PolicyService`` instantiates, plus the access×balanced cross and a
     lease-enabled greedy variant (so lease grant/expiry paths verify)."""
+    from repro.datacatalog.model import CatalogConfig
+    from repro.datacatalog.rules_eviction import eviction_rules
     from repro.policy.model import PolicyConfig
     from repro.policy.rules_access import access_rules
     from repro.policy.rules_balanced import balanced_rules
@@ -231,5 +233,13 @@ def verify_compositions() -> dict[str, tuple[list, dict, list]]:
         ),
         "greedy_leases": build(
             PolicyConfig(policy="greedy", lease_seconds=60.0), greedy_rules
+        ),
+        "catalog": build(
+            PolicyConfig(
+                policy="greedy",
+                catalog=CatalogConfig(default_capacity=1e9),
+            ),
+            greedy_rules,
+            eviction_rules,
         ),
     }

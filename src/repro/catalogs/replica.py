@@ -56,9 +56,13 @@ class ReplicaCatalog:
         return len(victims)
 
     def lookup(self, lfn: str, site: Optional[str] = None) -> list[Replica]:
-        """All replicas of ``lfn`` (optionally restricted to a site)."""
+        """All replicas of ``lfn`` (optionally restricted to a site).
+
+        Sorted by (site, url): callers pick sources from this list, so
+        its order must not depend on insertion history or hash seeds.
+        """
         bucket = self._by_lfn.get(lfn, {})
-        replicas = list(bucket.values())
+        replicas = sorted(bucket.values(), key=lambda r: (r.site, r.url))
         if site is not None:
             replicas = [r for r in replicas if r.site == site]
         return replicas

@@ -1,0 +1,41 @@
+"""Durable staged-data catalog: datasets -> replicas -> sites.
+
+See ``docs/catalog.md``.  The catalog's facts live inside policy
+memory, so durability, crash recovery, and transactional commits come
+from :mod:`repro.policy.journal` unchanged.
+
+``eviction_rules`` is exposed lazily: the rule pack matches policy fact
+types (:class:`~repro.policy.model.CleanupFact`), and importing it
+eagerly here would cycle with :mod:`repro.policy.model`'s import of
+:class:`CatalogConfig`.
+"""
+
+from repro.datacatalog.catalog import DataCatalog, derive_checksum
+from repro.datacatalog.linkcost import LinkCostModel
+from repro.datacatalog.model import (
+    EVICTION_POLICIES,
+    CatalogConfig,
+    EvictionSweepFact,
+    ReplicaRecordFact,
+    SiteCapacityFact,
+)
+
+__all__ = [
+    "CatalogConfig",
+    "DataCatalog",
+    "EVICTION_POLICIES",
+    "EvictionSweepFact",
+    "LinkCostModel",
+    "ReplicaRecordFact",
+    "SiteCapacityFact",
+    "derive_checksum",
+    "eviction_rules",
+]
+
+
+def __getattr__(name):
+    if name == "eviction_rules":
+        from repro.datacatalog.rules_eviction import eviction_rules
+
+        return eviction_rules
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

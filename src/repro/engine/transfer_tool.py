@@ -119,8 +119,11 @@ class PegasusTransferTool:
         #: append-only (lfn, dst_url) log of every file this tool staged —
         #: the ground truth the chaos experiments compare runs with
         self.staged_log: list[tuple[str, str]] = []
+        #: append-only (lfn, url) log of catalog-evicted replicas this tool
+        #: deleted on the service's behalf
+        self.evicted_log: list[tuple[str, str]] = []
         #: files staged policy-free per workflow, awaiting reconciliation
-        self._degraded_staged: dict[str, list[tuple[str, str]]] = {}
+        self._degraded_staged: dict[str, list[tuple[str, str, float]]] = {}
         #: completion reports the service never acknowledged
         self._unreported_done: list[int] = []
         self._unreported_failed: list[int] = []
@@ -366,7 +369,9 @@ class PegasusTransferTool:
             record.bytes_moved += rec.nbytes
             record.streams_used.append(self.default_streams)
             self._register(spec["lfn"], spec["dst_url"], spec["nbytes"])
-            backlog.append((spec["lfn"], spec["dst_url"]))
+            # Byte counts ride along so the service's staged-data catalog
+            # can size the adopted replica at reconciliation.
+            backlog.append((spec["lfn"], spec["dst_url"], spec["nbytes"]))
 
     def _reconcile(self, workflow_id: str):
         """Flush queued completion reports and the degraded-staging backlog.
@@ -378,7 +383,8 @@ class PegasusTransferTool:
         if done or failed:
             self._unreported_done, self._unreported_failed = [], []
             try:
-                yield from self.policy.complete_transfers(done=done, failed=failed)
+                result = yield from self.policy.complete_transfers(done=done, failed=failed)
+                self._apply_evictions(result)
             except PolicyUnavailableError:
                 # Extend, don't assign: a concurrent job may have queued
                 # its own ids while this call was in flight.
@@ -407,12 +413,33 @@ class PegasusTransferTool:
         if not done and not failed:
             return
         try:
-            yield from self.policy.complete_transfers(done=done, failed=failed)
+            result = yield from self.policy.complete_transfers(done=done, failed=failed)
         except PolicyUnavailableError:
             # Extend, don't assign: a concurrent job may have queued its
             # own ids while this call was in flight.
             self._unreported_done.extend(done)
             self._unreported_failed.extend(failed)
+            return
+        self._apply_evictions(result)
+
+    def _apply_evictions(self, result) -> None:
+        """Delete replicas the service's catalog evicted over a completion.
+
+        The eviction rule pack only *selects* victims; the PTT owns the
+        actual deletion (same division of labour as cleanup advice) —
+        drop the simulated replica-catalog entry at the victim's site
+        and release its scratch bytes.
+        """
+        if not isinstance(result, dict):
+            return
+        for victim in result.get("evicted", ()):
+            host, _ = parse_url(victim["url"])
+            site = self.host_site.get(host, host)
+            if self.replicas is not None:
+                self.replicas.unregister(victim["lfn"], site=site)
+            if self.storage is not None and site == self.storage.site:
+                self.storage.remove(victim["lfn"])
+            self.evicted_log.append((victim["lfn"], victim["url"]))
 
     # ------------------------------------------------------------------ helpers
     def _register(self, lfn: str, dst_url: str, nbytes: float = 0.0) -> None:

@@ -78,11 +78,19 @@ class ChaosResult:
     #: decision-provenance records the service(s) held at end of run —
     #: degraded grants appear as synthetic policy-free records
     decisions: list = field(default_factory=list)
+    #: staged-data catalog census at end of run (None = catalog off) —
+    #: the byte-identity witness for crash+replay equivalence
+    catalog_census: Optional[dict] = None
 
 
-def _policy_config(cfg: ExperimentConfig) -> PolicyConfig:
+def _policy_config(cfg: ExperimentConfig, bed=None) -> PolicyConfig:
     if cfg.policy is None:
         raise ValueError("chaos runs need a policy (cfg.policy is None)")
+    catalog = cfg.catalog
+    if catalog is not None and not catalog.host_site and bed is not None:
+        from dataclasses import replace
+
+        catalog = replace(catalog, host_site=dict(bed.host_site))
     return PolicyConfig(
         policy=cfg.policy,
         default_streams=cfg.default_streams,
@@ -92,7 +100,16 @@ def _policy_config(cfg: ExperimentConfig) -> PolicyConfig:
         order_by=cfg.order_by,
         adaptive=cfg.adaptive,
         lease_seconds=cfg.lease_seconds,
+        catalog=catalog,
     )
+
+
+def _census_of(service) -> Optional[dict]:
+    """The service's catalog census, or None when the catalog is off."""
+    try:
+        return service.catalog_census()
+    except (RuntimeError, AttributeError):
+        return None
 
 
 def run_chaos_montage(
@@ -119,7 +136,7 @@ def run_chaos_montage(
         MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
     )
     bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
-    pconfig = _policy_config(cfg)
+    pconfig = _policy_config(cfg, bed)
     clock = lambda: bed.env.now  # noqa: E731 - tiny closure over the sim clock
     journal = PolicyJournal(journal_dir) if journal_dir is not None else None
     service = PolicyService(
@@ -181,6 +198,7 @@ def run_chaos_montage(
         leaked_in_progress=leaked,
         journal_commits=journal.commits if journal is not None else 0,
         decisions=live_service.decision_records(),
+        catalog_census=_census_of(live_service),
     )
 
 
@@ -209,7 +227,7 @@ def run_shard_chaos_montage(
         MontageConfig(n_images=cfg.n_images, name=f"montage-{cfg.n_images}img"),
     )
     bed = build_testbed(cfg.testbed, seed=cfg.seed, tracer=tracer)
-    pconfig = _policy_config(cfg)
+    pconfig = _policy_config(cfg, bed)
     clock = lambda: bed.env.now  # noqa: E731 - tiny closure over the sim clock
     router = ShardedPolicyService(
         pconfig,
@@ -273,6 +291,7 @@ def run_shard_chaos_montage(
         shard_health=router.shard_health(),
         recovery_errors=list(router.recovery_errors),
         decisions=router.decision_records(),
+        catalog_census=_census_of(router),
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.datacatalog.model import CatalogConfig
 from repro.engine import CleanupTool, ClusterScheduler, DAGMan, PegasusTransferTool, StorageTracker
 from repro.experiments.environment import Testbed, TestbedParams, build_testbed
 from repro.metrics.collectors import RunMetrics
@@ -64,6 +65,7 @@ class ExperimentConfig:
     max_staging_bytes: Optional[float] = None  # storage-constrained staging
     output_site: Optional[str] = None     # stage final outputs to this site
     lease_seconds: Optional[float] = None # grant leases (None = no leasing)
+    catalog: Optional[CatalogConfig] = None  # staged-data catalog (None = off)
     retry_backoff: float = 0.0            # base delay between job retries
     n_images: int = 89                    # paper: 89 data staging jobs
     engine: str = "indexed"               # rule engine: "indexed" or "seed"
@@ -90,6 +92,11 @@ def build_policy_client(
     """
     if cfg.policy is None:
         return None
+    catalog = cfg.catalog
+    if catalog is not None and not catalog.host_site:
+        # Inherit the testbed's host->site map so the catalog places
+        # replica URLs at the same sites the simulator does.
+        catalog = replace(catalog, host_site=dict(bed.host_site))
     policy_config = PolicyConfig(
         policy=cfg.policy,
         default_streams=cfg.default_streams,
@@ -99,6 +106,7 @@ def build_policy_client(
         order_by=cfg.order_by,
         adaptive=cfg.adaptive,
         lease_seconds=cfg.lease_seconds,
+        catalog=catalog,
     )
     if cfg.shards >= 1:
         service = ShardedPolicyService(
@@ -379,6 +387,9 @@ class EnsembleResult:
     #: decision-provenance records from the shared policy service
     #: (empty without ``share_policy``)
     decisions: list = field(default_factory=list)
+    #: staged-data catalog census of the shared policy service at end of
+    #: run (None when the catalog — or ``share_policy`` — is off)
+    catalog_census: Optional[dict] = None
 
 
 def run_tenant_ensemble(
@@ -485,6 +496,12 @@ def run_tenant_ensemble(
     for sub, m in zip(accepted, run_metrics):
         tenant_bytes[sub.tenant] = tenant_bytes.get(sub.tenant, 0.0) + m.bytes_staged
         tenant_of[sub.name] = sub.tenant
+    catalog_census = None
+    if shared is not None and cfg.catalog is not None:
+        try:
+            catalog_census = shared.service.catalog_census()
+        except (RuntimeError, AttributeError):
+            catalog_census = None
     return EnsembleResult(
         metrics=run_metrics,
         admission_order=list(controller.admission_order),
@@ -496,6 +513,7 @@ def run_tenant_ensemble(
         decisions=(
             shared.service.decision_records() if shared is not None else []
         ),
+        catalog_census=catalog_census,
     )
 
 

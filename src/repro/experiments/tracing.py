@@ -71,6 +71,7 @@ __all__ = [
 
 def _write_artifact_set(
     tracer, registry, profiler, provenance, outdir, decisions=(),
+    catalog_census=None,
 ) -> dict[str, str]:
     """Write the standard artifact set; returns {artifact: path}."""
     out = Path(outdir)
@@ -91,6 +92,13 @@ def _write_artifact_set(
         json.dumps(provenance, indent=2, sort_keys=True, default=repr) + "\n"
     )
     write_decisions(list(decisions), paths["decisions.jsonl"])
+    if catalog_census is not None:
+        # Canonical JSON (sorted keys, no indent-dependent whitespace
+        # inside values): equal catalogs produce byte-equal artifacts.
+        paths["catalog_census.json"] = out / "catalog_census.json"
+        paths["catalog_census.json"].write_text(
+            json.dumps(catalog_census, indent=2, sort_keys=True) + "\n"
+        )
     return {name: str(path) for name, path in paths.items()}
 
 
@@ -105,6 +113,8 @@ class TracedRun:
     provenance: dict
     #: decision-provenance records, span-linked to the trace
     decisions: list = field(default_factory=list)
+    #: staged-data catalog census at end of run (None = catalog off)
+    catalog_census: Optional[dict] = None
 
     def jsonl(self) -> list[str]:
         """The canonical JSONL event lines (deterministic per seed)."""
@@ -114,7 +124,7 @@ class TracedRun:
         """Write the standard artifact set; returns {artifact: path}."""
         return _write_artifact_set(
             self.tracer, self.registry, self.profiler, self.provenance, outdir,
-            decisions=self.decisions,
+            decisions=self.decisions, catalog_census=self.catalog_census,
         )
 
 
@@ -143,6 +153,12 @@ def run_traced_workflow(
     decisions = link_decisions_to_trace(
         policy.service.decision_records(), tracer
     )
+    catalog_census = None
+    if policy is not None:
+        try:
+            catalog_census = policy.service.catalog_census()
+        except (RuntimeError, AttributeError):
+            catalog_census = None
     return TracedRun(
         metrics=metrics,
         tracer=tracer,
@@ -150,6 +166,7 @@ def run_traced_workflow(
         profiler=profiler,
         provenance=provenance,
         decisions=decisions,
+        catalog_census=catalog_census,
     )
 
 
@@ -164,6 +181,8 @@ class TracedEnsemble:
     provenance: dict
     #: decision-provenance records, span-linked to the trace
     decisions: list = field(default_factory=list)
+    #: staged-data catalog census at end of run (None = catalog off)
+    catalog_census: Optional[dict] = None
 
     def jsonl(self) -> list[str]:
         """The canonical JSONL event lines (deterministic per seed)."""
@@ -173,7 +192,7 @@ class TracedEnsemble:
         """Write the standard artifact set; returns {artifact: path}."""
         return _write_artifact_set(
             self.tracer, self.registry, self.profiler, self.provenance, outdir,
-            decisions=self.decisions,
+            decisions=self.decisions, catalog_census=self.catalog_census,
         )
 
 
@@ -233,6 +252,7 @@ def run_traced_ensemble(
         profiler=profiler,
         provenance=provenance,
         decisions=link_decisions_to_trace(list(result.decisions), tracer),
+        catalog_census=result.catalog_census,
     )
 
 
@@ -275,4 +295,5 @@ def run_traced_chaos(cfg: ExperimentConfig, plan=None, journal_dir=None) -> Trac
         profiler=profiler,
         provenance=provenance,
         decisions=link_decisions_to_trace(list(result.decisions), tracer),
+        catalog_census=result.catalog_census,
     )

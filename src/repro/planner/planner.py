@@ -26,6 +26,7 @@ from typing import Optional
 from repro.catalogs.replica import ReplicaCatalog
 from repro.catalogs.site import SiteCatalog
 from repro.catalogs.transformation import TransformationCatalog
+from repro.datacatalog.linkcost import LinkCostModel
 from repro.planner.clustering import cluster_staging_jobs
 from repro.planner.storage_aware import constrain_staging_footprint
 from repro.planner.executable import (
@@ -86,6 +87,9 @@ class PlanOptions:
     priority_algorithm: Optional[str] = None
     output_site: Optional[str] = None
     max_staging_bytes: Optional[float] = None
+    #: optional link-cost model for stage-in source selection; None keeps
+    #: the historical deterministic (site, url) choice
+    link_costs: Optional["LinkCostModel"] = None
 
     def __post_init__(self) -> None:
         if self.cluster_factor is not None and self.cluster_factor < 1:
@@ -187,7 +191,12 @@ class Planner:
                     raise PlanningError(
                         f"no replica for input file {f.lfn!r} of job {job_id!r}"
                     )
-                src = sorted(candidates, key=lambda r: (r.site, r.url))[0]
+                if opts.link_costs is not None:
+                    # Cheapest link into the execution site wins, with the
+                    # model's deterministic (cost, site, url) tie-break.
+                    src = opts.link_costs.best(candidates, execution_site)
+                else:
+                    src = sorted(candidates, key=lambda r: (r.site, r.url))[0]
                 transfers.append(
                     TransferSpec(
                         lfn=f.lfn,

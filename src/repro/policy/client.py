@@ -304,13 +304,15 @@ class HTTPPolicyClient:
     def unregister_workflow(self, workflow: str) -> dict:
         return self._post("/policy/workflows/unregister", {"workflow": workflow})
 
-    def reconcile_staged(self, workflow: str, files: Iterable[tuple[str, str]]) -> dict:
+    def reconcile_staged(self, workflow: str, files: Iterable[tuple]) -> dict:
+        docs = []
+        for lfn, url, *rest in files:
+            doc = {"lfn": lfn, "url": url}
+            if rest:
+                doc["nbytes"] = rest[0]
+            docs.append(doc)
         return self._post(
-            "/policy/staged/reconcile",
-            {
-                "workflow": workflow,
-                "files": [{"lfn": lfn, "url": url} for lfn, url in files],
-            },
+            "/policy/staged/reconcile", {"workflow": workflow, "files": docs}
         )
 
     def deny_host(self, host: str, direction: str = "any", reason: str = "") -> dict:
@@ -341,6 +343,27 @@ class HTTPPolicyClient:
 
     def tenants(self) -> list[dict]:
         return self._get("/policy/tenants")["tenants"]
+
+    def catalog_census(self) -> dict:
+        return self._get("/policy/catalog")
+
+    def catalog_replicas(self, lfn: str) -> list[dict]:
+        from urllib.parse import quote
+
+        return self._get(f"/policy/catalog/replicas/{quote(lfn, safe='')}")[
+            "replicas"
+        ]
+
+    def set_site_capacity(self, site: str, capacity_bytes) -> dict:
+        return self._post(
+            "/policy/catalog/sites",
+            {"site": site, "capacity_bytes": capacity_bytes},
+        )
+
+    def catalog_pin(self, url: str, pinned: bool = True) -> dict:
+        return self._post(
+            "/policy/catalog/pins", {"url": url, "pinned": pinned}
+        )
 
     def status(self) -> dict:
         return self._get("/policy/status")
@@ -531,3 +554,32 @@ class InProcessPolicyClient:
 
     def tenants(self):
         return (yield from self._invoke("tenants", lambda: self.service.tenants()))
+
+    def catalog_census(self):
+        return (
+            yield from self._invoke(
+                "catalog_census", lambda: self.service.catalog_census()
+            )
+        )
+
+    def catalog_replicas(self, lfn: str):
+        return (
+            yield from self._invoke(
+                "catalog_replicas", lambda: self.service.catalog_replicas(lfn)
+            )
+        )
+
+    def set_site_capacity(self, site: str, capacity_bytes):
+        return (
+            yield from self._invoke(
+                "set_site_capacity",
+                lambda: self.service.set_site_capacity(site, capacity_bytes),
+            )
+        )
+
+    def catalog_pin(self, url: str, pinned: bool = True):
+        return (
+            yield from self._invoke(
+                "catalog_pin", lambda: self.service.catalog_pin(url, pinned)
+            )
+        )

@@ -119,12 +119,64 @@ class PolicyController:
         """Adopt files staged while the service was down (degraded clients)."""
         workflow = _require(payload, "workflow")
         files = _require(payload, "files", (list,))
-        pairs = []
+        entries = []
         for idx, item in enumerate(files):
             if not isinstance(item, dict):
                 raise PolicyRequestError(f"files[{idx}] must be an object")
-            pairs.append((_require(item, "lfn"), _require(item, "url")))
-        return self.service.reconcile_staged(workflow, pairs)
+            entry = [_require(item, "lfn"), _require(item, "url")]
+            nbytes = item.get("nbytes")
+            if nbytes is not None:
+                if not isinstance(nbytes, (int, float)):
+                    raise PolicyRequestError(
+                        f"files[{idx}].nbytes must be a number"
+                    )
+                entry.append(_finite_nonneg(nbytes, f"files[{idx}].nbytes"))
+            entries.append(tuple(entry))
+        return self.service.reconcile_staged(workflow, entries)
+
+    # -- staged-data catalog --------------------------------------------------
+    def catalog(self) -> dict:
+        """The staged-data catalog census (replicas + site budgets)."""
+        try:
+            return self.service.catalog_census()
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+
+    def catalog_replicas(self, lfn: str) -> dict:
+        """Known replicas of one dataset, sorted by (site, url)."""
+        if not isinstance(lfn, str) or not lfn:
+            raise PolicyRequestError("lfn must be a non-empty string")
+        try:
+            return {"lfn": lfn, "replicas": self.service.catalog_replicas(lfn)}
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+
+    def set_site_capacity(self, payload: dict) -> dict:
+        """Set (or lift, with null) one site's byte budget at runtime."""
+        site = _require(payload, "site")
+        if not site:
+            raise PolicyRequestError("site must be a non-empty string")
+        capacity = payload.get("capacity_bytes")
+        if capacity is not None:
+            if not isinstance(capacity, (int, float)):
+                raise PolicyRequestError("capacity_bytes must be a number or null")
+            capacity = _finite_nonneg(capacity, "capacity_bytes")
+        try:
+            return self.service.set_site_capacity(site, capacity)
+        except RuntimeError as exc:
+            raise PolicyRequestError(str(exc)) from exc
+
+    def catalog_pin(self, payload: dict) -> dict:
+        """Pin (pinned=true, the default) or unpin a replica by url."""
+        url = _require(payload, "url")
+        pinned = payload.get("pinned", True)
+        if not isinstance(pinned, bool):
+            raise PolicyRequestError("pinned must be a boolean")
+        try:
+            return self.service.catalog_pin(url, pinned)
+        except (RuntimeError, KeyError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise PolicyRequestError(str(message)) from exc
 
     # -- access control -------------------------------------------------------
     def deny_host(self, payload: dict) -> dict:

@@ -47,6 +47,11 @@ from repro.policy.model import (
 from repro.policy.rules_access import HostDenialFact, WorkflowQuotaFact
 from repro.policy.rules_fairshare import TenantFact, TenantWorkflowFact
 from repro.policy.rules_priority import JobPriorityFact
+from repro.datacatalog.model import (
+    EvictionSweepFact,
+    ReplicaRecordFact,
+    SiteCapacityFact,
+)
 
 __all__ = ["PolicyJournal", "JournalError", "RecoveredState"]
 
@@ -65,6 +70,9 @@ FACT_TYPES: dict[str, type] = {
         JobPriorityFact,
         TenantFact,
         TenantWorkflowFact,
+        ReplicaRecordFact,
+        SiteCapacityFact,
+        EvictionSweepFact,
     )
 }
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.datacatalog.model import CatalogConfig
 from repro.net.gridftp import parse_url
 from repro.rules import Fact
 
@@ -73,6 +74,13 @@ class PolicyConfig:
     adaptive / adaptive_settings:
         Enable runtime threshold adaptation from recent transfer
         performance (:mod:`repro.policy.adaptive`); greedy policy only.
+    catalog:
+        A :class:`~repro.datacatalog.model.CatalogConfig` enabling the
+        durable staged-data catalog: replica records and site budgets
+        enter policy memory (journaled like every other fact), the
+        eviction rule pack loads, and cleanup advice becomes
+        capacity-aware (see ``docs/catalog.md``).  ``None`` (default)
+        keeps the paper's original unconditional-cleanup behaviour.
     decision_log / decision_log_cap:
         Decision provenance: with ``decision_log`` on (the default) the
         service records a causal "why" record for every advice it emits
@@ -99,6 +107,7 @@ class PolicyConfig:
     lease_sweep_interval: Optional[float] = None
     decision_log: bool = True
     decision_log_cap: int = 4096
+    catalog: Optional[CatalogConfig] = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("greedy", "balanced", "fifo"):
@@ -127,6 +136,8 @@ class PolicyConfig:
                 raise ValueError("lease_sweep_interval must be >= 0")
         if self.decision_log_cap < 1:
             raise ValueError("decision_log_cap must be >= 1")
+        if self.catalog is not None and not isinstance(self.catalog, CatalogConfig):
+            raise ValueError("catalog must be a CatalogConfig (or None)")
 
     def sweep_interval(self) -> float:
         """Throttle between automatic lease sweeps (0 when leasing is off)."""

@@ -39,6 +39,11 @@ import json
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.datacatalog.model import (
+    EvictionSweepFact,
+    ReplicaRecordFact,
+    SiteCapacityFact,
+)
 from repro.policy.model import (
     CleanupFact,
     ClusterAllocationFact,
@@ -60,6 +65,8 @@ __all__ = [
     "ledger_snapshot",
     "transfer_record",
     "cleanup_record",
+    "eviction_record",
+    "attribute_firings_by_ref",
     "degraded_record",
     "degraded_cleanup_record",
     "rewrite_group_id",
@@ -98,6 +105,12 @@ def stable_ref(fact: Fact) -> str:
         return f"cluster:{fact.src_host}->{fact.dst_host}/{fact.cluster}"
     if isinstance(fact, LeaseSweepFact):
         return "sweep"
+    if isinstance(fact, ReplicaRecordFact):
+        return f"replica:{fact.lfn}@{fact.url}"
+    if isinstance(fact, SiteCapacityFact):
+        return f"site:{fact.site}"
+    if isinstance(fact, EvictionSweepFact):
+        return "eviction-sweep"
     # Extension facts (access control, fair share, priorities) are
     # identified by class name plus their most distinguishing attributes.
     name = type(fact).__name__.removesuffix("Fact").lower()
@@ -189,6 +202,28 @@ def attribute_firings(
                 "salience": rule.salience,
                 "tier": tier_name(rule.salience),
                 "ops": _encode_ops(ops),
+            })
+    return attributed
+
+
+def attribute_firings_by_ref(firings: Iterable[tuple], refs: frozenset) -> list[dict]:
+    """Encode the firings whose ops touched any of the given stable refs.
+
+    Eviction victims carry no tid/cid, so binding-based attribution
+    cannot find them; instead a firing belongs to a victim's record when
+    it mutated or retracted the victim's replica or staged-file fact.
+    One eviction-sweep firing may evict several replicas and therefore
+    belong to several records.
+    """
+    attributed = []
+    for rule, bindings, ops in firings:
+        encoded = _encode_ops(ops)
+        if any(op["fact"] in refs for op in encoded):
+            attributed.append({
+                "rule": rule.name,
+                "salience": rule.salience,
+                "tier": tier_name(rule.salience),
+                "ops": encoded,
             })
     return attributed
 
@@ -335,6 +370,42 @@ def cleanup_record(
     return record
 
 
+def eviction_record(
+    victim: dict,
+    firings: list[dict],
+    *,
+    engine: str,
+    shard: Optional[int] = None,
+) -> dict:
+    """Provenance for one catalog eviction.
+
+    ``victim`` is the document the eviction rule appended to
+    ``catalog_evicted`` (lfn, site, url, nbytes, policy, reason, now —
+    all simulation-derived, so the digest matches across engines and
+    crash replay).  The eviction is keyed by (url, sweep time): the
+    same URL may be evicted again after a later re-staging.
+    """
+    record = {
+        "kind": "eviction",
+        "lfn": victim["lfn"],
+        "site": victim["site"],
+        "url": victim["url"],
+        "nbytes": victim["nbytes"],
+        "now": victim["now"],
+        "policy_free": False,
+        "advice": {
+            "action": "evict",
+            "policy": victim["policy"],
+            "reason": victim["reason"],
+        },
+        "firings": firings,
+        "ledger": {},
+        "meta": {"batch": None, "engine": engine, "shard": shard},
+    }
+    record["digest"] = decision_digest(record)
+    return record
+
+
 def degraded_record(
     tid: int,
     workflow: str,
@@ -435,6 +506,8 @@ class DecisionLog:
     def key_of(record: dict) -> tuple:
         if record.get("kind") == "cleanup":
             return ("c", record["cid"])
+        if record.get("kind") == "eviction":
+            return ("e", record["url"], record["now"])
         return ("t", record["tid"])
 
     def add(self, record: dict) -> None:
@@ -471,7 +544,12 @@ def render_narrative(record: dict) -> str:
     """A human-readable causal story for one decision record."""
     lines: list[str] = []
     kind = record.get("kind", "transfer")
-    rid = record.get("tid") if kind == "transfer" else record.get("cid")
+    if kind == "transfer":
+        rid = record.get("tid")
+    elif kind == "eviction":
+        rid = record.get("url")
+    else:
+        rid = record.get("cid")
     advice = record.get("advice", {})
     head = f"{kind} {rid}: {advice.get('action', '?')}"
     if advice.get("reason"):
@@ -484,10 +562,16 @@ def render_narrative(record: dict) -> str:
         )
     else:
         lines.append(f"  {record.get('lfn')} at {record.get('url')}")
-    lines.append(
-        f"  workflow {record.get('workflow')}"
-        + (f", job {record['job']}" if record.get("job") else "")
-    )
+    if kind == "eviction":
+        lines.append(
+            f"  evicted from site {record.get('site')} at t={_fmt(record.get('now'))} "
+            f"[{_fmt(record.get('nbytes'))} bytes, policy {advice.get('policy')}]"
+        )
+    else:
+        lines.append(
+            f"  workflow {record.get('workflow')}"
+            + (f", job {record['job']}" if record.get("job") else "")
+        )
     if record.get("policy_free"):
         lines.append("  POLICY-FREE: no rules fired (degraded advice)")
     if kind == "transfer" and advice.get("action") == "transfer":

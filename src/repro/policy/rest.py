@@ -24,6 +24,10 @@ POST        /policy/tenants                      register/replace a tenant
 POST        /policy/tenants/remove               unregister a tenant
 POST        /policy/tenants/bind                 bind a workflow to a tenant
 GET         /policy/tenants                      tenant census + ledgers
+GET         /policy/catalog                      staged-data catalog census
+GET         /policy/catalog/replicas/<lfn>       one dataset's replicas
+POST        /policy/catalog/sites                set/lift a site byte budget
+POST        /policy/catalog/pins                 pin/unpin a replica by url
 GET         /policy/status                       service snapshot
 ==========  ===================================  ===========================
 
@@ -56,6 +60,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import unquote
 
 from repro.obs.tracer import as_tracer
 from repro.policy.controller import PolicyController, PolicyRequestError
@@ -234,6 +239,11 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                         self._reply_text(200, controller.metrics_text())
                     elif self.path == "/policy/tenants":
                         self._reply(200, controller.tenants())
+                    elif self.path == "/policy/catalog":
+                        self._reply(200, controller.catalog())
+                    elif self.path.startswith("/policy/catalog/replicas/"):
+                        lfn = unquote(self.path.rsplit("/", 1)[-1])
+                        self._reply(200, controller.catalog_replicas(lfn))
                     elif self.path.startswith("/policy/transfers/"):
                         tid_text = self.path.rsplit("/", 1)[-1]
                         if not tid_text.isdigit():
@@ -275,6 +285,8 @@ def _make_handler(controller: PolicyController, lock: threading.Lock, server_sta
                 "/policy/tenants": controller.register_tenant,
                 "/policy/tenants/remove": controller.unregister_tenant,
                 "/policy/tenants/bind": controller.bind_workflow,
+                "/policy/catalog/sites": controller.set_site_capacity,
+                "/policy/catalog/pins": controller.catalog_pin,
             }
             handler = routes.get(self.path)
 

@@ -38,6 +38,7 @@ import json
 import threading
 import time
 from typing import Optional
+from urllib.parse import unquote
 
 from repro.policy.controller import PolicyController, PolicyRequestError
 from repro.policy.rest import (
@@ -88,6 +89,8 @@ _POST_ROUTES = {
     "/policy/tenants": "register_tenant",
     "/policy/tenants/remove": "unregister_tenant",
     "/policy/tenants/bind": "bind_workflow",
+    "/policy/catalog/sites": "set_site_capacity",
+    "/policy/catalog/pins": "catalog_pin",
 }
 
 
@@ -470,6 +473,11 @@ class AsyncPolicyRestServer:
                     )
                 elif path == "/policy/tenants":
                     reply(200, controller.tenants())
+                elif path == "/policy/catalog":
+                    reply(200, controller.catalog())
+                elif path.startswith("/policy/catalog/replicas/"):
+                    lfn = unquote(path.rsplit("/", 1)[-1])
+                    reply(200, controller.catalog_replicas(lfn))
                 elif path.startswith("/policy/transfers/"):
                     tid_text = path.rsplit("/", 1)[-1]
                     if not tid_text.isdigit():

@@ -25,6 +25,7 @@ Tier map (higher fires first)::
     70  RESOURCE_CREATE     create staged-file resources
     70  CLEANUP_SKIP_IN_USE skip cleanups for files still in use
     65  RESOURCE_ASSOCIATE  associate transfers with existing resources
+    61  CLEANUP_RETAIN      retain evictable replicas while the site has room
     60  GROUP_CREATE        mint host-pair group ids
     60  CLEANUP_APPROVE     approve cleanups with no remaining users
     55  GROUP_ASSIGN        stamp group ids onto transfers
@@ -36,6 +37,8 @@ Tier map (higher fires first)::
     41  THRESHOLD_RETRIEVE  lazily stamp host-pair thresholds
     40  ALLOCATION          greedy / balanced stream grants
     39  FAIRSHARE_ADJUST    refund tenant over-reservation after allocation
+    20  EVICTION_SELECT     pick eviction victims on over-budget sites
+     2  EVICTION_RETIRE     retire the transient eviction-sweep fact
      1  SWEEP_RETIRE        retire the transient lease-sweep fact last
 """
 
@@ -57,6 +60,7 @@ __all__ = [
     "RESOURCE_CREATE",
     "CLEANUP_SKIP_IN_USE",
     "RESOURCE_ASSOCIATE",
+    "CLEANUP_RETAIN",
     "GROUP_CREATE",
     "CLEANUP_APPROVE",
     "GROUP_ASSIGN",
@@ -68,6 +72,8 @@ __all__ = [
     "THRESHOLD_RETRIEVE",
     "ALLOCATION",
     "FAIRSHARE_ADJUST",
+    "EVICTION_SELECT",
+    "EVICTION_RETIRE",
     "SWEEP_RETIRE",
     "TIERS",
     "ORDERING_INVARIANTS",
@@ -89,6 +95,7 @@ CLEANUP_DETACH = 80
 RESOURCE_CREATE = 70
 CLEANUP_SKIP_IN_USE = 70
 RESOURCE_ASSOCIATE = 65
+CLEANUP_RETAIN = 61
 GROUP_CREATE = 60
 CLEANUP_APPROVE = 60
 GROUP_ASSIGN = 55
@@ -100,6 +107,8 @@ FAIRSHARE_RESERVE = 44
 THRESHOLD_RETRIEVE = 41
 ALLOCATION = 40
 FAIRSHARE_ADJUST = 39
+EVICTION_SELECT = 20
+EVICTION_RETIRE = 2
 SWEEP_RETIRE = 1
 
 #: name -> value for every named tier (what the linter accepts as
@@ -120,6 +129,7 @@ TIERS: dict[str, int] = {
     "RESOURCE_CREATE": RESOURCE_CREATE,
     "CLEANUP_SKIP_IN_USE": CLEANUP_SKIP_IN_USE,
     "RESOURCE_ASSOCIATE": RESOURCE_ASSOCIATE,
+    "CLEANUP_RETAIN": CLEANUP_RETAIN,
     "GROUP_CREATE": GROUP_CREATE,
     "CLEANUP_APPROVE": CLEANUP_APPROVE,
     "GROUP_ASSIGN": GROUP_ASSIGN,
@@ -131,6 +141,8 @@ TIERS: dict[str, int] = {
     "THRESHOLD_RETRIEVE": THRESHOLD_RETRIEVE,
     "ALLOCATION": ALLOCATION,
     "FAIRSHARE_ADJUST": FAIRSHARE_ADJUST,
+    "EVICTION_SELECT": EVICTION_SELECT,
+    "EVICTION_RETIRE": EVICTION_RETIRE,
     "SWEEP_RETIRE": SWEEP_RETIRE,
 }
 
@@ -197,8 +209,16 @@ ORDERING_INVARIANTS: list[tuple[str, str, str]] = [
      "duplicate cleanups are removed before detaching workflows"),
     ("CLEANUP_DETACH", "CLEANUP_SKIP_IN_USE",
      "the requester detaches before the in-use check counts users"),
-    ("CLEANUP_SKIP_IN_USE", "CLEANUP_APPROVE",
-     "in-use skips win over approval for the same cleanup"),
+    ("CLEANUP_SKIP_IN_USE", "CLEANUP_RETAIN",
+     "a file still in use is never judged by the capacity-retention rule"),
+    ("CLEANUP_RETAIN", "CLEANUP_APPROVE",
+     "retention on under-budget sites must veto cleanup approval"),
+    ("ALLOCATION", "EVICTION_SELECT",
+     "stream grants settle before eviction victims are chosen"),
+    ("EVICTION_SELECT", "EVICTION_RETIRE",
+     "victims are selected before the eviction sweep retires"),
+    ("EVICTION_RETIRE", "SWEEP_RETIRE",
+     "the eviction sweep retires before the lease sweep"),
     ("ALLOCATION", "SWEEP_RETIRE",
      "the lease sweep retires only after every other tier is quiescent"),
 ]

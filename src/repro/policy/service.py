@@ -18,6 +18,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import as_tracer
 from repro.rules import CompiledSession, Rule, Session, WorkingMemory, compile_rules
 
+from repro.datacatalog.catalog import DataCatalog
+from repro.datacatalog.model import EvictionSweepFact
+from repro.datacatalog.rules_eviction import EVICTED_GLOBAL, eviction_rules
 from repro.policy.adaptive import AdaptiveThresholdController
 from repro.policy.journal import JournalError, PolicyJournal
 from repro.policy.model import (
@@ -35,7 +38,9 @@ from repro.policy.provenance import (
     DecisionLog,
     FiringCollector,
     attribute_firings,
+    attribute_firings_by_ref,
     cleanup_record,
+    eviction_record,
     ledger_snapshot,
     transfer_record,
 )
@@ -144,6 +149,12 @@ class PolicyService:
             )
         self.memory = WorkingMemory(indexed=self.engine in ("indexed", "compiled"))
         self.globals: dict = {"config": self.config, "group_counter": 1}
+        #: durable staged-data catalog over this memory (None when disabled)
+        self.catalog: Optional[DataCatalog] = (
+            DataCatalog(self.memory, self.config.catalog)
+            if self.config.catalog is not None
+            else None
+        )
         rules = list(common_rules()) + list(priority_rules()) + list(fairshare_rules())
         if self.config.access_control:
             rules += access_rules()
@@ -151,6 +162,8 @@ class PolicyService:
             rules += greedy_rules()
         elif self.config.policy == "balanced":
             rules += balanced_rules()
+        if self.catalog is not None:
+            rules += eviction_rules()
         rules += list(extra_rules)
         self._rules = rules
         # One compilation pass per service: every compiled session shares
@@ -234,6 +247,15 @@ class PolicyService:
         self._m_lease_sweeps = m.counter(
             "repro_policy_lease_sweeps_total", "Lease sweeps executed"
         )._only_child()
+        catalog_events = m.counter(
+            "repro_policy_catalog_events_total",
+            "Staged-data catalog events",
+            ("event",),
+        )
+        self._m_catalog = {
+            e: catalog_events.labels(event=e)
+            for e in ("hits", "evictions", "selected")
+        }
         self._m_journal_commits = m.counter(
             "repro_policy_journal_commits_total", "Journal transactions committed"
         )._only_child()
@@ -360,6 +382,7 @@ class PolicyService:
             "cluster_count": c.cluster_count,
             "cluster_threshold": c.cluster_threshold,
             "lease_seconds": c.lease_seconds,
+            "catalog": None if c.catalog is None else c.catalog.fingerprint(),
         }
 
     # ------------------------------------------------------------------ journal
@@ -575,13 +598,29 @@ class PolicyService:
             if tids:
                 self._tid_last = max(self._tid_last, max(tids))
         facts: list[TransferFact] = []
+        selected_sources: dict[int, dict] = {}
         for index, spec in enumerate(specs):
+            # Allocate the tid before touching the spec: a malformed spec
+            # burns its tid (the journal already saw the counter advance).
+            tid = self._next_tid() if tids is None else int(tids[index])
+            src_url = spec["src_url"]
+            if self.catalog is not None:
+                # Replica selection happens *before* the fact exists, so
+                # grouping, thresholds, and stream allocation all see the
+                # true source host pair, not the requested origin's.
+                chosen = self.catalog.select_source(
+                    spec["lfn"], spec["dst_url"], src_url
+                )
+                if chosen is not None:
+                    src_url = chosen.url
+                    self.catalog.touch(chosen.url, self.clock())
+                    self._m_catalog["selected"].inc()
             fact = TransferFact(
-                tid=self._next_tid() if tids is None else int(tids[index]),
+                tid=tid,
                 workflow=workflow,
                 job=job,
                 lfn=spec["lfn"],
-                src_url=spec["src_url"],
+                src_url=src_url,
                 dst_url=spec["dst_url"],
                 nbytes=float(spec.get("nbytes", 0.0)),
                 requested_streams=spec.get("streams"),
@@ -590,6 +629,12 @@ class PolicyService:
                 batch=batch,
             )
             facts.append(fact)
+            if src_url != spec["src_url"]:
+                selected_sources[fact.tid] = {
+                    "requested_src": spec["src_url"],
+                    "selected_src": src_url,
+                    "site": self.catalog.site_of_url(src_url),
+                }
             session.insert(fact)
         self._m_transfers["submitted"].inc(len(facts))
         self._fire(session)
@@ -666,6 +711,12 @@ class PolicyService:
                 )
                 self.memory.retract(fact)
                 self._m_transfers["skipped"].inc()
+                if self.catalog is not None and fact.status == "skip_staged":
+                    # A catalog hit: the dedup rules skipped a re-stage of a
+                    # file the catalog still advertises — refresh its LRU
+                    # clock so eviction prefers genuinely cold replicas.
+                    if self.catalog.touch(fact.dst_url, self.clock()):
+                        self._m_catalog["hits"].inc()
 
         if collector is not None:
             after = ledger_snapshot(self.memory)
@@ -674,20 +725,32 @@ class PolicyService:
                 item = by_tid.get(fact.tid)
                 if item is None:  # pragma: no cover - defensive
                     continue
-                self._record_decision(
-                    transfer_record(
-                        fact,
-                        item,
-                        attribute_firings(
-                            collector.firings, tids=frozenset((fact.tid,))
-                        ),
-                        before,
-                        after,
-                        batch=batch,
-                        engine=self.engine,
-                        shard=self.shard_index,
-                    )
+                record = transfer_record(
+                    fact,
+                    item,
+                    attribute_firings(
+                        collector.firings, tids=frozenset((fact.tid,))
+                    ),
+                    before,
+                    after,
+                    batch=batch,
+                    engine=self.engine,
+                    shard=self.shard_index,
                 )
+                if self.catalog is not None:
+                    # Cite catalog hits and replica selection in meta:
+                    # meta is excluded from the digest, so records stay
+                    # digest-comparable whether or not it is enabled.
+                    info: dict = {}
+                    if fact.status == "skip_staged":
+                        hit = self.catalog.replica_at(fact.dst_url)
+                        info["hit"] = hit is not None
+                        info["site"] = None if hit is None else hit.site
+                    if fact.tid in selected_sources:
+                        info["selected"] = selected_sources[fact.tid]
+                    if info:
+                        record["meta"]["catalog"] = info
+                self._record_decision(record)
         self._commit_journal()
         return self._order_advice(advice)
 
@@ -734,12 +797,14 @@ class PolicyService:
                 return None
 
             completed_pairs: list[tuple[str, str, float]] = []
+            staged_done: list[tuple[str, str, float]] = []
             for tid in done:
                 fact = in_progress(tid)
                 if fact is not None:
                     completed_pairs.append(
                         (fact.src_host, fact.dst_host, fact.nbytes)
                     )
+                    staged_done.append((fact.lfn, fact.dst_url, fact.nbytes))
                     session.update(fact, status="done")
                     self._done_tids.add(tid)
                     done_matched.append(tid)
@@ -754,13 +819,64 @@ class PolicyService:
             fired = self._fire(session)
             if self.adaptive is not None and completed_pairs:
                 self._adapt_thresholds(completed_pairs)
+            evicted: list[dict] = []
+            if self.catalog is not None:
+                now = self.clock()
+                for lfn, dst_url, nbytes in staged_done:
+                    self.catalog.register(lfn, dst_url, nbytes, now)
+                evicted = self._run_eviction_sweep(now)
             self._commit_journal(done=done_matched, failed=failed_matched)
             self._m_call_seconds["complete_transfers"].observe(
                 time.perf_counter() - t0
             )
             if span is not None:
                 self.tracer.end(span, acknowledged=matched, rule_firings=fired)
-            return {"acknowledged": matched}
+            result = {"acknowledged": matched}
+            if self.catalog is not None:
+                # The caller (transfer tool / shard router) owns the disk:
+                # it must delete evicted replicas from its simulated storage.
+                result["evicted"] = evicted
+            return result
+
+    def _run_eviction_sweep(self, now: float) -> list[dict]:
+        """Drive the eviction pack once and drain the selected victims.
+
+        Mirrors ``_reap``: time enters as a transient
+        :class:`~repro.datacatalog.model.EvictionSweepFact`, the pack
+        selects and retracts victims, and the sweep retires itself.
+        Runs only when some site is actually over budget, so the common
+        under-budget completion pays nothing.  One provenance record is
+        minted per victim, attributed by the replica/resource refs the
+        sweep's firings touched (victims carry no tid/cid).
+        """
+        assert self.catalog is not None
+        if not self.catalog.over_budget_sites():
+            return []
+        session = self._session()
+        collector: Optional[FiringCollector] = None
+        if self.decisions is not None:
+            collector = FiringCollector()
+            session.firing_listener = collector
+        session.insert(EvictionSweepFact(now))
+        self._fire(session)
+        evicted = [dict(v) for v in self.globals.pop(EVICTED_GLOBAL, [])]
+        if evicted:
+            self._m_catalog["evictions"].inc(len(evicted))
+        if collector is not None:
+            for victim in evicted:
+                refs = frozenset((
+                    f"replica:{victim['lfn']}@{victim['url']}",
+                    f"staged:{victim['lfn']}@{victim['url']}",
+                ))
+                self._record_decision(
+                    eviction_record(
+                        victim,
+                        attribute_firings_by_ref(collector.firings, refs),
+                        engine=self.engine,
+                        shard=self.shard_index,
+                    )
+                )
+        return evicted
 
     def _adapt_thresholds(self, completed: list[tuple[str, str, float]]) -> None:
         """Feed completions to the adaptive controller; apply decisions to
@@ -895,6 +1011,10 @@ class PolicyService:
                         self.memory.lookup(StagedFileFact, dst_url=fact.url)
                     ):
                         self.memory.retract(resource)
+                    if self.catalog is not None:
+                        # The file is gone from disk; the catalog must stop
+                        # advertising it (and release its site bytes).
+                        self.catalog.unregister(fact.url)
                     self.memory.retract(fact)
                     matched += 1
             self._commit_journal()
@@ -956,7 +1076,7 @@ class PolicyService:
 
     # ------------------------------------------------------------------ reconcile
     def reconcile_staged(
-        self, workflow: str, files: Iterable[tuple[str, str]]
+        self, workflow: str, files: Iterable[tuple]
     ) -> dict:
         """Adopt files a client staged while the service was unreachable.
 
@@ -965,13 +1085,18 @@ class PolicyService:
         tool reports them here so the shared policy memory regains its
         resource facts — otherwise later workflows would re-transfer files
         that already exist, and cleanup could never delete them.
+
+        ``files`` holds ``(lfn, url)`` or ``(lfn, url, nbytes)`` tuples;
+        with the catalog enabled each adopted file is also registered as
+        a replica (size 0 when the caller did not report one, so an
+        unsized adoption can never push a site over budget).
         """
         self._m_calls["reconcile_staged"].inc()
         span = self._begin_span("policy.reconcile_staged", workflow=workflow)
         t0 = time.perf_counter()
         with self._transaction():
             registered = joined = 0
-            for lfn, url in files:
+            for lfn, url, *rest in files:
                 existing = None
                 for r in self.memory.lookup(StagedFileFact, lfn=lfn, dst_url=url):
                     existing = r
@@ -992,6 +1117,10 @@ class PolicyService:
                     self.memory.insert(resource)
                     self.memory.update(resource, status="staged")
                     registered += 1
+                if self.catalog is not None:
+                    self.catalog.register(
+                        lfn, url, float(rest[0]) if rest else 0.0, self.clock()
+                    )
             self._m_staged_reconciled.inc(registered + joined)
             self._commit_journal()
             self._m_call_seconds["reconcile_staged"].observe(
@@ -1043,6 +1172,75 @@ class PolicyService:
         if self.decisions is None:
             return []
         return [dict(record) for record in self.decisions.records()]
+
+    # ------------------------------------------------------------------ catalog
+    def _require_catalog(self) -> DataCatalog:
+        if self.catalog is None:
+            raise RuntimeError(
+                "the staged-data catalog is not enabled on this service"
+            )
+        return self.catalog
+
+    def catalog_census(self) -> dict:
+        """Canonical staged-data catalog state (replicas + site budgets).
+
+        Sorted and JSON-able — the byte-identity witness for crash
+        recovery and engine-equivalence checks.  Raises ``RuntimeError``
+        when the catalog is disabled.
+        """
+        return self._require_catalog().census()
+
+    def catalog_replicas(self, lfn: str) -> list[dict]:
+        """Known replicas of ``lfn``, deterministically by (site, url)."""
+        return [
+            {
+                "lfn": r.lfn,
+                "site": r.site,
+                "url": r.url,
+                "nbytes": r.nbytes,
+                "checksum": r.checksum,
+                "pin_count": r.pin_count,
+                "last_used": r.last_used,
+            }
+            for r in self._require_catalog().lookup(lfn)
+        ]
+
+    def set_site_capacity(
+        self, site: str, capacity_bytes: Optional[float]
+    ) -> dict:
+        """Set (or lift, with ``None``) a site byte budget at runtime.
+
+        Journaled like any admin mutation; an over-budget site is acted
+        on by the next eviction sweep (the next transfer completion).
+        """
+        catalog = self._require_catalog()
+        with self._transaction():
+            catalog.set_site_capacity(site, capacity_bytes)
+            self._commit_journal()
+        fact = catalog.site_fact(site)
+        return {
+            "site": site,
+            "capacity_bytes": None if fact is None else fact.capacity_bytes,
+            "used_bytes": 0.0 if fact is None else fact.used_bytes,
+        }
+
+    def catalog_pin(self, url: str, pinned: bool = True) -> dict:
+        """Pin (or unpin) the replica at ``url`` against eviction.
+
+        Pins nest: each pin increments the replica's pin count, each
+        unpin decrements it (never below zero), and the eviction pack
+        only considers replicas at zero.  Journaled; raises ``KeyError``
+        for an unknown url so a caller cannot silently "protect" a
+        replica the catalog never registered.
+        """
+        catalog = self._require_catalog()
+        with self._transaction():
+            changed = catalog.pin(url) if pinned else catalog.unpin(url)
+            if not changed:
+                raise KeyError(f"no catalog replica at {url!r}")
+            self._commit_journal()
+        replica = catalog.replica_at(url)
+        return {"url": url, "pin_count": replica.pin_count}
 
     # ------------------------------------------------------------------ admin
     def deny_host(self, host: str, direction: str = "any", reason: str = "") -> None:
@@ -1174,12 +1372,22 @@ class PolicyService:
         (e.g. an ensemble without cleanup whose later members re-use them);
         retained facts keep their empty ``users`` set until a cleanup or
         a later sharing workflow picks them up.
+
+        Files the staged-data catalog tracks as replicas are always
+        retained: the catalog deliberately kept them on disk (retained
+        cleanups), so later workflows must still find the resource fact
+        and dedup against it.  Their deletion path is eviction, which
+        retracts replica and resource facts together.
         """
         with self._transaction():
             for r in list(self.memory.facts_of(StagedFileFact)):
                 if workflow in r.users:
                     remaining = r.users - {workflow}
-                    if remaining or retain_staged:
+                    retain = retain_staged or (
+                        self.catalog is not None
+                        and self.catalog.replica_at(r.dst_url) is not None
+                    )
+                    if remaining or retain:
                         self.memory.update(r, users=remaining)
                     else:
                         self.memory.retract(r)
@@ -1239,6 +1447,7 @@ class PolicyService:
             "memory": self.memory.snapshot(),
             "host_pairs": pairs,
             "tenants": self.tenants(),
+            "catalog": None if self.catalog is None else self.catalog.census(),
             "stats": dict(self.stats),
             "metrics": self.metrics.to_dict(),
         }

@@ -595,6 +595,8 @@ class ShardedPolicyService:
             for shard_idx in order
         ]
         results = self._dispatch(calls)
+        evicted: list[dict] = []
+        catalog_answered = False
         for shard_idx, result in zip(order, results):
             if result is None:
                 # Buffer the report; redelivered after journal replay so
@@ -608,7 +610,17 @@ class ShardedPolicyService:
                 self._m_degraded.inc(kind="completions")
                 continue
             acknowledged += result.get("acknowledged", 0)
-        return {"acknowledged": acknowledged}
+            if "evicted" in result:
+                catalog_answered = True
+                evicted.extend(result["evicted"])
+        response = {"acknowledged": acknowledged}
+        if catalog_answered:
+            # Merge per-shard eviction victims in a shard-count-independent
+            # order (per-shard interleavings are not comparable across
+            # fleet sizes, same as decision_records).
+            evicted.sort(key=lambda v: (v["site"], v["lfn"], v["url"]))
+            response["evicted"] = evicted
+        return response
 
     # ------------------------------------------------------------------ cleanups
     def submit_cleanups(
@@ -867,32 +879,35 @@ class ShardedPolicyService:
         return record
 
     def reconcile_staged(
-        self, workflow: str, files: Iterable[tuple[str, str]]
+        self, workflow: str, files: Iterable[tuple]
     ) -> dict:
         self._m_requests.inc(call="reconcile_staged")
         per_shard: dict[int, list] = {}
-        for lfn, url in files:
-            key = (lfn, url)
-            shard_idx = self._owner.get(key)
+        for lfn, url, *rest in files:
+            # (lfn, url) or (lfn, url, nbytes): byte counts ride along to
+            # the owning shard so its staged-data catalog can size the
+            # adopted replica.  Ownership is keyed on (lfn, url) only.
+            entry = (lfn, url, *rest)
+            shard_idx = self._owner.get((lfn, url))
             if shard_idx is None:
                 src = self._url_owner.get(url)
                 shard_idx = src if src is not None else self.ring.node_for(url_key(url))
-            per_shard.setdefault(shard_idx, []).append(key)
+            per_shard.setdefault(shard_idx, []).append(entry)
         registered = joined = 0
-        for shard_idx, keys in sorted(per_shard.items()):
+        for shard_idx, entries in sorted(per_shard.items()):
             try:
                 result = self.shards[shard_idx].call(
-                    "reconcile_staged", workflow, keys
+                    "reconcile_staged", workflow, entries
                 )
             except ShardUnavailableError:
-                self._queue_pending(shard_idx, "reconcile_staged", workflow, keys)
+                self._queue_pending(shard_idx, "reconcile_staged", workflow, entries)
                 self._m_degraded.inc(kind="reconciles")
                 continue
             registered += result.get("registered", 0)
             joined += result.get("joined", 0)
-            for key in keys:
-                self._owner[key] = shard_idx
-                self._url_owner.setdefault(key[1], shard_idx)
+            for entry in entries:
+                self._owner[(entry[0], entry[1])] = shard_idx
+                self._url_owner.setdefault(entry[1], shard_idx)
         return {"registered": registered, "joined": joined}
 
     # ------------------------------------------------------------------ admin
@@ -960,6 +975,97 @@ class ShardedPolicyService:
                         set(entry["workflows"]) | set(row["workflows"])
                     )
         return [merged[tenant] for tenant in sorted(merged)]
+
+    # ------------------------------------------------------------ data catalog
+    def catalog_census(self) -> dict:
+        """Fleet staged-data catalog census from every live shard.
+
+        Replicas merge and re-sort by (lfn, site, url) so the census is
+        shard-count-independent; site rows sum ``used_bytes`` across
+        shards.  Each shard enforces its byte budget only over the
+        replicas it owns (the same per-shard partitioning as tenant
+        ledgers), so fleet-wide budgets are approximate: a site's summed
+        usage can exceed one shard's capacity without any shard evicting.
+        Down shards contribute nothing until they replay their journals.
+        """
+
+        self._m_requests.inc(call="catalog_census")
+        replicas: list[dict] = []
+        sites: dict[str, dict] = {}
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                census = handle.call("catalog_census")
+            except ShardUnavailableError:
+                continue
+            replicas.extend(census.get("replicas", []))
+            for row in census.get("sites", []):
+                entry = sites.get(row["site"])
+                if entry is None:
+                    sites[row["site"]] = dict(row)
+                else:
+                    entry["used_bytes"] += row["used_bytes"]
+        replicas.sort(key=lambda r: (r["lfn"], r["site"], r["url"]))
+        return {"replicas": replicas, "sites": [sites[s] for s in sorted(sites)]}
+
+    def catalog_replicas(self, lfn: str) -> list[dict]:
+        """Known replicas of ``lfn`` across live shards, by (site, url)."""
+
+        self._m_requests.inc(call="catalog_replicas")
+        replicas: list[dict] = []
+        for handle in self.shards:
+            if not handle.healthy():
+                continue
+            try:
+                replicas.extend(handle.call("catalog_replicas", lfn))
+            except ShardUnavailableError:
+                continue
+        replicas.sort(key=lambda r: (r["site"], r["url"]))
+        return replicas
+
+    def set_site_capacity(self, site: str, capacity_bytes) -> dict:
+        """Set one site's byte budget on every shard (buffered for dead
+        ones); the returned ``used_bytes`` sums live shards."""
+
+        self._m_requests.inc(call="set_site_capacity")
+        used = 0.0
+        for handle in self.shards:
+            try:
+                result = handle.call("set_site_capacity", site, capacity_bytes)
+            except ShardUnavailableError:
+                self._queue_pending(
+                    handle.index, "set_site_capacity", site, capacity_bytes
+                )
+                continue
+            used += result.get("used_bytes", 0.0)
+        return {"site": site, "capacity_bytes": capacity_bytes, "used_bytes": used}
+
+    def catalog_pin(self, url: str, pinned: bool = True) -> dict:
+        """Pin/unpin the replica at ``url`` on its owning shard.
+
+        The url directory names the home shard when the router saw the
+        staging; otherwise every live shard is probed (exactly one holds
+        the replica — registration follows transfer ownership).
+        """
+
+        self._m_requests.inc(call="catalog_pin")
+        preferred = self._url_owner.get(url)
+        order = [] if preferred is None else [preferred]
+        order += [h.index for h in self.shards if h.index != preferred]
+        missing: Optional[KeyError] = None
+        for shard_idx in order:
+            try:
+                return self.shards[shard_idx].call("catalog_pin", url, pinned)
+            except ShardUnavailableError:
+                self._m_degraded.inc(kind="queries")
+                continue
+            except KeyError as exc:
+                missing = exc
+                continue
+        if missing is not None:
+            raise missing
+        raise KeyError(f"no catalog replica at {url!r}")
 
     def unregister_workflow(self, workflow: str, retain_staged: bool = False) -> None:
         self._broadcast("unregister_workflow", workflow, retain_staged)

@@ -128,3 +128,51 @@ def test_transformation_catalog():
         tc.add("mProjectPP", 1.0)
     with pytest.raises(KeyError):
         tc.get("nope")
+
+
+def test_lookup_order_is_insertion_and_hash_seed_independent():
+    """Source selection reads ``lookup``'s order; it must be a pure
+    function of the replica set — not of insertion history or of
+    PYTHONHASHSEED (regression for the dict-ordered implementation)."""
+    import itertools
+    import subprocess
+    import sys
+
+    entries = [
+        ("f", "zeta", "gsiftp://zeta/2/f"),
+        ("f", "zeta", "gsiftp://zeta/1/f"),
+        ("f", "alpha", "gsiftp://alpha/1/f"),
+        ("f", "mid", "gsiftp://mid/1/f"),
+    ]
+    expected = [
+        ("alpha", "gsiftp://alpha/1/f"),
+        ("mid", "gsiftp://mid/1/f"),
+        ("zeta", "gsiftp://zeta/1/f"),
+        ("zeta", "gsiftp://zeta/2/f"),
+    ]
+    for perm in itertools.permutations(entries):
+        rc = ReplicaCatalog()
+        for lfn, site, url in perm:
+            rc.register(lfn, site, url)
+        assert [(r.site, r.url) for r in rc.lookup("f")] == expected
+
+    script = (
+        "from repro.catalogs import ReplicaCatalog\n"
+        f"entries = {entries!r}\n"
+        "rc = ReplicaCatalog()\n"
+        "for lfn, site, url in entries:\n"
+        "    rc.register(lfn, site, url)\n"
+        "print([(r.site, r.url) for r in rc.lookup('f')])\n"
+    )
+    outputs = set()
+    for seed in ("0", "1", "31337"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            cwd=str(__import__("pathlib").Path(__file__).parents[2]),
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert outputs == {repr(expected)}

@@ -1,0 +1,144 @@
+"""DataCatalog facade + CatalogConfig + LinkCostModel unit tests."""
+
+import pytest
+
+from repro.datacatalog.catalog import DataCatalog, derive_checksum
+from repro.datacatalog.linkcost import DEFAULT_WAN_COST, LinkCostModel
+from repro.datacatalog.model import CatalogConfig, ReplicaRecordFact
+from repro.rules import WorkingMemory
+
+
+def make_catalog(**kwargs):
+    return DataCatalog(WorkingMemory(), CatalogConfig(**kwargs))
+
+
+def test_register_places_replica_at_host_site():
+    cat = make_catalog(host_site={"obelix": "isi"})
+    cat.register("f1", "gsiftp://obelix/scratch/f1", 1000.0, now=5.0)
+    replica = cat.replica_at("gsiftp://obelix/scratch/f1")
+    assert replica.site == "isi"
+    assert replica.nbytes == 1000.0
+    assert replica.last_used == 5.0
+    assert replica.checksum == derive_checksum("f1", 1000.0)
+    # Unmapped hosts are their own site.
+    cat.register("f2", "gsiftp://nike/scratch/f2", 10.0, now=0.0)
+    assert cat.replica_at("gsiftp://nike/scratch/f2").site == "nike"
+
+
+def test_reregistration_refreshes_size_and_site_usage():
+    cat = make_catalog(site_capacity={"obelix": 5000.0})
+    cat.register("f1", "gsiftp://obelix/s/f1", 1000.0, now=0.0)
+    assert cat.site_fact("obelix").used_bytes == 1000.0
+    cat.register("f1", "gsiftp://obelix/s/f1", 1500.0, now=2.0)
+    replica = cat.replica_at("gsiftp://obelix/s/f1")
+    assert replica.nbytes == 1500.0
+    assert replica.last_used == 2.0
+    assert cat.site_fact("obelix").used_bytes == 1500.0
+    assert len(list(cat.memory.facts_of(ReplicaRecordFact))) == 1
+
+
+def test_unregister_releases_site_bytes():
+    cat = make_catalog(site_capacity={"obelix": 5000.0})
+    cat.register("f1", "gsiftp://obelix/s/f1", 1000.0, now=0.0)
+    assert cat.unregister("gsiftp://obelix/s/f1") is True
+    assert cat.site_fact("obelix").used_bytes == 0.0
+    assert cat.unregister("gsiftp://obelix/s/f1") is False
+
+
+def test_lookup_is_sorted_by_site_then_url():
+    cat = make_catalog()
+    cat.register("f1", "gsiftp://zeus/s/f1", 1.0, now=0.0)
+    cat.register("f1", "gsiftp://apollo/s/f1", 1.0, now=0.0)
+    cat.register("f1", "gsiftp://nike/s/f1", 1.0, now=0.0)
+    assert [r.site for r in cat.lookup("f1")] == ["apollo", "nike", "zeus"]
+
+
+def test_pin_unpin_never_below_zero():
+    cat = make_catalog()
+    cat.register("f1", "gsiftp://obelix/s/f1", 1.0, now=0.0)
+    assert cat.pin("gsiftp://obelix/s/f1")
+    assert cat.replica_at("gsiftp://obelix/s/f1").pin_count == 1
+    assert cat.unpin("gsiftp://obelix/s/f1")
+    assert cat.unpin("gsiftp://obelix/s/f1")
+    assert cat.replica_at("gsiftp://obelix/s/f1").pin_count == 0
+    assert not cat.pin("gsiftp://other/s/unknown")
+
+
+def test_over_budget_sites():
+    cat = make_catalog(site_capacity={"obelix": 1500.0})
+    cat.register("f1", "gsiftp://obelix/s/f1", 1000.0, now=0.0)
+    assert cat.over_budget_sites() == []
+    cat.register("f2", "gsiftp://obelix/s/f2", 1000.0, now=0.0)
+    assert cat.over_budget_sites() == ["obelix"]
+
+
+def test_census_is_canonical_and_sorted():
+    cat = make_catalog(site_capacity={"obelix": 9000.0})
+    cat.register("b", "gsiftp://obelix/s/b", 2.0, now=0.0)
+    cat.register("a", "gsiftp://obelix/s/a", 1.0, now=0.0)
+    census = cat.census()
+    assert [r["lfn"] for r in census["replicas"]] == ["a", "b"]
+    assert census["sites"][0]["site"] == "obelix"
+    assert census["sites"][0]["used_bytes"] == 3.0
+    # census_text is canonical JSON — equal catalogs, equal bytes.
+    other = make_catalog(site_capacity={"obelix": 9000.0})
+    other.register("a", "gsiftp://obelix/s/a", 1.0, now=0.0)
+    other.register("b", "gsiftp://obelix/s/b", 2.0, now=0.0)
+    assert cat.census_text() == other.census_text()
+
+
+# -------------------------------------------------------------- link costs
+def test_link_cost_model_defaults_and_overrides():
+    model = LinkCostModel({("a", "b"): 2.0}, default_cost=7.0, same_site_cost=0.5)
+    assert model.cost("a", "b") == 2.0
+    assert model.cost("b", "a") == 7.0
+    assert model.cost("a", "a") == 0.5
+
+
+def test_link_cost_best_prefers_cheapest_with_stable_tiebreak():
+    model = LinkCostModel({("near", "dst"): 1.0})
+
+    class R:
+        def __init__(self, site, url):
+            self.site, self.url = site, url
+
+    far1, far2 = R("far", "gsiftp://far/1"), R("far", "gsiftp://far/2")
+    near = R("near", "gsiftp://near/1")
+    assert model.best([far2, near, far1], "dst") is near
+    # All-equal costs fall back to (site, url) ordering.
+    assert model.best([far2, far1], "dst") is far1
+    assert model.best([], "dst") is None
+
+
+def test_catalog_config_validation_and_fingerprint():
+    with pytest.raises(ValueError):
+        CatalogConfig(eviction_policy="random")
+    with pytest.raises(ValueError):
+        CatalogConfig(default_capacity=-1.0)
+    with pytest.raises(ValueError):
+        CatalogConfig(link_costs={("a", "b"): -1.0})
+    fp = CatalogConfig(
+        site_capacity={"obelix": 10.0}, link_costs={("a", "b"): 2.0}
+    ).fingerprint()
+    assert fp["link_costs"] == {"a->b": 2.0}
+    assert fp["default_link_cost"] == DEFAULT_WAN_COST
+    # The fingerprint is advice-relevant config only: stable across
+    # equal configs, different across different link costs.
+    assert fp != CatalogConfig(
+        site_capacity={"obelix": 10.0}, link_costs={("a", "b"): 3.0}
+    ).fingerprint()
+
+
+def test_select_source_only_rewrites_strictly_cheaper():
+    config = CatalogConfig(link_costs={("obelix", "nike"): 1.0})
+    cat = DataCatalog(WorkingMemory(), config)
+    cat.register("f1", "gsiftp://obelix/s/f1", 1.0, now=0.0)
+    # obelix->nike (1.0) beats fg-vm->nike (WAN default): rewrite.
+    chosen = cat.select_source("f1", "gsiftp://nike/s/f1", "gsiftp://fg-vm/d/f1")
+    assert chosen is not None and chosen.url == "gsiftp://obelix/s/f1"
+    # A tie (both WAN) must NOT rewrite: advice stays stable.
+    tied = DataCatalog(WorkingMemory(), CatalogConfig())
+    tied.register("f1", "gsiftp://obelix/s/f1", 1.0, now=0.0)
+    assert tied.select_source("f1", "gsiftp://nike/s/f1", "gsiftp://fg-vm/d/f1") is None
+    # The destination's own copy is never a source candidate.
+    assert cat.select_source("f1", "gsiftp://obelix/s/f1", "gsiftp://fg-vm/d/f1") is None

@@ -1,0 +1,131 @@
+"""PolicyService + catalog integration: selection, hits, admin APIs."""
+
+import pytest
+
+from repro.datacatalog.model import CatalogConfig
+from repro.policy import PolicyConfig, PolicyService
+
+from tests.datacatalog.conftest import Clock, make_service, spec, stage
+
+
+def _catalog_metric(service, event):
+    return service.metrics.get("repro_policy_catalog_events_total").value(
+        event=event
+    )
+
+
+def test_replica_selection_rewrites_source_and_records_provenance():
+    clock = Clock()
+    service = make_service(
+        clock=clock,
+        config=CatalogConfig(
+            site_capacity={"obelix": 1e9},
+            link_costs={("obelix", "nike"): 1.0},
+        ),
+    )
+    stage(service, "wf1", [spec("a")])
+    clock.advance(5.0)
+
+    advice = service.submit_transfers(
+        "wf2", "j2", [spec("a", dst_host="nike")]
+    )
+    assert advice[0].action == "transfer"
+    assert advice[0].src_url == "gsiftp://obelix/scratch/a"
+    assert _catalog_metric(service, "selected") == 1
+
+    record = service.decision_records()[-1]
+    assert record["meta"]["catalog"]["selected"] == {
+        "requested_src": "gsiftp://fg-vm/data/a",
+        "selected_src": "gsiftp://obelix/scratch/a",
+        "site": "obelix",
+    }
+    # Serving as a source counts as a use: the LRU clock moved.
+    replica = service.catalog_replicas("a")[0]
+    assert replica["last_used"] == 5.0
+
+
+def test_catalog_hit_on_skip_staged_touches_lru_and_counts():
+    clock = Clock()
+    service = make_service(clock=clock)
+    stage(service, "wf1", [spec("a")])
+    clock.advance(7.0)
+
+    advice = service.submit_transfers("wf2", "j2", [spec("a")])
+    assert advice[0].action == "skip"
+    assert _catalog_metric(service, "hits") == 1
+    record = service.decision_records()[-1]
+    assert record["meta"]["catalog"] == {"hit": True, "site": "obelix"}
+    assert service.catalog_replicas("a")[0]["last_used"] == 7.0
+
+
+def test_reconcile_staged_registers_replicas():
+    service = make_service()
+    result = service.reconcile_staged(
+        "wf",
+        [
+            ("a", "gsiftp://obelix/scratch/a", 1000.0),
+            ("b", "gsiftp://obelix/scratch/b"),  # legacy 2-tuple: 0 bytes
+        ],
+    )
+    assert result["registered"] == 2
+    sizes = {
+        r["lfn"]: r["nbytes"]
+        for r in service.catalog_census()["replicas"]
+    }
+    assert sizes == {"a": 1000.0, "b": 0.0}
+    # An unsized adoption can never push a site over budget.
+    assert service.catalog_census()["sites"][0]["used_bytes"] == 1000.0
+
+
+def test_catalog_apis_raise_when_disabled():
+    service = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50)
+    )
+    for call in (
+        service.catalog_census,
+        lambda: service.catalog_replicas("a"),
+        lambda: service.set_site_capacity("obelix", 1.0),
+        lambda: service.catalog_pin("gsiftp://x/y"),
+    ):
+        with pytest.raises(RuntimeError, match="catalog is not enabled"):
+            call()
+    assert service.snapshot()["catalog"] is None
+
+
+def test_snapshot_embeds_catalog_census(service):
+    stage(service, "wf", [spec("a")])
+    assert service.snapshot()["catalog"] == service.catalog_census()
+
+
+def test_catalog_pin_roundtrip_and_unknown_url(service):
+    stage(service, "wf", [spec("a")])
+    url = "gsiftp://obelix/scratch/a"
+    assert service.catalog_pin(url) == {"url": url, "pin_count": 1}
+    assert service.catalog_pin(url, pinned=False) == {
+        "url": url,
+        "pin_count": 0,
+    }
+    with pytest.raises(KeyError):
+        service.catalog_pin("gsiftp://obelix/scratch/missing")
+
+
+def test_eviction_metric_counts_victims():
+    clock = Clock()
+    service = make_service(clock=clock)
+    stage(service, "wf1", [spec("a", nbytes=1000.0)])
+    clock.advance(1.0)
+    stage(service, "wf1", [spec("b", nbytes=1000.0)])
+    service.unregister_workflow("wf1")
+    clock.advance(1.0)
+    response = stage(service, "wf2", [spec("c", nbytes=2000.0)])
+    assert len(response["evicted"]) == 2
+    assert _catalog_metric(service, "evictions") == 2
+
+
+def test_config_fingerprint_includes_catalog(service):
+    fp = service.config_fingerprint()
+    assert fp["catalog"]["eviction_policy"] == "lru"
+    bare = PolicyService(
+        PolicyConfig(policy="greedy", default_streams=4, max_streams=50)
+    )
+    assert bare.config_fingerprint()["catalog"] is None

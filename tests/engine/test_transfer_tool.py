@@ -242,3 +242,53 @@ def test_group_zero_never_reuses_a_session(fabric_env):
     _run_items(env, ptt, [_advice(1, "a", group_id=0), _advice(2, "b", group_id=0)])
     # Two full session setups: (1+1) + (1+1) = 4s.
     assert env.now == pytest.approx(4.0, rel=0.05)
+
+
+def test_eviction_victims_are_applied_to_replicas_and_storage(fabric_env):
+    """When a completion report returns eviction victims, the tool drops
+    them from its replica view and scratch accounting — the simulation
+    analogue of actually deleting the file."""
+    from repro.datacatalog.model import CatalogConfig
+    from repro.engine.storage import StorageTracker
+
+    env, fabric, client = fabric_env
+    service = PolicyService(
+        PolicyConfig(
+            policy="greedy",
+            default_streams=4,
+            max_streams=50,
+            catalog=CatalogConfig(
+                site_capacity={"local": 150.0},
+                host_site={"obelix": "local"},
+            ),
+        ),
+        clock=lambda: env.now,
+    )
+    policy = InProcessPolicyClient(service, env)
+    rc = ReplicaCatalog()
+    storage = StorageTracker(env, "local")
+    ptt = PegasusTransferTool(
+        client,
+        policy=policy,
+        replicas=rc,
+        host_site={"obelix": "local"},
+        storage=storage,
+    )
+
+    run_job(env, ptt, staging_job("si1", lfns=("a",)), workflow="wf1")
+    assert rc.has("a", site="local")
+    assert storage.used == pytest.approx(100.0)
+
+    def release():
+        yield from policy.unregister_workflow("wf1")
+
+    p = env.process(release())
+    env.run(until=p)
+
+    # wf2's stage-in overflows the 150-byte budget: 'a' is evicted and
+    # the tool applies the victim to both catalog and scratch.
+    run_job(env, ptt, staging_job("si2", lfns=("b",)), workflow="wf2")
+    assert ptt.evicted_log == [("a", "gsiftp://obelix/scratch/a")]
+    assert not rc.has("a")
+    assert rc.has("b", site="local")
+    assert storage.used == pytest.approx(100.0)  # b only

@@ -189,3 +189,26 @@ def test_plan_is_acyclic(planner, replicas):
     position = {jid: i for i, jid in enumerate(order)}
     for parent, child in plan.edges():
         assert position[parent] < position[child]
+
+
+def test_link_costs_pick_cheapest_replica_source(planner, replicas):
+    """With a link-cost model, the planner stages from the nearest
+    replica; without one, the deterministic (site, url) order stands."""
+    from repro.datacatalog.linkcost import LinkCostModel
+
+    wf = Workflow("one")
+    wf.add_job(Job("proc", "process", inputs=(File("in.dat", MB),),
+                   outputs=(File("out.dat", MB),)))
+    replicas.register("in.dat", "futuregrid", "gsiftp://fg-vm/data/in.dat")
+    replicas.register("in.dat", "archive", "gsiftp://archive-host/archive/in.dat")
+
+    plan = planner.plan(wf, "isi", PlanOptions(cleanup=False))
+    spec = plan.by_kind(JobKind.STAGE_IN)[0].transfers[0]
+    assert spec.src_url == "gsiftp://archive-host/archive/in.dat"
+
+    costs = LinkCostModel({("futuregrid", "isi"): 1.0})
+    plan = planner.plan(
+        wf, "isi", PlanOptions(cleanup=False, link_costs=costs)
+    )
+    spec = plan.by_kind(JobKind.STAGE_IN)[0].transfers[0]
+    assert spec.src_url == "gsiftp://fg-vm/data/in.dat"
